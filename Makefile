@@ -1,0 +1,45 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race fuzz bench figures ablations examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	@test -z "$$(gofmt -l .)" || { echo 'gofmt needed on:'; gofmt -l .; exit 1; }
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz passes over every fuzz target (wire formats and parsers).
+fuzz:
+	$(GO) test -fuzz='^FuzzDecode$$' -fuzztime=10s ./internal/frame/
+	$(GO) test -fuzz='^FuzzDecodeSchedule$$' -fuzztime=10s ./internal/frame/
+	$(GO) test -fuzz='^FuzzReader$$' -fuzztime=10s ./internal/capture/
+	$(GO) test -fuzz='^FuzzReadSnapshots$$' -fuzztime=10s ./internal/trace/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Paper-scale regeneration of every figure + ablations into ./results.
+figures:
+	$(GO) run ./cmd/sicfig -all -out results
+
+ablations:
+	$(GO) run ./cmd/sicfig -ablations -out results
+
+examples:
+	@for e in quickstart uplink residential mesh adaptation live phy; do \
+		echo "== examples/$$e =="; $(GO) run ./examples/$$e || exit 1; echo; \
+	done
+
+clean:
+	rm -rf results

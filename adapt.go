@@ -1,0 +1,80 @@
+package sicmac
+
+// This file extends the public facade with the rate-adaptation and
+// architecture-scenario subsystems (see internal/adapt and internal/wlan).
+
+import (
+	"math/rand"
+
+	"repro/internal/adapt"
+	"repro/internal/phy"
+	"repro/internal/wlan"
+)
+
+// ---- Rate adaptation (the §1 "slack" argument, executable) ------------
+
+// Adapter chooses transmit bitrates frame by frame; see internal/adapt for
+// the contract.
+type Adapter = adapt.Adapter
+
+// OracleAdapter always transmits at the best table rate the true channel
+// supports — the paper's "ideal bitrate control" assumption.
+type OracleAdapter = adapt.Oracle
+
+// FixedAdapter always transmits at one rate.
+type FixedAdapter = adapt.Fixed
+
+// ARFAdapter is classic Automatic Rate Fallback.
+type ARFAdapter = adapt.ARF
+
+// AARFAdapter is Adaptive ARF with probe backoff.
+type AARFAdapter = adapt.AARF
+
+// SNRAdapter picks by a (noisy) SNR estimate with a safety margin.
+type SNRAdapter = adapt.SNRThreshold
+
+// MinstrelAdapter is a sampling/EWMA adapter in the spirit of Linux
+// Minstrel.
+type MinstrelAdapter = adapt.Minstrel
+
+// AdaptTrialConfig drives a rate-adaptation trial over a fading link.
+type AdaptTrialConfig = adapt.TrialConfig
+
+// AdaptTrialResult summarises one adapter's run.
+type AdaptTrialResult = adapt.TrialResult
+
+// NewARF builds an ARF adapter with the classic 10/2 thresholds.
+func NewARF(table RateTable) *ARFAdapter { return adapt.NewARF(table) }
+
+// NewAARF builds an AARF adapter.
+func NewAARF(table RateTable) *AARFAdapter { return adapt.NewAARF(table) }
+
+// NewMinstrel builds a Minstrel adapter; rng drives its rate sampling.
+func NewMinstrel(table RateTable, rng *rand.Rand) *MinstrelAdapter {
+	return adapt.NewMinstrel(table, rng)
+}
+
+// RunAdaptation executes one adapter over a fading channel.
+func RunAdaptation(a Adapter, cfg AdaptTrialConfig) (AdaptTrialResult, error) {
+	return adapt.Run(a, cfg)
+}
+
+// Fading is a first-order Gauss-Markov shadow-fading process in dB.
+type Fading = phy.Fading
+
+// NewFading builds a fading process with the given mean SNR (dB), standard
+// deviation (dB) and per-step correlation.
+func NewFading(meanSNRdB, sigmaDB, rho float64) (*Fading, error) {
+	return phy.NewFading(meanSNRdB, sigmaDB, rho)
+}
+
+// ---- §4 architecture scenarios ------------------------------------------
+
+// Deployment configures the §4 wireless-architecture samplers.
+type Deployment = wlan.Deployment
+
+// ArchScenario is one named architecture sampler.
+type ArchScenario = wlan.Scenario
+
+// DefaultDeployment is an indoor office deployment (α=3.5, 30 m AP pitch).
+func DefaultDeployment() Deployment { return wlan.DefaultDeployment() }

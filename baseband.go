@@ -1,0 +1,41 @@
+package sicmac
+
+// This file extends the public facade with the symbol-level baseband SIC
+// receiver (see internal/baseband).
+
+import "repro/internal/baseband"
+
+// Modulation selects a baseband constellation (BPSK/QPSK/QAM16).
+type Modulation = baseband.Modulation
+
+// Baseband constellations.
+const (
+	BPSK  = baseband.BPSK
+	QPSK  = baseband.QPSK
+	QAM16 = baseband.QAM16
+)
+
+// BasebandConfig drives a symbol-level SIC simulation: two superimposed
+// modulated signals, pilot-based channel estimation, decode-remodulate-
+// subtract cancellation, optional ADC clipping.
+type BasebandConfig = baseband.Config
+
+// BasebandResult reports symbol error rates and the measured residual-
+// cancellation fraction β (the quantity MACConfig.Residual abstracts).
+type BasebandResult = baseband.Result
+
+// RunBaseband executes the full SIC reception chain at symbol level.
+func RunBaseband(cfg BasebandConfig) (BasebandResult, error) {
+	return baseband.Run(cfg)
+}
+
+// RunBasebandSingle measures single-user SER at the given SNR — the
+// calibration point for theory comparisons.
+func RunBasebandSingle(mod Modulation, snrDB float64, symbols int, seed int64) (float64, error) {
+	return baseband.RunSingle(mod, snrDB, symbols, seed)
+}
+
+// TheoreticalSER returns the textbook SER approximation at a linear SNR.
+func TheoreticalSER(mod Modulation, snr float64) float64 {
+	return baseband.TheoreticalSER(mod, snr)
+}

@@ -1,0 +1,211 @@
+package sicmac_test
+
+// The benchmark harness: one testing.B benchmark per figure of the paper's
+// evaluation (there are no data tables in the paper — Table 1 is notation),
+// plus the ablation benches DESIGN.md calls out. Each benchmark regenerates
+// its figure at a reduced-but-representative workload and reports the
+// headline metric via b.ReportMetric, so `go test -bench=.` doubles as a
+// one-shot reproduction check.
+//
+// Full-resolution figures (paper-scale trials and grids) are produced by
+// `go run ./cmd/sicfig -all`.
+
+import (
+	"testing"
+
+	sicmac "repro"
+	"repro/internal/experiments"
+)
+
+func benchParams() experiments.Params {
+	p := experiments.QuickParams()
+	p.Trials = 2000
+	return p
+}
+
+// runFigure drives one experiment per iteration and surfaces a metric.
+func runFigure(b *testing.B, run func(experiments.Params) (experiments.Result, error), metric string) {
+	b.Helper()
+	p := benchParams()
+	var last experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if v, ok := last.Metrics[metric]; ok {
+		b.ReportMetric(v, metric)
+	}
+}
+
+func BenchmarkFig2Capacity(b *testing.B) {
+	runFigure(b, experiments.Fig2, "mean_capacity_ratio_sic_over_strong")
+}
+
+func BenchmarkFig3CapacityGainGrid(b *testing.B) {
+	runFigure(b, experiments.Fig3, "max_gain")
+}
+
+func BenchmarkFig4SameReceiverGainGrid(b *testing.B) {
+	runFigure(b, experiments.Fig4, "max_gain")
+}
+
+func BenchmarkFig6DifferentReceiversCDF(b *testing.B) {
+	runFigure(b, experiments.Fig6, "frac_no_gain_range_20")
+}
+
+func BenchmarkFig8DownloadGainGrid(b *testing.B) {
+	runFigure(b, experiments.Fig8, "max_gain")
+}
+
+func BenchmarkFig10Illustration(b *testing.B) {
+	runFigure(b, experiments.Fig10, "pairing_12_34_units")
+}
+
+func BenchmarkFig11TechniquesCDF(b *testing.B) {
+	runFigure(b, experiments.Fig11, "one_rx_frac_over_20pct_sic_power_control")
+}
+
+func BenchmarkFig12SchedulerMatching(b *testing.B) {
+	runFigure(b, experiments.Fig12, "greedy_mean_excess")
+}
+
+func BenchmarkFig13TraceUpload(b *testing.B) {
+	runFigure(b, experiments.Fig13, "median_gain_sic_power_control")
+}
+
+func BenchmarkFig14TraceDownload(b *testing.B) {
+	runFigure(b, experiments.Fig14, "frac_over_20pct_802_11g_packing")
+}
+
+// ---- Ablation benches --------------------------------------------------
+
+func BenchmarkAblationPathLossExponent(b *testing.B) {
+	runFigure(b, experiments.AblationAlpha, "frac_with_gain_alpha_4.0")
+}
+
+func BenchmarkAblationResidualCancellation(b *testing.B) {
+	runFigure(b, experiments.AblationResidual, "scheduled_drain_s_beta_0.05")
+}
+
+func BenchmarkAblationGreedyVsMatching(b *testing.B) {
+	runFigure(b, experiments.AblationGreedy, "mean_greedy_over_opt")
+}
+
+// ---- Core micro-benchmarks ----------------------------------------------
+
+func BenchmarkPairGain(b *testing.B) {
+	ch := sicmac.Wifi20MHz
+	p := sicmac.Pair{S1: sicmac.FromDB(30), S2: sicmac.FromDB(15)}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += p.Gain(ch, 12000)
+	}
+	_ = sink
+}
+
+func BenchmarkScheduler16Clients(b *testing.B) {
+	benchScheduler(b, 16)
+}
+
+func BenchmarkScheduler64Clients(b *testing.B) {
+	benchScheduler(b, 64)
+}
+
+func benchScheduler(b *testing.B, n int) {
+	b.Helper()
+	clients := make([]sicmac.SchedClient, n)
+	for i := range clients {
+		// Deterministic spread of SNRs over 3..45 dB.
+		clients[i] = sicmac.SchedClient{
+			ID:  string(rune('A' + i%26)),
+			SNR: sicmac.FromDB(3 + float64(i*41%43)),
+		}
+	}
+	opts := sicmac.SchedOptions{Channel: sicmac.Wifi20MHz, PacketBits: 12000, PowerControl: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sicmac.NewSchedule(clients, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMACScheduledSimulation(b *testing.B) {
+	stations := []sicmac.Station{
+		{ID: 1, SNR: sicmac.FromDB(32), Backlog: 4},
+		{ID: 2, SNR: sicmac.FromDB(16), Backlog: 4},
+		{ID: 3, SNR: sicmac.FromDB(28), Backlog: 4},
+		{ID: 4, SNR: sicmac.FromDB(13), Backlog: 4},
+	}
+	cfg := sicmac.DefaultMACConfig(sicmac.Wifi20MHz)
+	opts := sicmac.SchedOptions{Channel: sicmac.Wifi20MHz, PacketBits: cfg.PacketBits}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sicmac.RunScheduled(stations, cfg, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	cfg := sicmac.DefaultTraceConfig(1)
+	cfg.Days = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sicmac.GenerateUploadTrace(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtAdaptation(b *testing.B) {
+	runFigure(b, experiments.ExtAdaptation, "sic_gain_11g_oracle")
+}
+
+func BenchmarkExtArchitectures(b *testing.B) {
+	runFigure(b, experiments.ExtArchitectures, "frac_over_20pct_enterprise_upload")
+}
+
+func BenchmarkExtLoad(b *testing.B) {
+	runFigure(b, experiments.ExtLoad, "sic_mean_delay_s_rate_2400")
+}
+
+func BenchmarkQueuedMAC(b *testing.B) {
+	stations := []sicmac.Station{
+		{ID: 1, SNR: sicmac.FromDB(32)},
+		{ID: 2, SNR: sicmac.FromDB(16)},
+		{ID: 3, SNR: sicmac.FromDB(28)},
+		{ID: 4, SNR: sicmac.FromDB(13)},
+	}
+	qc := sicmac.QueuedConfig{
+		Config:      sicmac.DefaultMACConfig(sicmac.Wifi20MHz),
+		ArrivalRate: 800,
+		Horizon:     0.05,
+	}
+	opts := sicmac.SchedOptions{Channel: sicmac.Wifi20MHz, PacketBits: qc.PacketBits}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sicmac.RunQueuedScheduled(stations, qc, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtPHY(b *testing.B) {
+	runFigure(b, experiments.ExtPHY, "beta_pilots_64")
+}
+
+func BenchmarkExtMesh(b *testing.B) {
+	runFigure(b, experiments.ExtMesh, "speedup_long_short_long")
+}
+
+func BenchmarkExtRegion(b *testing.B) {
+	runFigure(b, experiments.ExtRegion, "sic_over_conventional")
+}
+
+func BenchmarkExtTriples(b *testing.B) {
+	runFigure(b, experiments.ExtTriples, "mean_pair_over_triple")
+}

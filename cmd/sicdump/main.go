@@ -1,0 +1,96 @@
+// Command sicdump prints a capture log (produced by sicsim -capture) in a
+// tcpdump-like one-line-per-frame format, decoding schedule payloads.
+//
+// Usage:
+//
+//	sicsim -stations 30,15 -backlog 2 -capture run.sicc
+//	sicdump run.sicc
+//	sicdump -type schedule run.sicc    # only schedule announcements
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/capture"
+	"repro/internal/frame"
+)
+
+func main() {
+	var (
+		typeFilter = flag.String("type", "", `only frames of this type ("data", "ack", "poll", "schedule")`)
+		verbose    = flag.Bool("v", false, "decode schedule payload entries")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sicdump [-type t] [-v] <capture file>")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	r, err := capture.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	count := 0
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fr, err := rec.Decode()
+		if err != nil {
+			fmt.Printf("%12.3f ms  <undecodable frame: %v>\n", float64(rec.TimestampNanos)/1e6, err)
+			continue
+		}
+		if *typeFilter != "" && fr.Type.String() != *typeFilter {
+			continue
+		}
+		count++
+		dst := fmt.Sprint(fr.Dst)
+		if fr.Dst == frame.Broadcast {
+			dst = "*"
+		}
+		fmt.Printf("%12.3f ms  %-8s %4d -> %-4s seq=%-5d dur=%dus len=%d\n",
+			float64(rec.TimestampNanos)/1e6, fr.Type, fr.Src, dst, fr.Seq,
+			fr.DurationUS, len(fr.Payload))
+		if *verbose && fr.Type == frame.TypeSchedule {
+			entries, err := frame.DecodeSchedule(fr.Payload)
+			if err != nil {
+				fmt.Printf("              <bad schedule payload: %v>\n", err)
+				continue
+			}
+			for _, e := range entries {
+				b := fmt.Sprint(e.B)
+				if e.B == frame.Broadcast {
+					b = "solo"
+				}
+				mode := "serial"
+				if e.Concurrent {
+					mode = "sic"
+				}
+				if e.Multirate {
+					mode = "sic+multirate"
+				}
+				fmt.Printf("              slot %d+%s %s scale=%.2f\n", e.A, b, mode, e.WeakScale())
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sicdump: %d frame(s)\n", count)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sicdump: %v\n", err)
+	os.Exit(1)
+}

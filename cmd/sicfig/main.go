@@ -1,0 +1,174 @@
+// Command sicfig regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	sicfig -all                     # every figure at paper scale
+//	sicfig -fig fig6 -fig fig11     # selected figures
+//	sicfig -ablations               # the DESIGN.md ablations
+//	sicfig -quick -all              # reduced workload (CI-sized)
+//	sicfig -out results             # where CSVs are written (default "results")
+//
+// Each figure prints its ASCII rendering and headline metrics to stdout and
+// writes machine-readable CSVs into the output directory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// spreadMetrics re-runs a figure across extra seeds and annotates each
+// metric with its min/max across seeds, so seed sensitivity is visible at a
+// glance in metrics.json.
+func spreadMetrics(r experiments.Runner, params experiments.Params, seeds int, res *experiments.Result) {
+	mins := map[string]float64{}
+	maxs := map[string]float64{}
+	for k, v := range res.Metrics {
+		mins[k], maxs[k] = v, v
+	}
+	for s := 1; s < seeds; s++ {
+		p := params
+		p.Seed = params.Seed + int64(s)
+		other, err := r.Run(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sicfig: %s seed %d: %v\n", r.ID, p.Seed, err)
+			os.Exit(1)
+		}
+		for k, v := range other.Metrics {
+			if v < mins[k] {
+				mins[k] = v
+			}
+			if v > maxs[k] {
+				maxs[k] = v
+			}
+		}
+	}
+	for k := range mins {
+		res.Metrics[k+"_seed_min"] = mins[k]
+		res.Metrics[k+"_seed_max"] = maxs[k]
+	}
+}
+
+type figList []string
+
+func (f *figList) String() string { return strings.Join(*f, ",") }
+
+func (f *figList) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	var (
+		figs      figList
+		all       = flag.Bool("all", false, "run every paper figure")
+		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
+		quick     = flag.Bool("quick", false, "reduced workload (fewer trials, coarser grids)")
+		out       = flag.String("out", "results", "directory for CSV outputs")
+		trials    = flag.Int("trials", 0, "override Monte-Carlo trial count")
+		seed      = flag.Int64("seed", 1, "random seed")
+		seeds     = flag.Int("seeds", 1, "run each figure across this many seeds and report the metric spread")
+		list      = flag.Bool("list", false, "list available figures and exit")
+	)
+	flag.Var(&figs, "fig", "figure id to run (repeatable), e.g. -fig fig6")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+		for _, r := range experiments.Ablations() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	params := experiments.DefaultParams()
+	if *quick {
+		params = experiments.QuickParams()
+	}
+	params.Seed = *seed
+	if *trials > 0 {
+		params.Trials = *trials
+	}
+
+	var runners []experiments.Runner
+	switch {
+	case *all && *ablations:
+		runners = append(experiments.All(), experiments.Ablations()...)
+	case *all:
+		runners = experiments.All()
+	case *ablations:
+		runners = experiments.Ablations()
+	case len(figs) > 0:
+		for _, id := range figs {
+			r, ok := experiments.ByID(id)
+			if !ok {
+				for _, a := range experiments.Ablations() {
+					if a.ID == id {
+						r, ok = a, true
+						break
+					}
+				}
+			}
+			if !ok {
+				fmt.Fprintf(os.Stderr, "sicfig: unknown figure %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "sicfig: nothing to do; pass -all, -ablations or -fig <id> (see -list)")
+		os.Exit(2)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "sicfig: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *seeds < 1 {
+		*seeds = 1
+	}
+	allMetrics := map[string]map[string]float64{}
+	for _, r := range runners {
+		res, err := r.Run(params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sicfig: %s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		if *seeds > 1 {
+			spreadMetrics(r, params, *seeds, &res)
+		}
+		allMetrics[res.ID] = res.Metrics
+		fmt.Printf("==== %s — %s ====\n%s\n", res.ID, res.Title, res.Text)
+		for name, content := range res.Files {
+			path := filepath.Join(*out, name)
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "sicfig: writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("  wrote %s\n", path)
+		}
+		fmt.Println()
+	}
+
+	// Machine-readable metrics for EXPERIMENTS.md regeneration and CI diffs.
+	blob, err := json.MarshalIndent(allMetrics, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sicfig: %v\n", err)
+		os.Exit(1)
+	}
+	metricsPath := filepath.Join(*out, "metrics.json")
+	if err := os.WriteFile(metricsPath, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "sicfig: writing %s: %v\n", metricsPath, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", metricsPath)
+}

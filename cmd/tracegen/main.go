@@ -1,0 +1,90 @@
+// Command tracegen generates the synthetic RSSI traces standing in for the
+// paper's proprietary Duke University data sets (see DESIGN.md,
+// "Substitutions").
+//
+// Usage:
+//
+//	tracegen -kind upload -days 14 -o upload.jsonl
+//	tracegen -kind survey -locations 100 -o survey.jsonl
+//
+// Output is JSON Lines: one topology snapshot (upload) or one surveyed
+// client location (survey) per line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		kind      = flag.String("kind", "upload", `trace kind: "upload" (AP snapshots) or "survey" (per-location AP SNRs)`)
+		out       = flag.String("o", "-", "output file (- for stdout)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		days      = flag.Int("days", 14, "days of collection (upload)")
+		aps       = flag.Int("aps", 5, "number of access points")
+		spacing   = flag.Float64("spacing", 30, "AP grid spacing in meters")
+		peak      = flag.Float64("peak", 8, "mean clients per AP at peak hours (upload)")
+		locations = flag.Int("locations", 100, "surveyed client locations (survey)")
+		summary   = flag.Bool("summary", false, "print trace statistics to stderr (upload)")
+	)
+	flag.Parse()
+
+	cfg := trace.DefaultGenConfig(*seed)
+	cfg.Days = *days
+	cfg.APs = *aps
+	cfg.APSpacing = *spacing
+	cfg.PeakClients = *peak
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	switch *kind {
+	case "upload":
+		snaps, err := trace.GenerateUpload(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteSnapshots(w, snaps); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: %d snapshots over %d day(s), %d APs\n", len(snaps), cfg.Days, cfg.APs)
+		if *summary {
+			st, err := trace.Analyze(snaps)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprint(os.Stderr, st)
+		}
+	case "survey":
+		pts, err := trace.GenerateSurvey(cfg, *locations)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteSurvey(w, pts); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: %d surveyed locations against %d APs\n", len(pts), cfg.APs)
+	default:
+		fatal(fmt.Errorf("unknown -kind %q", *kind))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Adaptation: the paper's §1 argument, executable.
+//
+// "The slack [SIC can harness] is fast disappearing with more fine-grain
+// bitrates (4 in 802.11b vs 8 in 802.11g vs 32 in 802.11n) and the recent
+// advances in bitrate adaptation."
+//
+// Two clients near the SIC sweet spot upload over slowly fading channels.
+// Each runs a rate-adaptation algorithm; the AP opportunistically decodes
+// both concurrently whenever the chosen rates fit under the interference-
+// limited capacities. The worse the adapter (or the coarser the table), the
+// more slack — and the more SIC gains.
+//
+// Run with: go run ./examples/adaptation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	sicmac "repro"
+)
+
+func main() {
+	const frames = 6000
+	const frameBits = 12000.0
+
+	for _, table := range []sicmac.RateTable{sicmac.Dot11b, sicmac.Dot11g, sicmac.Dot11n} {
+		fmt.Printf("== %s (%d rates) ==\n", table.Name(), table.Len())
+		fmt.Printf("%-16s %14s %12s %12s\n", "adapter", "throughput", "succ-rate", "mean-slack")
+		adapters := []sicmac.Adapter{
+			&sicmac.FixedAdapter{RateBps: table.Steps()[0].BitsPerSec},
+			sicmac.NewARF(table),
+			sicmac.NewAARF(table),
+			sicmac.NewMinstrel(table, rand.New(rand.NewSource(7))),
+			&sicmac.SNRAdapter{Table: table, MarginDB: 3},
+			&sicmac.OracleAdapter{Table: table},
+		}
+		fading, err := sicmac.NewFading(18, 5, 0.9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, a := range adapters {
+			res, err := sicmac.RunAdaptation(a, sicmac.AdaptTrialConfig{
+				Table:     table,
+				Fading:    *fading,
+				Frames:    frames,
+				FrameBits: frameBits,
+				Seed:      1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-16s %11.1f Mb/s %12.3f %12.3f\n",
+				res.Name, res.Throughput/1e6, res.SuccessRate, res.MeanSlack)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("mean-slack is the headroom SIC can harvest: the ratio between the")
+	fmt.Println("rate the channel would have supported and the rate actually used.")
+	fmt.Println("Note how it shrinks toward 1 as the adapter improves — and how the")
+	fmt.Println("oracle's own slack shrinks as the table gets finer (b -> g -> n),")
+	fmt.Println("which is exactly why the paper is pessimistic about SIC's future.")
+}

@@ -1,0 +1,66 @@
+// PHY: the SIC receiver at symbol level.
+//
+// Sweeps the weak link's SNR and reports its symbol error rate after
+// decode-remodulate-subtract cancellation of a 30 dB strong signal,
+// against the interference-free reference — plus what §8's practical
+// imperfections (finite pilots, carrier frequency offset, ADC clipping)
+// do to it.
+//
+// Run with: go run ./examples/phy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sicmac "repro"
+)
+
+func main() {
+	const symbols = 60000
+
+	fmt.Println("== QPSK weak-signal SER after SIC (strong signal at 30 dB) ==")
+	fmt.Printf("%8s %12s %12s %12s\n", "weak dB", "after SIC", "alone", "theory")
+	for _, weakDB := range []float64{6, 8, 10, 12, 14} {
+		res, err := sicmac.RunBaseband(sicmac.BasebandConfig{
+			Mod: sicmac.QPSK, SNRStrongDB: 30, SNRWeakDB: weakDB,
+			Symbols: symbols, Pilots: 0, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		theory := sicmac.TheoreticalSER(sicmac.QPSK, sicmac.FromDB(weakDB))
+		fmt.Printf("%8.0f %12.5f %12.5f %12.5f\n", weakDB, res.SERWeak, res.SERWeakAlone, theory)
+	}
+	fmt.Println("\nperfect cancellation: the SIC column tracks the interference-free one.")
+
+	fmt.Println("\n== §8's imperfections, one at a time (weak at 12 dB) ==")
+	base := sicmac.BasebandConfig{
+		Mod: sicmac.QPSK, SNRStrongDB: 30, SNRWeakDB: 12,
+		Symbols: symbols, Seed: 2,
+	}
+	report := func(label string, cfg sicmac.BasebandConfig) {
+		res, err := sicmac.RunBaseband(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s weak SER %.5f   residual β %.2e\n", label, res.SERWeak, res.ResidualBeta)
+	}
+	report("genie channel knowledge", base)
+
+	pilots := base
+	pilots.Pilots = 8
+	report("8-pilot channel estimate", pilots)
+
+	cfo := base
+	cfo.CFONormalized = 1e-4
+	report("carrier offset 1e-4 cycles/symbol", cfo)
+
+	clip := base
+	clip.ClipAmplitude = 16 // ≈ half the strong signal's amplitude
+	report("ADC clipping at half amplitude", clip)
+
+	fmt.Println("\nEach imperfection turns into residual interference after cancellation,")
+	fmt.Println("which is exactly the β knob the MAC simulator exposes (see ext-phy for")
+	fmt.Println("the pilots → β → throughput chain).")
+}

@@ -1,0 +1,87 @@
+// Uplink: an enterprise-WLAN upload round, end to end.
+//
+// Eight clients with backlog upload to one SIC-capable AP. The example
+//  1. computes the optimal SIC-aware schedule (minimum-weight perfect
+//     matching over pair costs, §6) with and without power control,
+//  2. compares it against greedy pairing and the serial baseline, and
+//  3. replays the scenario through the discrete-event MAC simulator to
+//     show the analytic schedule holds on a simulated medium with real
+//     frames, ACK/IFS overheads and an explicit SIC receiver.
+//
+// Run with: go run ./examples/uplink
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sicmac "repro"
+)
+
+func main() {
+	ch := sicmac.Wifi20MHz
+	const packetBits = 12000
+
+	// A realistic spread of client SNRs at the AP (dB).
+	snrsDB := []float64{34, 31, 27, 24, 21, 17, 13, 9}
+	clients := make([]sicmac.SchedClient, len(snrsDB))
+	for i, db := range snrsDB {
+		clients[i] = sicmac.SchedClient{ID: fmt.Sprintf("sta%d", i+1), SNR: sicmac.FromDB(db)}
+	}
+
+	base := sicmac.SchedOptions{Channel: ch, PacketBits: packetBits}
+	withPC := base
+	withPC.PowerControl = true
+
+	plain, err := sicmac.NewSchedule(clients, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pc, err := sicmac.NewSchedule(clients, withPC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedy, err := sicmac.GreedySchedule(clients, withPC)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== one upload round, 8 clients ==")
+	fmt.Printf("serial baseline:          %.3f ms\n", plain.SerialBaseline*1e3)
+	fmt.Printf("optimal pairing:          %.3f ms (gain %.2f×)\n", plain.Total*1e3, plain.Gain())
+	fmt.Printf("optimal + power control:  %.3f ms (gain %.2f×)\n", pc.Total*1e3, pc.Gain())
+	fmt.Printf("greedy + power control:   %.3f ms\n", greedy.Total*1e3)
+
+	fmt.Println("\nschedule (optimal + power control):")
+	for _, sl := range pc.Slots {
+		switch sl.Mode {
+		case sicmac.ModeSolo:
+			fmt.Printf("  %-6s alone                    %.3f ms\n", clients[sl.A].ID, sl.Time*1e3)
+		case sicmac.ModeSIC:
+			fmt.Printf("  %-6s + %-6s concurrent (weak at %.0f%% power)  %.3f ms\n",
+				clients[sl.A].ID, clients[sl.B].ID, sl.WeakScale*100, sl.Time*1e3)
+		default:
+			fmt.Printf("  %-6s + %-6s serialised               %.3f ms\n",
+				clients[sl.A].ID, clients[sl.B].ID, sl.Time*1e3)
+		}
+	}
+
+	// Replay through the event-driven MAC with 4 packets of backlog each.
+	stations := make([]sicmac.Station, len(snrsDB))
+	for i, db := range snrsDB {
+		stations[i] = sicmac.Station{ID: uint32(i + 1), SNR: sicmac.FromDB(db), Backlog: 4}
+	}
+	cfg := sicmac.DefaultMACConfig(ch)
+	serialSim, err := sicmac.RunSerial(stations, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	schedSim, err := sicmac.RunScheduled(stations, cfg, withPC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== simulated drain (4 frames per station, with MAC overheads) ==")
+	fmt.Printf("serial CSMA:   %.3f ms (%d collisions)\n", serialSim.Duration*1e3, serialSim.Collisions)
+	fmt.Printf("SIC scheduled: %.3f ms (%d rounds) — %.2f× faster\n",
+		schedSim.Duration*1e3, schedSim.Rounds, serialSim.Duration/schedSim.Duration)
+}

@@ -1,0 +1,314 @@
+// Package adapt implements the bitrate-adaptation algorithms whose quality
+// the paper argues bounds SIC's opportunity (§1: "this slack is fast
+// disappearing with more fine-grain bitrates ... and the recent advances in
+// bitrate adaptation"). The package supplies an Oracle (perfect per-frame
+// rate choice), the classic frame-feedback schemes ARF and AARF, an
+// SNR-threshold adapter with estimation error, and a Minstrel-flavoured
+// sampling adapter — enough to sweep from "terrible" to "ideal" adaptation
+// and measure how much slack each leaves for SIC to harvest
+// (experiments.ExtAdaptation).
+package adapt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/phy"
+	"repro/internal/rates"
+)
+
+// Adapter chooses transmit bitrates frame by frame.
+//
+// The protocol per frame is: call Pick (optionally letting the adapter see
+// a noisy SNR estimate), transmit at the returned rate, then call Observe
+// with the outcome. Implementations must be deterministic given their
+// inputs and the *rand.Rand handed to New.
+type Adapter interface {
+	// Name identifies the algorithm.
+	Name() string
+	// Pick returns the bitrate (bps) for the next frame. estSNR is the
+	// transmitter's (possibly noisy) linear SNR estimate; feedback-only
+	// schemes ignore it.
+	Pick(estSNR float64) float64
+	// Observe reports whether the frame at the last picked rate succeeded.
+	Observe(success bool)
+	// Reset returns the adapter to its initial state.
+	Reset()
+}
+
+// Oracle always picks the best table rate the true channel supports. It is
+// the paper's "each packet is transmitted at the best feasible rate"
+// assumption made executable.
+type Oracle struct {
+	Table rates.Table
+}
+
+// Name implements Adapter.
+func (o *Oracle) Name() string { return "oracle" }
+
+// Pick implements Adapter; for the oracle, estSNR is the true SNR.
+func (o *Oracle) Pick(estSNR float64) float64 { return o.Table.Rate(estSNR) }
+
+// Observe implements Adapter (no state).
+func (o *Oracle) Observe(bool) {}
+
+// Reset implements Adapter (no state).
+func (o *Oracle) Reset() {}
+
+// Fixed always transmits at one rate — the degenerate adapter that leaves
+// maximal slack.
+type Fixed struct {
+	RateBps float64
+}
+
+// Name implements Adapter.
+func (f *Fixed) Name() string { return fmt.Sprintf("fixed-%.0fM", f.RateBps/1e6) }
+
+// Pick implements Adapter.
+func (f *Fixed) Pick(float64) float64 { return f.RateBps }
+
+// Observe implements Adapter (no state).
+func (f *Fixed) Observe(bool) {}
+
+// Reset implements Adapter (no state).
+func (f *Fixed) Reset() {}
+
+// ARF is the classic Automatic Rate Fallback: step the rate index up after
+// a run of successes, step down after consecutive failures.
+type ARF struct {
+	Table rates.Table
+	// UpAfter is the success streak needed to try the next rate (classic: 10).
+	UpAfter int
+	// DownAfter is the failure streak that forces a step down (classic: 2).
+	DownAfter int
+
+	idx       int
+	successes int
+	failures  int
+}
+
+// NewARF builds an ARF adapter with the classic 10/2 thresholds, starting
+// at the lowest rate.
+func NewARF(table rates.Table) *ARF {
+	return &ARF{Table: table, UpAfter: 10, DownAfter: 2}
+}
+
+// Name implements Adapter.
+func (a *ARF) Name() string { return "arf" }
+
+// Pick implements Adapter.
+func (a *ARF) Pick(float64) float64 {
+	steps := a.Table.Steps()
+	if len(steps) == 0 {
+		return 0
+	}
+	if a.idx < 0 {
+		a.idx = 0
+	}
+	if a.idx >= len(steps) {
+		a.idx = len(steps) - 1
+	}
+	return steps[a.idx].BitsPerSec
+}
+
+// Observe implements Adapter.
+func (a *ARF) Observe(success bool) {
+	if success {
+		a.successes++
+		a.failures = 0
+		if a.successes >= a.UpAfter {
+			a.successes = 0
+			if a.idx < a.Table.Len()-1 {
+				a.idx++
+			}
+		}
+		return
+	}
+	a.failures++
+	a.successes = 0
+	if a.failures >= a.DownAfter {
+		a.failures = 0
+		if a.idx > 0 {
+			a.idx--
+		}
+	}
+}
+
+// Reset implements Adapter.
+func (a *ARF) Reset() { a.idx, a.successes, a.failures = 0, 0, 0 }
+
+// AARF is Adaptive ARF: like ARF, but each failed up-probe doubles the
+// success streak required before the next probe, damping oscillation around
+// a rate boundary.
+type AARF struct {
+	Table rates.Table
+
+	idx        int
+	successes  int
+	failures   int
+	upAfter    int
+	probedUp   bool
+	maxUpAfter int
+}
+
+// NewAARF builds an AARF adapter starting at the lowest rate.
+func NewAARF(table rates.Table) *AARF {
+	return &AARF{Table: table, upAfter: 10, maxUpAfter: 160}
+}
+
+// Name implements Adapter.
+func (a *AARF) Name() string { return "aarf" }
+
+// Pick implements Adapter.
+func (a *AARF) Pick(float64) float64 {
+	steps := a.Table.Steps()
+	if len(steps) == 0 {
+		return 0
+	}
+	if a.idx >= len(steps) {
+		a.idx = len(steps) - 1
+	}
+	return steps[a.idx].BitsPerSec
+}
+
+// Observe implements Adapter.
+func (a *AARF) Observe(success bool) {
+	if success {
+		a.successes++
+		a.failures = 0
+		if a.successes >= a.upAfter {
+			a.successes = 0
+			if a.idx < a.Table.Len()-1 {
+				a.idx++
+				a.probedUp = true
+			}
+		}
+		return
+	}
+	a.failures++
+	a.successes = 0
+	if a.probedUp {
+		// The probe failed immediately: back off and double the bar.
+		a.probedUp = false
+		if a.idx > 0 {
+			a.idx--
+		}
+		a.upAfter *= 2
+		if a.upAfter > a.maxUpAfter {
+			a.upAfter = a.maxUpAfter
+		}
+		a.failures = 0
+		return
+	}
+	if a.failures >= 2 {
+		a.failures = 0
+		a.upAfter = 10
+		if a.idx > 0 {
+			a.idx--
+		}
+	}
+}
+
+// Reset implements Adapter.
+func (a *AARF) Reset() {
+	a.idx, a.successes, a.failures = 0, 0, 0
+	a.upAfter, a.probedUp = 10, false
+}
+
+// SNRThreshold picks by a noisy SNR estimate with a safety margin: the
+// adapter sees estSNR, subtracts MarginDB, and selects the table rate.
+// With MarginDB = 0 and exact estimates it coincides with the Oracle.
+type SNRThreshold struct {
+	Table rates.Table
+	// MarginDB is the back-off applied to the estimate before lookup.
+	MarginDB float64
+}
+
+// Name implements Adapter.
+func (s *SNRThreshold) Name() string { return fmt.Sprintf("snr-margin%+.0fdB", -s.MarginDB) }
+
+// Pick implements Adapter.
+func (s *SNRThreshold) Pick(estSNR float64) float64 {
+	return s.Table.Rate(phy.FromDB(phy.DB(estSNR) - s.MarginDB))
+}
+
+// Observe implements Adapter (stateless).
+func (s *SNRThreshold) Observe(bool) {}
+
+// Reset implements Adapter (stateless).
+func (s *SNRThreshold) Reset() {}
+
+// Minstrel is a sampling-based adapter in the spirit of the Linux Minstrel
+// algorithm: it maintains an EWMA success probability per rate, normally
+// transmits at the rate maximising expected throughput p·r, and spends a
+// fraction of frames probing random other rates.
+type Minstrel struct {
+	Table rates.Table
+	// SampleEvery probes a random rate once per this many frames (default 10).
+	SampleEvery int
+	// Alpha is the EWMA weight for new observations (default 0.25).
+	Alpha float64
+
+	rng      *rand.Rand
+	prob     []float64
+	frames   int
+	lastIdx  int
+	sampling bool
+}
+
+// NewMinstrel builds a Minstrel adapter; rng drives rate sampling.
+func NewMinstrel(table rates.Table, rng *rand.Rand) *Minstrel {
+	m := &Minstrel{Table: table, SampleEvery: 10, Alpha: 0.25, rng: rng}
+	m.Reset()
+	return m
+}
+
+// Name implements Adapter.
+func (m *Minstrel) Name() string { return "minstrel" }
+
+// Pick implements Adapter.
+func (m *Minstrel) Pick(float64) float64 {
+	steps := m.Table.Steps()
+	if len(steps) == 0 {
+		return 0
+	}
+	m.frames++
+	if m.SampleEvery > 0 && m.frames%m.SampleEvery == 0 {
+		m.lastIdx = m.rng.Intn(len(steps))
+		m.sampling = true
+		return steps[m.lastIdx].BitsPerSec
+	}
+	m.sampling = false
+	best, bestTp := 0, -1.0
+	for i, s := range steps {
+		if tp := m.prob[i] * s.BitsPerSec; tp > bestTp {
+			best, bestTp = i, tp
+		}
+	}
+	m.lastIdx = best
+	return steps[best].BitsPerSec
+}
+
+// Observe implements Adapter.
+func (m *Minstrel) Observe(success bool) {
+	if m.lastIdx < 0 || m.lastIdx >= len(m.prob) {
+		return
+	}
+	v := 0.0
+	if success {
+		v = 1
+	}
+	m.prob[m.lastIdx] = (1-m.Alpha)*m.prob[m.lastIdx] + m.Alpha*v
+}
+
+// Reset implements Adapter.
+func (m *Minstrel) Reset() {
+	m.prob = make([]float64, m.Table.Len())
+	// Optimistic initialisation so every rate gets tried early.
+	for i := range m.prob {
+		m.prob[i] = 0.5
+	}
+	m.frames = 0
+	m.lastIdx = -1
+	m.sampling = false
+}

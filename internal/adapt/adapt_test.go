@@ -1,0 +1,382 @@
+package adapt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/rates"
+)
+
+func fadingOrDie(t *testing.T, mean, sigma, rho float64) phy.Fading {
+	t.Helper()
+	f, err := phy.NewFading(mean, sigma, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return *f
+}
+
+func cfg(t *testing.T) TrialConfig {
+	return TrialConfig{
+		Table:     rates.Dot11g,
+		Fading:    fadingOrDie(t, 18, 5, 0.9),
+		Frames:    4000,
+		FrameBits: 12000,
+		Seed:      1,
+	}
+}
+
+func TestOracleAlwaysSucceeds(t *testing.T) {
+	res, err := Run(&Oracle{Table: rates.Dot11g}, cfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The oracle only fails when even the lowest rate is unsupported.
+	if res.SuccessRate < 0.9 {
+		t.Errorf("oracle success rate %v too low for an 18±5 dB channel", res.SuccessRate)
+	}
+	// Oracle slack: exactly the table rate, never below.
+	if res.FracUnderRate != 0 {
+		t.Errorf("oracle sent %v of frames below the supported rate", res.FracUnderRate)
+	}
+	if res.MeanSlack != 1 {
+		t.Errorf("oracle mean slack %v, want exactly 1", res.MeanSlack)
+	}
+}
+
+func TestFixedLowestIsReliableButSlow(t *testing.T) {
+	c := cfg(t)
+	fixed, err := Run(&Fixed{RateBps: 6e6}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := Run(&Oracle{Table: rates.Dot11g}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Throughput >= oracle.Throughput {
+		t.Errorf("fixed 6M (%v) should trail the oracle (%v)", fixed.Throughput, oracle.Throughput)
+	}
+	if fixed.MeanSlack <= oracle.MeanSlack {
+		t.Errorf("fixed 6M slack (%v) should exceed oracle slack (%v)", fixed.MeanSlack, oracle.MeanSlack)
+	}
+}
+
+func TestARFClimbsOnCleanChannel(t *testing.T) {
+	a := NewARF(rates.Dot11g)
+	// 100 successes must carry it well above the base rate.
+	var rate float64
+	for i := 0; i < 100; i++ {
+		rate = a.Pick(0)
+		a.Observe(true)
+	}
+	if rate < 48e6 {
+		t.Errorf("ARF only reached %v bps after 100 successes", rate)
+	}
+	// Two failures step it down.
+	before := a.Pick(0)
+	a.Observe(false)
+	a.Observe(false)
+	after := a.Pick(0)
+	if after >= before {
+		t.Errorf("ARF did not step down after 2 failures: %v -> %v", before, after)
+	}
+}
+
+func TestARFRecoversAfterReset(t *testing.T) {
+	a := NewARF(rates.Dot11g)
+	for i := 0; i < 50; i++ {
+		a.Pick(0)
+		a.Observe(true)
+	}
+	a.Reset()
+	if got := a.Pick(0); got != 6e6 {
+		t.Errorf("after Reset ARF picked %v, want the lowest rate", got)
+	}
+}
+
+func TestAARFBacksOffProbes(t *testing.T) {
+	a := NewAARF(rates.Dot11g)
+	// Climb to a probe, fail it, and check the bar doubles.
+	for i := 0; i < 10; i++ {
+		a.Pick(0)
+		a.Observe(true)
+	}
+	if a.idx != 1 {
+		t.Fatalf("AARF idx %d after 10 successes, want 1", a.idx)
+	}
+	a.Pick(0)
+	a.Observe(false) // failed probe
+	if a.idx != 0 {
+		t.Errorf("failed probe should step back down, idx=%d", a.idx)
+	}
+	if a.upAfter != 20 {
+		t.Errorf("failed probe should double upAfter, got %d", a.upAfter)
+	}
+}
+
+func TestSNRThresholdMatchesOracleWithoutMargin(t *testing.T) {
+	c := cfg(t)
+	c.EstErrDB = 0
+	exact, err := Run(&SNRThreshold{Table: rates.Dot11g}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := Run(&Oracle{Table: rates.Dot11g}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Throughput != oracle.Throughput {
+		t.Errorf("margin-0 SNR adapter (%v) should equal the oracle (%v)", exact.Throughput, oracle.Throughput)
+	}
+}
+
+func TestSNRThresholdMarginAddsSlack(t *testing.T) {
+	c := cfg(t)
+	margin, err := Run(&SNRThreshold{Table: rates.Dot11g, MarginDB: 3}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Run(&SNRThreshold{Table: rates.Dot11g}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if margin.MeanSlack <= exact.MeanSlack {
+		t.Errorf("3 dB margin should leave more slack: %v vs %v", margin.MeanSlack, exact.MeanSlack)
+	}
+}
+
+func TestMinstrelLearns(t *testing.T) {
+	c := cfg(t)
+	c.Frames = 8000
+	m := NewMinstrel(rates.Dot11g, rand.New(rand.NewSource(2)))
+	res, err := Run(m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := Run(&Fixed{RateBps: 6e6}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= fixed.Throughput {
+		t.Errorf("minstrel (%v) should beat fixed-6M (%v)", res.Throughput, fixed.Throughput)
+	}
+}
+
+func TestAdapterQualityOrdering(t *testing.T) {
+	// The paper's argument in one assertion: better adapters leave less
+	// slack. Oracle ≤ SNR-exact ≤ SNR-3dB-margin ≤ fixed-lowest.
+	c := cfg(t)
+	slack := func(a Adapter) float64 {
+		res, err := Run(a, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanSlack
+	}
+	oracle := slack(&Oracle{Table: rates.Dot11g})
+	exact := slack(&SNRThreshold{Table: rates.Dot11g})
+	margin := slack(&SNRThreshold{Table: rates.Dot11g, MarginDB: 3})
+	fixed := slack(&Fixed{RateBps: 6e6})
+	if !(oracle <= exact && exact <= margin && margin <= fixed) {
+		t.Errorf("slack ordering violated: oracle=%v exact=%v margin=%v fixed=%v",
+			oracle, exact, margin, fixed)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	c := cfg(t)
+	bad := c
+	bad.Frames = 0
+	if _, err := Run(&Oracle{Table: rates.Dot11g}, bad); err == nil {
+		t.Error("zero frames accepted")
+	}
+	bad = c
+	bad.FrameBits = 0
+	if _, err := Run(&Oracle{Table: rates.Dot11g}, bad); err == nil {
+		t.Error("zero frame bits accepted")
+	}
+	bad = c
+	bad.Table = rates.Table{}
+	if _, err := Run(&Oracle{Table: rates.Dot11g}, bad); err == nil {
+		t.Error("empty table accepted")
+	}
+	bad = c
+	bad.EstErrDB = -1
+	if _, err := Run(&Oracle{Table: rates.Dot11g}, bad); err == nil {
+		t.Error("negative estimate error accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	c := cfg(t)
+	a1, err := Run(NewARF(rates.Dot11g), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Run(NewARF(rates.Dot11g), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Errorf("identical runs differ: %+v vs %+v", a1, a2)
+	}
+}
+
+func TestRunDoesNotMutateFading(t *testing.T) {
+	c := cfg(t)
+	before := c.Fading
+	if _, err := Run(&Oracle{Table: rates.Dot11g}, c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Fading != before {
+		t.Error("Run mutated the caller's fading process")
+	}
+}
+
+func TestRoster(t *testing.T) {
+	roster := Roster(rates.Dot11g, rand.New(rand.NewSource(1)))
+	if len(roster) != 7 {
+		t.Fatalf("roster has %d adapters, want 7", len(roster))
+	}
+	names := map[string]bool{}
+	for _, a := range roster {
+		if names[a.Name()] {
+			t.Errorf("duplicate adapter name %q", a.Name())
+		}
+		names[a.Name()] = true
+	}
+	if !names["oracle"] || !names["arf"] || !names["minstrel"] {
+		t.Errorf("roster missing expected adapters: %v", names)
+	}
+}
+
+func TestSoftPERRegime(t *testing.T) {
+	c := cfg(t)
+	c.SoftPER = true
+	c.Frames = 8000
+
+	oracle, err := Run(&Oracle{Table: rates.Dot11g}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under soft loss even the oracle drops some marginal frames (the hard
+	// threshold sits at ≈90% delivery), but it must stay mostly successful.
+	if oracle.SuccessRate < 0.8 || oracle.SuccessRate >= 1 {
+		t.Errorf("soft-PER oracle success rate %v, want high but below 1", oracle.SuccessRate)
+	}
+	arf, err := Run(NewARF(rates.Dot11g), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arf.Throughput > oracle.Throughput {
+		t.Errorf("ARF (%v) beat the oracle (%v) under soft loss", arf.Throughput, oracle.Throughput)
+	}
+	// A 3 dB margin leaves more SIC-harvestable slack under soft loss too.
+	// (It does NOT necessarily raise the raw success rate: the margin makes
+	// it decline marginal low-SNR frames entirely, which count as failures.)
+	margin, err := Run(&SNRThreshold{Table: rates.Dot11g, MarginDB: 3}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if margin.MeanSlack <= oracle.MeanSlack {
+		t.Errorf("3 dB margin slack %v should exceed the oracle's %v",
+			margin.MeanSlack, oracle.MeanSlack)
+	}
+}
+
+func TestSoftPERDeterministic(t *testing.T) {
+	c := cfg(t)
+	c.SoftPER = true
+	a, err := Run(NewARF(rates.Dot11g), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(NewARF(rates.Dot11g), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("identical soft runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestStatelessAdapterMethods(t *testing.T) {
+	// The no-op Observe/Reset methods must be callable without effect on
+	// the next Pick.
+	o := &Oracle{Table: rates.Dot11g}
+	before := o.Pick(phy.FromDB(20))
+	o.Observe(true)
+	o.Observe(false)
+	o.Reset()
+	if o.Pick(phy.FromDB(20)) != before {
+		t.Error("oracle changed state")
+	}
+	fx := &Fixed{RateBps: 6e6}
+	fx.Observe(false)
+	fx.Reset()
+	if fx.Pick(0) != 6e6 {
+		t.Error("fixed changed state")
+	}
+	if fx.Name() != "fixed-6M" {
+		t.Errorf("fixed name %q", fx.Name())
+	}
+	st := &SNRThreshold{Table: rates.Dot11g, MarginDB: 3}
+	st.Observe(true)
+	st.Reset()
+	if st.Name() != "snr-margin-3dB" {
+		t.Errorf("snr name %q", st.Name())
+	}
+	zero := &SNRThreshold{Table: rates.Dot11g}
+	if zero.Name() != "snr-margin-0dB" {
+		t.Errorf("zero-margin name %q", zero.Name())
+	}
+}
+
+func TestAARFReset(t *testing.T) {
+	a := NewAARF(rates.Dot11g)
+	for i := 0; i < 40; i++ {
+		a.Pick(0)
+		a.Observe(true)
+	}
+	a.Reset()
+	if a.idx != 0 || a.upAfter != 10 || a.probedUp {
+		t.Errorf("Reset left state: idx=%d upAfter=%d probed=%v", a.idx, a.upAfter, a.probedUp)
+	}
+}
+
+func TestARFIndexClamping(t *testing.T) {
+	a := NewARF(rates.Dot11g)
+	// Drive far beyond the top and bottom; Pick must clamp.
+	for i := 0; i < 200; i++ {
+		a.Pick(0)
+		a.Observe(true)
+	}
+	if got := a.Pick(0); got != 54e6 {
+		t.Errorf("ARF above top picked %v", got)
+	}
+	for i := 0; i < 200; i++ {
+		a.Pick(0)
+		a.Observe(false)
+	}
+	if got := a.Pick(0); got != 6e6 {
+		t.Errorf("ARF below bottom picked %v", got)
+	}
+	// Negative index guard.
+	a.idx = -3
+	if got := a.Pick(0); got != 6e6 {
+		t.Errorf("negative idx picked %v", got)
+	}
+}
+
+func TestMinstrelObserveOutOfRange(t *testing.T) {
+	m := NewMinstrel(rates.Dot11g, rand.New(rand.NewSource(5)))
+	m.Observe(true) // before any Pick: lastIdx == -1, must not panic
+	m.Pick(0)
+	m.Observe(true)
+	m.Reset()
+	if m.frames != 0 || m.lastIdx != -1 {
+		t.Error("Minstrel Reset incomplete")
+	}
+}

@@ -1,0 +1,141 @@
+package adapt
+
+import (
+	"errors"
+	"math/rand"
+
+	"repro/internal/phy"
+	"repro/internal/rates"
+)
+
+// TrialConfig drives a rate-adaptation trial over a fading link.
+type TrialConfig struct {
+	// Table is the discrete rate set in force.
+	Table rates.Table
+	// Fading describes the channel process.
+	Fading phy.Fading
+	// Frames is the number of data frames to send.
+	Frames int
+	// FrameBits is the frame size.
+	FrameBits float64
+	// EstErrDB is the standard deviation of the SNR-estimate noise shown to
+	// SNR-aware adapters (0 = perfect estimates).
+	EstErrDB float64
+	// SoftPER switches frame outcomes from the hard threshold criterion to
+	// Bernoulli draws against the table's logistic PER curve — the regime
+	// real adapters (ARF, Minstrel) were designed for, where marginal rates
+	// fail occasionally instead of deterministically.
+	SoftPER bool
+	// Seed derives the trial's RNG.
+	Seed int64
+}
+
+// TrialResult summarises one adapter's run.
+type TrialResult struct {
+	// Name is the adapter's name.
+	Name string
+	// Throughput is delivered bits per second of airtime spent.
+	Throughput float64
+	// SuccessRate is the fraction of frames delivered.
+	SuccessRate float64
+	// MeanSlack is the mean, over delivered frames, of the ratio between
+	// the rate the channel would have supported (per the table) and the
+	// rate actually used — the headroom SIC could harvest. 1 = no slack.
+	MeanSlack float64
+	// FracUnderRate is the fraction of delivered frames sent below the
+	// channel-supported table rate.
+	FracUnderRate float64
+}
+
+// Run executes one adapter over the configured channel. The same Seed
+// produces the same channel realisation for every adapter, so results are
+// directly comparable across adapters.
+func Run(a Adapter, cfg TrialConfig) (TrialResult, error) {
+	if cfg.Frames <= 0 {
+		return TrialResult{}, errors.New("adapt: Frames must be positive")
+	}
+	if cfg.FrameBits <= 0 {
+		return TrialResult{}, errors.New("adapt: FrameBits must be positive")
+	}
+	if cfg.Table.Len() == 0 {
+		return TrialResult{}, errors.New("adapt: empty rate table")
+	}
+	if cfg.EstErrDB < 0 {
+		return TrialResult{}, errors.New("adapt: negative estimate error")
+	}
+	chRng := rand.New(rand.NewSource(cfg.Seed))
+	estRng := rand.New(rand.NewSource(cfg.Seed + 1))
+	lossRng := rand.New(rand.NewSource(cfg.Seed + 2))
+	fading := cfg.Fading // copy; Run must not mutate the caller's process
+	fading.Reset()
+	a.Reset()
+
+	var (
+		airtime    float64
+		delivered  float64
+		successes  int
+		slackSum   float64
+		underCount int
+	)
+	for i := 0; i < cfg.Frames; i++ {
+		snr := fading.Next(chRng)
+		est := snr
+		if cfg.EstErrDB > 0 {
+			est = phy.FromDB(phy.DB(snr) + estRng.NormFloat64()*cfg.EstErrDB)
+		}
+		rate := a.Pick(est)
+		if rate <= 0 {
+			// The adapter declined to transmit (e.g. SNR below the table);
+			// charge one lowest-rate airtime as a deferral penalty.
+			airtime += cfg.FrameBits / cfg.Table.Steps()[0].BitsPerSec
+			a.Observe(false)
+			continue
+		}
+		supported := cfg.Table.Rate(snr)
+		var success bool
+		if cfg.SoftPER {
+			success = lossRng.Float64() >= cfg.Table.PER(rate, snr)
+		} else {
+			success = rate <= supported && supported > 0
+		}
+		airtime += cfg.FrameBits / rate
+		if success {
+			successes++
+			delivered += cfg.FrameBits
+			slackSum += supported / rate
+			if rate < supported {
+				underCount++
+			}
+		}
+		a.Observe(success)
+	}
+
+	res := TrialResult{
+		Name:        a.Name(),
+		SuccessRate: float64(successes) / float64(cfg.Frames),
+	}
+	if airtime > 0 {
+		res.Throughput = delivered / airtime
+	}
+	if successes > 0 {
+		res.MeanSlack = slackSum / float64(successes)
+		res.FracUnderRate = float64(underCount) / float64(successes)
+	}
+	return res, nil
+}
+
+// Roster returns the standard comparison set over a table, ordered from
+// crudest to best: fixed lowest rate, ARF, AARF, Minstrel, a conservative
+// SNR adapter, and the oracle.
+func Roster(table rates.Table, rng *rand.Rand) []Adapter {
+	lowest := table.Steps()[0].BitsPerSec
+	return []Adapter{
+		&Fixed{RateBps: lowest},
+		NewARF(table),
+		NewAARF(table),
+		NewMinstrel(table, rng),
+		&SNRThreshold{Table: table, MarginDB: 3},
+		&SNRThreshold{Table: table},
+		&Oracle{Table: table},
+	}
+}

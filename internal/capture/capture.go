@@ -1,0 +1,158 @@
+// Package capture records the frames a MAC simulation puts on the air into
+// a compact binary log — the repository's pcap equivalent — and reads them
+// back for offline inspection (cmd/sicdump). The format is deliberately
+// minimal and versioned:
+//
+//	header:  magic "SICC" (4 bytes) | version uint16 | reserved uint16
+//	record:  timestampNanos uint64 | frameLen uint32 | frame bytes
+//
+// All integers are big-endian. Frame bytes are exactly what frame.Marshal
+// produced, so a reader can frame.Decode every record.
+package capture
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/frame"
+)
+
+// Magic opens every capture file.
+var Magic = [4]byte{'S', 'I', 'C', 'C'}
+
+// Version is the current format version.
+const Version = 1
+
+// maxRecordLen bounds a record so corrupted length fields cannot cause
+// pathological allocations.
+const maxRecordLen = frame.MaxPayload + 64
+
+// Errors.
+var (
+	ErrBadMagic   = errors.New("capture: bad magic")
+	ErrBadVersion = errors.New("capture: unsupported version")
+	ErrCorrupt    = errors.New("capture: corrupt record")
+)
+
+// Writer appends records to a capture stream.
+type Writer struct {
+	bw    *bufio.Writer
+	count int
+}
+
+// NewWriter writes the header and returns a Writer. Call Flush when done.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return nil, err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint16(hdr[0:2], Version)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw}, nil
+}
+
+// WriteFrame appends one record. wire must be a marshalled frame.
+func (w *Writer) WriteFrame(timestampNanos uint64, wire []byte) error {
+	if len(wire) == 0 || len(wire) > maxRecordLen {
+		return fmt.Errorf("capture: record length %d out of range", len(wire))
+	}
+	var rec [12]byte
+	binary.BigEndian.PutUint64(rec[0:8], timestampNanos)
+	binary.BigEndian.PutUint32(rec[8:12], uint32(len(wire)))
+	if _, err := w.bw.Write(rec[:]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(wire); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int { return w.count }
+
+// Flush drains buffered bytes to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Record is one captured frame.
+type Record struct {
+	// TimestampNanos is the simulated time of the frame's first bit.
+	TimestampNanos uint64
+	// Wire is the raw marshalled frame.
+	Wire []byte
+}
+
+// Decode parses the record's frame.
+func (r Record) Decode() (*frame.Frame, error) {
+	return frame.Decode(r.Wire)
+}
+
+// Reader iterates a capture stream.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("capture: reading header: %w", err)
+	}
+	if hdr[0] != Magic[0] || hdr[1] != Magic[1] || hdr[2] != Magic[2] || hdr[3] != Magic[3] {
+		return nil, ErrBadMagic
+	}
+	if binary.BigEndian.Uint16(hdr[4:6]) != Version {
+		return nil, ErrBadVersion
+	}
+	return &Reader{br: br}, nil
+}
+
+// Next returns the next record, or io.EOF after the last one.
+func (r *Reader) Next() (Record, error) {
+	var rec [12]byte
+	if _, err := io.ReadFull(r.br, rec[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("%w: truncated record header", ErrCorrupt)
+	}
+	n := binary.BigEndian.Uint32(rec[8:12])
+	if n == 0 || n > maxRecordLen {
+		return Record{}, fmt.Errorf("%w: record length %d", ErrCorrupt, n)
+	}
+	wire := make([]byte, n)
+	if _, err := io.ReadFull(r.br, wire); err != nil {
+		return Record{}, fmt.Errorf("%w: truncated record body", ErrCorrupt)
+	}
+	return Record{
+		TimestampNanos: binary.BigEndian.Uint64(rec[0:8]),
+		Wire:           wire,
+	}, nil
+}
+
+// ReadAll drains the stream into memory.
+func ReadAll(r io.Reader) ([]Record, error) {
+	cr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for {
+		rec, err := cr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}

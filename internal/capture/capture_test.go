@@ -1,0 +1,141 @@
+package capture
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/frame"
+)
+
+func sampleWire(t *testing.T, seq uint32) []byte {
+	t.Helper()
+	f := frame.Frame{Type: frame.TypeData, Src: 1, Dst: 0, Seq: seq, Payload: []byte("payload")}
+	wire, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := []uint64{0, 1500, 99_000_000}
+	for i, ts := range times {
+		if err := w.WriteFrame(ts, sampleWire(t, uint32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != len(times) {
+		t.Errorf("Count = %d, want %d", w.Count(), len(times))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(times) {
+		t.Fatalf("got %d records, want %d", len(recs), len(times))
+	}
+	for i, rec := range recs {
+		if rec.TimestampNanos != times[i] {
+			t.Errorf("record %d timestamp %d, want %d", i, rec.TimestampNanos, times[i])
+		}
+		f, err := rec.Decode()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if f.Seq != uint32(i) {
+			t.Errorf("record %d seq %d", i, f.Seq)
+		}
+	}
+}
+
+func TestEmptyCapture(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(recs) != 0 {
+		t.Errorf("empty capture: %v, %d records", err, len(recs))
+	}
+}
+
+func TestWriterRejectsBadRecords(t *testing.T) {
+	w, err := NewWriter(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteFrame(0, nil); err == nil {
+		t.Error("empty record accepted")
+	}
+	if err := w.WriteFrame(0, make([]byte, maxRecordLen+1)); err == nil {
+		t.Error("oversized record accepted")
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("short header accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("XXXX\x00\x01\x00\x00"))); !errors.Is(err, ErrBadMagic) {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("SICC\x00\x09\x00\x00"))); !errors.Is(err, ErrBadVersion) {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestReaderRejectsCorruptRecords(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.WriteFrame(7, sampleWire(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Truncated body.
+	if _, err := ReadAll(bytes.NewReader(good[:len(good)-3])); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated body: %v", err)
+	}
+	// Absurd length field (bytes 8..16 after the 8-byte header are the
+	// timestamp; 16..20 the length).
+	bad := append([]byte(nil), good...)
+	bad[16], bad[17], bad[18], bad[19] = 0xff, 0xff, 0xff, 0xff
+	if _, err := ReadAll(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("huge length: %v", err)
+	}
+	// Truncated record header.
+	if _, err := ReadAll(bytes.NewReader(good[:len(good)-len(sampleWire(t, 1))-5])); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated header: %v", err)
+	}
+}
+
+func TestNextEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.Flush()
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("Next on empty stream: %v, want io.EOF", err)
+	}
+}

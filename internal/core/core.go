@@ -1,0 +1,141 @@
+// Package core implements the paper's analytical contribution: the
+// feasibility and gain equations for two-signal successive interference
+// cancellation (SIC) at a MAC-layer vantage point.
+//
+// It covers
+//
+//   - Eqs. (1)–(2): the highest feasible bitrates of the stronger and weaker
+//     transmitter at a common SIC receiver,
+//   - Eqs. (3)–(4): channel capacity without and with SIC,
+//   - Eqs. (5)–(6): two-packet completion time without and with SIC for two
+//     transmitters sharing a receiver,
+//   - Eqs. (7)–(9): completion times for the two-transmitter/two-receiver
+//     building blocks (the four cases of the paper's Fig. 5),
+//   - Eq. (10): the two-APs-to-one-client download baseline,
+//   - §5's enabling techniques: power reduction, multirate packetization and
+//     packet packing.
+//
+// All signal strengths are linear power ratios relative to the noise floor
+// (see package phy). All times are in seconds, packet lengths in bits.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/phy"
+)
+
+// Pair is two concurrent transmissions arriving at one SIC-capable receiver
+// (the paper's Fig. 1 building block: clients uploading to a common AP).
+// S1 and S2 are the linear received SNRs of the two transmitters; order does
+// not matter, methods sort internally so that the stronger signal is the one
+// decoded first.
+type Pair struct {
+	S1, S2 float64
+}
+
+// ordered returns the pair as (strong, weak).
+func (p Pair) ordered() (strong, weak float64) {
+	if p.S1 >= p.S2 {
+		return p.S1, p.S2
+	}
+	return p.S2, p.S1
+}
+
+// Valid reports whether both received SNRs are positive finite numbers.
+func (p Pair) Valid() bool {
+	return p.S1 > 0 && p.S2 > 0 &&
+		!math.IsInf(p.S1, 1) && !math.IsInf(p.S2, 1) &&
+		!math.IsNaN(p.S1) && !math.IsNaN(p.S2)
+}
+
+// String renders the pair in dB for human consumption.
+func (p Pair) String() string {
+	return fmt.Sprintf("Pair(%.1f dB, %.1f dB)", phy.DB(p.S1), phy.DB(p.S2))
+}
+
+// FeasibleRates returns the highest bitrates (bits/s) at which the two
+// transmitters can send *concurrently* such that the receiver can decode
+// both via SIC — Eqs. (1) and (2):
+//
+//	r_strong = B·log2(1 + S_strong/(S_weak + N0))   (decoded first, under interference)
+//	r_weak   = B·log2(1 + S_weak/N0)                (decoded after perfect cancellation)
+//
+// strongIsS1 reports which member of the pair is the stronger signal.
+func (p Pair) FeasibleRates(ch phy.Channel) (rStrong, rWeak float64, strongIsS1 bool) {
+	strong, weak := p.ordered()
+	rStrong = ch.Capacity(phy.SINR(strong, weak))
+	rWeak = ch.Capacity(weak)
+	return rStrong, rWeak, p.S1 >= p.S2
+}
+
+// CapacityNoSIC is Eq. (3): without SIC only one transmitter is active at a
+// time, so the channel capacity is the better of the two individual links.
+func (p Pair) CapacityNoSIC(ch phy.Channel) float64 {
+	return math.Max(ch.Capacity(p.S1), ch.Capacity(p.S2))
+}
+
+// CapacityWithSIC is Eq. (4): the aggregate capacity with SIC, which equals
+// the capacity of a single virtual transmitter of power S1+S2:
+//
+//	C = B·log2(1 + S_strong/(S_weak+N0)) + B·log2(1 + S_weak/N0)
+//	  = B·log2(1 + (S1+S2)/N0)
+func (p Pair) CapacityWithSIC(ch phy.Channel) float64 {
+	return ch.Capacity(p.S1 + p.S2)
+}
+
+// CapacityGain is the relative capacity gain C₊SIC/C₋SIC plotted in the
+// paper's Fig. 3. It is always ≥ 1 for valid pairs.
+func (p Pair) CapacityGain(ch phy.Channel) float64 {
+	return p.CapacityWithSIC(ch) / p.CapacityNoSIC(ch)
+}
+
+// SerialTime is Eq. (5): the time to deliver one packet of bits from each
+// transmitter sequentially, each at its interference-free optimal rate.
+func (p Pair) SerialTime(ch phy.Channel, bits float64) float64 {
+	return phy.TxTime(bits, ch.Capacity(p.S1)) + phy.TxTime(bits, ch.Capacity(p.S2))
+}
+
+// SICTime is Eq. (6): the time to deliver both packets concurrently with
+// SIC. Both start together; completion is dictated by the slower of the two
+// feasible rates.
+func (p Pair) SICTime(ch phy.Channel, bits float64) float64 {
+	rs, rw, _ := p.FeasibleRates(ch)
+	return math.Max(phy.TxTime(bits, rs), phy.TxTime(bits, rw))
+}
+
+// Gain is the MAC-layer gain from SIC for this pair, Z₋SIC/Z₊SIC (the
+// quantity shaded in the paper's Fig. 4). Values above 1 mean SIC finishes
+// the two packets faster than serialising them.
+func (p Pair) Gain(ch phy.Channel, bits float64) float64 {
+	return p.SerialTime(ch, bits) / p.SICTime(ch, bits)
+}
+
+// SICTimeImperfect generalises SICTime with a residual-cancellation factor
+// beta in [0,1]: after subtracting the stronger signal a fraction beta of
+// its power remains as interference on the weaker one. beta = 0 is perfect
+// cancellation (Eq. 6); beta = 1 is no cancellation at all. The paper's §8
+// (citing its reference [13]) notes imperfections sharply cut SIC's
+// usefulness; this knob lets the ablation benches quantify that.
+func (p Pair) SICTimeImperfect(ch phy.Channel, bits, beta float64) float64 {
+	strong, weak := p.ordered()
+	rStrong := ch.Capacity(phy.SINR(strong, weak))
+	rWeak := ch.Capacity(phy.SINR(weak, beta*strong))
+	return math.Max(phy.TxTime(bits, rStrong), phy.TxTime(bits, rWeak))
+}
+
+// EqualRateStrongSNR returns the stronger-signal SNR at which SIC gain
+// peaks for a given weaker-signal SNR: the point where both feasible rates
+// coincide, S_strong/(S_weak+1) = S_weak, i.e. S_strong = S_weak·(S_weak+1)
+// ≈ S_weak² for large SNR ("twice in dB", §3.1).
+func EqualRateStrongSNR(weak float64) float64 {
+	return weak * (weak + 1)
+}
+
+// BestPartnerSNR returns the weaker-signal SNR that pairs perfectly with a
+// given stronger-signal SNR: the solution of x(x+1) = strong, i.e. the
+// positive root x = (−1+√(1+4·strong))/2.
+func BestPartnerSNR(strong float64) float64 {
+	return (math.Sqrt(1+4*strong) - 1) / 2
+}

@@ -1,0 +1,416 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/phy"
+)
+
+var ch = phy.Wifi20MHz
+
+const pktBits = 12000 // 1500-byte packet
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	diff := math.Abs(a - b)
+	return diff <= tol || diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// randPair draws a pair with SNRs log-uniform in [0 dB, 50 dB].
+func randPair(rng *rand.Rand) Pair {
+	return Pair{
+		S1: phy.FromDB(rng.Float64() * 50),
+		S2: phy.FromDB(rng.Float64() * 50),
+	}
+}
+
+func TestPairOrdered(t *testing.T) {
+	p := Pair{S1: 2, S2: 10}
+	s, w := p.ordered()
+	if s != 10 || w != 2 {
+		t.Errorf("ordered() = (%v, %v), want (10, 2)", s, w)
+	}
+	_, _, strongIsS1 := p.FeasibleRates(ch)
+	if strongIsS1 {
+		t.Error("strongIsS1 = true for S2 > S1")
+	}
+}
+
+func TestPairValid(t *testing.T) {
+	cases := []struct {
+		p    Pair
+		want bool
+	}{
+		{Pair{1, 1}, true},
+		{Pair{0, 1}, false},
+		{Pair{1, -1}, false},
+		{Pair{math.Inf(1), 1}, false},
+		{Pair{math.NaN(), 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Valid(); got != c.want {
+			t.Errorf("%+v.Valid() = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+// Eq. (4) identity: the sum of the two SIC rates equals the capacity of a
+// single transmitter with power S1+S2.
+func TestCapacityWithSICIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		p := randPair(rng)
+		rs, rw, _ := p.FeasibleRates(ch)
+		sum := rs + rw
+		joint := p.CapacityWithSIC(ch)
+		if !almostEqual(sum, joint, 1e-9) {
+			t.Fatalf("identity violated for %v: r_s+r_w = %v, C(S1+S2) = %v", p, sum, joint)
+		}
+	}
+}
+
+// SIC capacity always beats the best individual capacity (Fig. 2's message).
+func TestCapacityGainAtLeastOne(t *testing.T) {
+	f := func(a, b float64) bool {
+		p := Pair{S1: 1 + math.Abs(a), S2: 1 + math.Abs(b)}
+		if !p.Valid() {
+			return true
+		}
+		return p.CapacityGain(ch) >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The relative capacity gain is bounded by 2 (achieved when both RSSs are
+// equal) and approaches it only for similar strengths — Fig. 3's shading.
+func TestCapacityGainShape(t *testing.T) {
+	// Equal small RSSs give the largest gains.
+	low := Pair{S1: phy.FromDB(3), S2: phy.FromDB(3)}
+	high := Pair{S1: phy.FromDB(40), S2: phy.FromDB(40)}
+	skew := Pair{S1: phy.FromDB(40), S2: phy.FromDB(5)}
+	gl, gh, gs := low.CapacityGain(ch), high.CapacityGain(ch), skew.CapacityGain(ch)
+	if !(gl > gh) {
+		t.Errorf("low-SNR equal pair gain %v should exceed high-SNR equal pair gain %v", gl, gh)
+	}
+	if !(gh > gs) {
+		t.Errorf("equal pair gain %v should exceed skewed pair gain %v", gh, gs)
+	}
+	if gl > 2 {
+		t.Errorf("capacity gain %v exceeds theoretical bound 2", gl)
+	}
+}
+
+func TestFeasibleRatesKnown(t *testing.T) {
+	// S_strong = 15, S_weak = 3 (linear): r_strong = B log2(1+15/4) = B log2(4.75),
+	// r_weak = B log2(4) = 2B.
+	p := Pair{S1: 15, S2: 3}
+	rs, rw, strongIsS1 := p.FeasibleRates(ch)
+	if !strongIsS1 {
+		t.Error("strongIsS1 should be true")
+	}
+	wantRS := ch.BandwidthHz * math.Log2(1+15.0/4.0)
+	if !almostEqual(rs, wantRS, 1e-9) {
+		t.Errorf("rStrong = %v, want %v", rs, wantRS)
+	}
+	if !almostEqual(rw, 2*ch.BandwidthHz, 1e-9) {
+		t.Errorf("rWeak = %v, want %v", rw, 2*ch.BandwidthHz)
+	}
+}
+
+// The paper's §2.2 remark: to facilitate SIC the stronger transmitter's rate
+// may have to be LOWER than the weaker's. Happens when S_s < S_w·(S_w+1).
+func TestStrongerCanBeSlower(t *testing.T) {
+	p := Pair{S1: phy.FromDB(21), S2: phy.FromDB(20)} // similar RSSs
+	rs, rw, _ := p.FeasibleRates(ch)
+	if rs >= rw {
+		t.Errorf("with similar RSSs the stronger should be slower: rStrong=%v rWeak=%v", rs, rw)
+	}
+}
+
+func TestSerialAndSICTimeKnown(t *testing.T) {
+	// S1 = 3 (C = 2B), S2 = 15 (C = 4B); L = bits.
+	p := Pair{S1: 3, S2: 15}
+	b := ch.BandwidthHz
+	wantSerial := pktBits/(2*b) + pktBits/(4*b)
+	if got := p.SerialTime(ch, pktBits); !almostEqual(got, wantSerial, 1e-9) {
+		t.Errorf("SerialTime = %v, want %v", got, wantSerial)
+	}
+	// SIC: strong=15 decoded under weak=3: r_s = B log2(1+15/4); weak at 2B.
+	rs := b * math.Log2(1+15.0/4.0)
+	wantSIC := math.Max(pktBits/rs, pktBits/(2*b))
+	if got := p.SICTime(ch, pktBits); !almostEqual(got, wantSIC, 1e-9) {
+		t.Errorf("SICTime = %v, want %v", got, wantSIC)
+	}
+}
+
+// The gain surface of Fig. 4 peaks on the ridge S_strong = S_weak·(S_weak+1):
+// moving the strong SNR off the ridge in either direction cannot increase
+// the gain.
+func TestGainPeaksAtEqualRates(t *testing.T) {
+	for _, weakDB := range []float64{5, 10, 15, 20} {
+		weak := phy.FromDB(weakDB)
+		ridge := EqualRateStrongSNR(weak)
+		gRidge := Pair{S1: ridge, S2: weak}.Gain(ch, pktBits)
+		for _, f := range []float64{0.25, 0.5, 2, 4} {
+			g := Pair{S1: ridge * f, S2: weak}.Gain(ch, pktBits)
+			if g > gRidge+1e-9 {
+				t.Errorf("weak=%v dB: gain off ridge (×%v) %v exceeds ridge gain %v", weakDB, f, g, gRidge)
+			}
+		}
+		// On the ridge the two feasible rates coincide.
+		rs, rw, _ := Pair{S1: ridge, S2: weak}.FeasibleRates(ch)
+		if !almostEqual(rs, rw, 1e-9) {
+			t.Errorf("weak=%v dB: ridge rates differ: %v vs %v", weakDB, rs, rw)
+		}
+	}
+}
+
+func TestBestPartnerInvertsEqualRate(t *testing.T) {
+	f := func(x float64) bool {
+		weak := math.Abs(x)
+		if weak == 0 || weak > 1e9 || math.IsNaN(weak) || math.IsInf(weak, 0) {
+			return true
+		}
+		strong := EqualRateStrongSNR(weak)
+		return almostEqual(BestPartnerSNR(strong), weak, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// MAC-layer sanity: the SIC gain for a same-receiver pair is at least ~1
+// once the serial fallback is considered; SICTime alone can exceed
+// SerialTime for very disparate RSSs. (That is the paper's §3.1 insight that
+// gains fall off away from the ridge.)
+func TestSICSometimesWorseThanSerial(t *testing.T) {
+	p := Pair{S1: phy.FromDB(45), S2: phy.FromDB(2)}
+	if p.SICTime(ch, pktBits) <= p.SerialTime(ch, pktBits) {
+		t.Skip("expected a counterexample pair; model may be more favourable")
+	}
+}
+
+func TestSICTimeImperfect(t *testing.T) {
+	p := Pair{S1: phy.FromDB(30), S2: phy.FromDB(15)}
+	perfect := p.SICTimeImperfect(ch, pktBits, 0)
+	if !almostEqual(perfect, p.SICTime(ch, pktBits), 1e-12) {
+		t.Errorf("beta=0 must equal SICTime: %v vs %v", perfect, p.SICTime(ch, pktBits))
+	}
+	prev := perfect
+	for _, beta := range []float64{0.001, 0.01, 0.1, 0.5, 1} {
+		tm := p.SICTimeImperfect(ch, pktBits, beta)
+		if tm < prev-1e-12 {
+			t.Errorf("completion time must not improve as beta grows: beta=%v: %v < %v", beta, tm, prev)
+		}
+		prev = tm
+	}
+}
+
+func TestPowerReduce(t *testing.T) {
+	// Similar RSSs: stronger is the bottleneck, reduction should help and
+	// equalise the rates.
+	p := Pair{S1: phy.FromDB(21), S2: phy.FromDB(20)}
+	pr := p.PowerReduce()
+	if pr.Scale >= 1 {
+		t.Fatalf("similar pair should reduce power, got scale %v", pr.Scale)
+	}
+	rs, rw, _ := pr.Pair.FeasibleRates(ch)
+	if !almostEqual(rs, rw, 1e-9) {
+		t.Errorf("after reduction rates should be equal: %v vs %v", rs, rw)
+	}
+	if got, want := pr.Pair.SICTime(ch, pktBits), p.SICTime(ch, pktBits); got >= want {
+		t.Errorf("power control should strictly help here: %v >= %v", got, want)
+	}
+}
+
+func TestPowerReduceNoOpWhenWeakIsBottleneck(t *testing.T) {
+	// Very disparate RSSs: weaker is the bottleneck; no reduction possible.
+	p := Pair{S1: phy.FromDB(45), S2: phy.FromDB(3)}
+	pr := p.PowerReduce()
+	if pr.Scale != 1 {
+		t.Errorf("disparate pair must not reduce power, got scale %v", pr.Scale)
+	}
+}
+
+// Power control never hurts — property over random pairs.
+func TestPowerControlNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		p := randPair(rng)
+		withPC := p.SICTimeWithPowerControl(ch, pktBits)
+		without := p.SICTime(ch, pktBits)
+		if withPC > without+1e-9*without {
+			t.Fatalf("power control made %v worse: %v > %v", p, withPC, without)
+		}
+	}
+}
+
+// Power-control scale is always in (0, 1].
+func TestPowerReduceScaleRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for i := 0; i < 2000; i++ {
+		p := randPair(rng)
+		pr := p.PowerReduce()
+		if !(pr.Scale > 0 && pr.Scale <= 1) {
+			t.Fatalf("scale out of range for %v: %v", p, pr.Scale)
+		}
+	}
+}
+
+// Multirate packetization never hurts relative to plain SIC.
+func TestMultirateNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		p := randPair(rng)
+		mr := p.MultirateTime(ch, pktBits)
+		plain := p.SICTime(ch, pktBits)
+		if mr > plain+1e-9*plain {
+			t.Fatalf("multirate made %v worse: %v > %v", p, mr, plain)
+		}
+	}
+}
+
+// Multirate strictly helps when the stronger client is the bottleneck.
+func TestMultirateHelpsBottleneckedStrong(t *testing.T) {
+	p := Pair{S1: phy.FromDB(22), S2: phy.FromDB(20)}
+	mr := p.MultirateTime(ch, pktBits)
+	plain := p.SICTime(ch, pktBits)
+	if !(mr < plain) {
+		t.Errorf("multirate should strictly help: %v vs %v", mr, plain)
+	}
+}
+
+// Multirate can never beat the weaker link's own airtime (the weaker packet
+// still has to be delivered).
+func TestMultirateLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 1000; i++ {
+		p := randPair(rng)
+		_, weak := p.ordered()
+		tWeak := pktBits / ch.Capacity(weak)
+		if mr := p.MultirateTime(ch, pktBits); mr < tWeak-1e-9 {
+			t.Fatalf("multirate %v beat the weak-link bound %v for %v", mr, tWeak, p)
+		}
+	}
+}
+
+func TestPackBasics(t *testing.T) {
+	p := Pair{S1: phy.FromDB(25), S2: phy.FromDB(12)}
+	pk := p.Pack(ch, pktBits)
+	if pk.Packets < 1 {
+		t.Fatalf("Pack must deliver at least one extra-side packet, got %d", pk.Packets)
+	}
+	if pk.Time < p.SICTime(ch, pktBits)-1e-9 {
+		t.Errorf("packing time %v cannot be below plain SIC time %v", pk.Time, p.SICTime(ch, pktBits))
+	}
+}
+
+// Packing gain is ≥ 1 whenever plain SIC already wins, and the packed
+// exchange always carries (1+n) packets in the reported time.
+func TestPackingGainReasonable(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 2000; i++ {
+		p := randPair(rng)
+		g := p.PackingGain(ch, pktBits)
+		if math.IsNaN(g) || g < 0 {
+			t.Fatalf("bad packing gain %v for %v", g, p)
+		}
+	}
+}
+
+func TestDownloadGainModest(t *testing.T) {
+	// Fig. 8's message: the best download gains are modest (≤ ~1.3) and
+	// most of the plane is close to 1.
+	maxGain := 0.0
+	for s1dB := 1.0; s1dB <= 50; s1dB += 1 {
+		for s2dB := 1.0; s2dB <= 50; s2dB += 1 {
+			d := Download{S1: phy.FromDB(s1dB), S2: phy.FromDB(s2dB)}
+			g := d.Gain(ch, pktBits)
+			if g > maxGain {
+				maxGain = g
+			}
+		}
+	}
+	if maxGain > 1.5 {
+		t.Errorf("download gain ceiling %v is higher than the paper's 'very little benefit'", maxGain)
+	}
+	if maxGain < 1.05 {
+		t.Errorf("download gain ceiling %v is implausibly flat", maxGain)
+	}
+}
+
+func TestDownloadSerialUsesStrongerAP(t *testing.T) {
+	d := Download{S1: 3, S2: 15}
+	want := 2 * pktBits / (4 * ch.BandwidthHz) // both packets via the S=15 AP (C=4B)
+	if got := d.SerialTime(ch, pktBits); !almostEqual(got, want, 1e-9) {
+		t.Errorf("SerialTime = %v, want %v", got, want)
+	}
+}
+
+// Upload gain (same pair) must always be at least the download gain: the
+// download baseline is stronger (both packets through the better AP).
+func TestUploadGainDominatesDownload(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 2000; i++ {
+		p := randPair(rng)
+		up := p.Gain(ch, pktBits)
+		down := Download{S1: p.S1, S2: p.S2}.Gain(ch, pktBits)
+		if down > up+1e-9 {
+			t.Fatalf("download gain %v exceeds upload gain %v for %v", down, up, p)
+		}
+	}
+}
+
+// PowerReduce is idempotent: reducing an already-reduced pair is a no-op.
+func TestPowerReduceIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for i := 0; i < 2000; i++ {
+		p := randPair(rng)
+		once := p.PowerReduce()
+		twice := once.Pair.PowerReduce()
+		if math.Abs(twice.Scale-1) > 1e-9 {
+			t.Fatalf("second reduction changed %v: scale %v", once.Pair, twice.Scale)
+		}
+	}
+}
+
+// The techniques commute with pair-member relabeling.
+func TestTechniquesSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(654))
+	for i := 0; i < 2000; i++ {
+		p := randPair(rng)
+		q := Pair{S1: p.S2, S2: p.S1}
+		if a, b := p.SICTime(ch, pktBits), q.SICTime(ch, pktBits); !almostEqual(a, b, 1e-12) {
+			t.Fatalf("SICTime asymmetric: %v vs %v", a, b)
+		}
+		if a, b := p.MultirateTime(ch, pktBits), q.MultirateTime(ch, pktBits); !almostEqual(a, b, 1e-12) {
+			t.Fatalf("MultirateTime asymmetric: %v vs %v", a, b)
+		}
+		if a, b := p.SICTimeWithPowerControl(ch, pktBits), q.SICTimeWithPowerControl(ch, pktBits); !almostEqual(a, b, 1e-12) {
+			t.Fatalf("power control asymmetric: %v vs %v", a, b)
+		}
+		if a, b := p.PackingGain(ch, pktBits), q.PackingGain(ch, pktBits); !almostEqual(a, b, 1e-12) {
+			t.Fatalf("packing asymmetric: %v vs %v", a, b)
+		}
+	}
+}
+
+// SICTimeImperfect interpolates sensibly: beta=1 equals treating the strong
+// signal as pure interference for the weak decode.
+func TestSICTimeImperfectEndpoint(t *testing.T) {
+	p := Pair{S1: phy.FromDB(28), S2: phy.FromDB(14)}
+	strong, weak := p.ordered()
+	rStrong := ch.Capacity(phy.SINR(strong, weak))
+	rWeakNoCancel := ch.Capacity(phy.SINR(weak, strong))
+	want := math.Max(pktBits/rStrong, pktBits/rWeakNoCancel)
+	if got := p.SICTimeImperfect(ch, pktBits, 1); !almostEqual(got, want, 1e-12) {
+		t.Errorf("beta=1 time %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/phy"
+)
+
+// Cross is the two-transmitter, two-receiver building block of the paper's
+// §3.2 (Fig. 5): transmitter T1 sends to receiver R1 while T2 sends to R2.
+//
+// S[j][i] is the linear received SNR of transmitter i at receiver j, matching
+// the paper's S_j^i notation (zero-indexed): S[0][0] is T1 at its own
+// receiver R1, S[0][1] is T2's interference at R1, and so on.
+type Cross struct {
+	S [2][2]float64
+}
+
+// Case identifies which of the four interference patterns of the paper's
+// Fig. 5 a topology falls into.
+type Case int
+
+const (
+	// CaseA (Fig. 5a): each receiver's signal of interest is the stronger
+	// one. SIC is not needed.
+	CaseA Case = iota
+	// CaseB (Fig. 5b): R1 is fine, R2 suffers stronger interference from T1
+	// and needs SIC.
+	CaseB
+	// CaseC (Fig. 5c): mirror image of CaseB — R1 needs SIC.
+	CaseC
+	// CaseD (Fig. 5d): both receivers need SIC.
+	CaseD
+)
+
+// String implements fmt.Stringer.
+func (c Case) String() string {
+	switch c {
+	case CaseA:
+		return "A(no SIC needed)"
+	case CaseB:
+		return "B(SIC at R2)"
+	case CaseC:
+		return "C(SIC at R1)"
+	case CaseD:
+		return "D(SIC at both)"
+	}
+	return fmt.Sprintf("Case(%d)", int(c))
+}
+
+// Valid reports whether all four received SNRs are positive finite numbers.
+func (x Cross) Valid() bool {
+	for j := 0; j < 2; j++ {
+		for i := 0; i < 2; i++ {
+			s := x.S[j][i]
+			if !(s > 0) || math.IsInf(s, 1) || math.IsNaN(s) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Case classifies the topology per Fig. 5. Ties count as "signal of interest
+// is stronger", i.e. no SIC needed at that receiver.
+func (x Cross) Case() Case {
+	r1NeedsSIC := x.S[0][0] < x.S[0][1]
+	r2NeedsSIC := x.S[1][1] < x.S[1][0]
+	switch {
+	case !r1NeedsSIC && !r2NeedsSIC:
+		return CaseA
+	case !r1NeedsSIC && r2NeedsSIC:
+		return CaseB
+	case r1NeedsSIC && !r2NeedsSIC:
+		return CaseC
+	default:
+		return CaseD
+	}
+}
+
+// swapped returns the topology with the roles of the two links exchanged,
+// mapping CaseC onto CaseB.
+func (x Cross) swapped() Cross {
+	return Cross{S: [2][2]float64{
+		{x.S[1][1], x.S[1][0]},
+		{x.S[0][1], x.S[0][0]},
+	}}
+}
+
+// SICFeasible reports whether SIC-enabled concurrent transmission of both
+// packets is possible, applying the per-case conditions derived in §3.2:
+//
+//   - CaseA: SIC is not needed; this method reports false because no
+//     cancellation takes place (use ConcurrentFeasible for plain capture).
+//   - CaseB: R2 must decode T1's packet, which T1 transmits at the optimal
+//     rate for its own link, so S₂¹/(S₂²+N0) ≥ S₁¹/(S₁²+N0) is required.
+//   - CaseC: mirror of CaseB.
+//   - CaseD: both receivers must decode the interferer transmitted at its
+//     interference-free rate: S₂¹/(S₂²+N0) ≥ S₁¹/N0 and S₁²/(S₁¹+N0) ≥ S₂²/N0.
+func (x Cross) SICFeasible() bool {
+	switch x.Case() {
+	case CaseA:
+		return false
+	case CaseB:
+		// Interferer T1's SINR at R2 must support the rate T1 uses to R1.
+		return phy.SINR(x.S[1][0], x.S[1][1]) >= phy.SINR(x.S[0][0], x.S[0][1])
+	case CaseC:
+		return x.swapped().SICFeasible()
+	default: // CaseD
+		condR2 := phy.SINR(x.S[1][0], x.S[1][1]) >= x.S[0][0]
+		condR1 := phy.SINR(x.S[0][1], x.S[0][0]) >= x.S[1][1]
+		return condR2 && condR1
+	}
+}
+
+// SerialTime is the baseline Eq. (8): both packets transmitted sequentially,
+// each link at its interference-free optimal rate.
+func (x Cross) SerialTime(ch phy.Channel, bits float64) float64 {
+	return phy.TxTime(bits, ch.Capacity(x.S[0][0])) + phy.TxTime(bits, ch.Capacity(x.S[1][1]))
+}
+
+// ConcurrentTime returns the completion time of SIC-enabled concurrent
+// transmission (Eqs. 7 and 9) and whether such concurrency is feasible at
+// all. For CaseA it returns the plain interference-tolerant concurrent time
+// with ok=false, because that mode needs no SIC and the paper attributes no
+// SIC gain to it.
+func (x Cross) ConcurrentTime(ch phy.Channel, bits float64) (t float64, ok bool) {
+	switch x.Case() {
+	case CaseA:
+		t1 := phy.TxTime(bits, ch.Capacity(phy.SINR(x.S[0][0], x.S[0][1])))
+		t2 := phy.TxTime(bits, ch.Capacity(phy.SINR(x.S[1][1], x.S[1][0])))
+		return math.Max(t1, t2), false
+	case CaseB:
+		if !x.SICFeasible() {
+			return math.Inf(1), false
+		}
+		// Eq. (7): T1 at its interference-limited rate, T2 interference-free
+		// after R2 cancels T1.
+		t1 := phy.TxTime(bits, ch.Capacity(phy.SINR(x.S[0][0], x.S[0][1])))
+		t2 := phy.TxTime(bits, ch.Capacity(x.S[1][1]))
+		return math.Max(t1, t2), true
+	case CaseC:
+		return x.swapped().ConcurrentTime(ch, bits)
+	default: // CaseD
+		if !x.SICFeasible() {
+			return math.Inf(1), false
+		}
+		// Eq. (9): both links run at interference-free rates thanks to SIC
+		// at each receiver.
+		t1 := phy.TxTime(bits, ch.Capacity(x.S[0][0]))
+		t2 := phy.TxTime(bits, ch.Capacity(x.S[1][1]))
+		return math.Max(t1, t2), true
+	}
+}
+
+// SICTime is the best completion time achievable with SIC receivers: the
+// concurrent mode when feasible, otherwise the serial fallback. A SIC-aware
+// MAC always has serialisation available, so this never exceeds SerialTime.
+func (x Cross) SICTime(ch phy.Channel, bits float64) float64 {
+	serial := x.SerialTime(ch, bits)
+	if t, ok := x.ConcurrentTime(ch, bits); ok {
+		return math.Min(t, serial)
+	}
+	return serial
+}
+
+// Gain is the paper's Monte-Carlo metric for the two-receiver scenario
+// (Fig. 6): Z₋SIC / Z₊SIC. It is exactly 1 whenever SIC is infeasible or
+// unneeded — which the paper finds is ~90% of random topologies.
+func (x Cross) Gain(ch phy.Channel, bits float64) float64 {
+	return x.SerialTime(ch, bits) / x.SICTime(ch, bits)
+}

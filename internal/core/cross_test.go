@@ -1,0 +1,301 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/phy"
+)
+
+// crossFromDB builds a Cross from dB values: s[j][i] = SNR of tx i at rx j.
+func crossFromDB(s11, s12, s21, s22 float64) Cross {
+	return Cross{S: [2][2]float64{
+		{phy.FromDB(s11), phy.FromDB(s12)},
+		{phy.FromDB(s21), phy.FromDB(s22)},
+	}}
+}
+
+func randCross(rng *rand.Rand) Cross {
+	var x Cross
+	for j := 0; j < 2; j++ {
+		for i := 0; i < 2; i++ {
+			x.S[j][i] = phy.FromDB(rng.Float64() * 50)
+		}
+	}
+	return x
+}
+
+func TestCrossCaseClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		x    Cross
+		want Case
+	}{
+		{"both signals of interest dominate", crossFromDB(30, 10, 10, 30), CaseA},
+		{"R2 suffers", crossFromDB(30, 10, 40, 20), CaseB},
+		{"R1 suffers", crossFromDB(10, 30, 10, 30), CaseC},
+		{"both suffer", crossFromDB(10, 30, 40, 20), CaseD},
+		{"exact ties count as no SIC", crossFromDB(20, 20, 20, 20), CaseA},
+	}
+	for _, c := range cases {
+		if got := c.x.Case(); got != c.want {
+			t.Errorf("%s: Case() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCrossValid(t *testing.T) {
+	if !crossFromDB(10, 20, 30, 40).Valid() {
+		t.Error("valid cross reported invalid")
+	}
+	bad := Cross{S: [2][2]float64{{1, 2}, {3, 0}}}
+	if bad.Valid() {
+		t.Error("cross with zero SNR reported valid")
+	}
+	nan := Cross{S: [2][2]float64{{1, 2}, {3, math.NaN()}}}
+	if nan.Valid() {
+		t.Error("cross with NaN SNR reported valid")
+	}
+}
+
+// The paper's worked example in §3.2: T1→R1 at 40 dB, T2 at R1 50 dB,
+// T2→R2 30 dB. R1 needs SIC (CaseC with the interference at R1 dominant).
+// The SINR of the stronger (interfering) signal at R1 is 10 dB; SIC works
+// iff T2's own-link rate (30 dB) is not above what 10 dB can carry — it is
+// above, so SIC must be infeasible.
+func TestCrossPaperWorkedExample(t *testing.T) {
+	// S11=40 (T1@R1), S12=50 (T2@R1), S21 tiny (T1@R2), S22=30 (T2@R2).
+	x := crossFromDB(40, 50, 1, 30)
+	if got := x.Case(); got != CaseC {
+		t.Fatalf("Case() = %v, want CaseC", got)
+	}
+	if x.SICFeasible() {
+		t.Error("paper example: R1 cannot decode T2 at rate r30 with SINR 10 dB; SIC must be infeasible")
+	}
+	// If T2 instead aims for a 10 dB-feasible rate — modelled by giving T2 a
+	// 10 dB own link — SIC becomes feasible.
+	y := crossFromDB(40, 50, 1, 10)
+	if y.Case() != CaseC {
+		t.Fatalf("modified example Case() = %v, want CaseC", y.Case())
+	}
+	if !y.SICFeasible() {
+		t.Error("modified example: rate r10 should be decodable at R1 (SINR exactly 10 dB)")
+	}
+}
+
+func TestCaseBFeasibility(t *testing.T) {
+	// CaseB: R2 needs SIC. Feasible iff SINR of T1 at R2 >= SINR of T1 at R1.
+	feasible := crossFromDB(20, 10, 45, 25) // T1@R2 45 vs T2@R2 25 → SINR≈20dB > T1@R1 SINR≈10dB
+	if feasible.Case() != CaseB {
+		t.Fatalf("Case = %v, want B", feasible.Case())
+	}
+	if !feasible.SICFeasible() {
+		t.Error("expected feasible CaseB")
+	}
+	infeasible := crossFromDB(30, 1, 35, 35-1) // hmm adjusted below
+	_ = infeasible
+	inf2 := crossFromDB(30, 10, 36, 35) // T1@R2 SINR ≈ 1dB < T1@R1 SINR ≈ 20dB
+	if inf2.Case() != CaseB {
+		t.Fatalf("Case = %v, want B", inf2.Case())
+	}
+	if inf2.SICFeasible() {
+		t.Error("expected infeasible CaseB")
+	}
+}
+
+func TestCaseDFeasibilityAndTime(t *testing.T) {
+	// CaseD needs very strong cross links: SINR of interferer at the
+	// cancelling receiver must exceed the interferer's interference-FREE
+	// own-link SNR. Construct: own links weak (10 dB), cross links huge.
+	x := crossFromDB(10, 60, 60, 10)
+	if x.Case() != CaseD {
+		t.Fatalf("Case = %v, want D", x.Case())
+	}
+	if !x.SICFeasible() {
+		t.Fatal("expected feasible CaseD")
+	}
+	tm, ok := x.ConcurrentTime(ch, pktBits)
+	if !ok {
+		t.Fatal("ConcurrentTime not ok for feasible CaseD")
+	}
+	// Eq. 9: both at interference-free rates.
+	want := math.Max(
+		pktBits/ch.Capacity(phy.FromDB(10)),
+		pktBits/ch.Capacity(phy.FromDB(10)))
+	if !almostEqual(tm, want, 1e-9) {
+		t.Errorf("CaseD concurrent time = %v, want %v", tm, want)
+	}
+	// And the gain should be exactly 2 here (two equal links in parallel).
+	if g := x.Gain(ch, pktBits); !almostEqual(g, 2, 1e-9) {
+		t.Errorf("CaseD symmetric gain = %v, want 2", g)
+	}
+}
+
+func TestCaseAGainIsOne(t *testing.T) {
+	x := crossFromDB(30, 10, 10, 30)
+	if g := x.Gain(ch, pktBits); g != 1 {
+		t.Errorf("CaseA gain = %v, want exactly 1 (no SIC involvement)", g)
+	}
+}
+
+// SICTime never exceeds SerialTime (the scheduler can always serialise).
+func TestCrossSICNeverWorseThanSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		x := randCross(rng)
+		if x.SICTime(ch, pktBits) > x.SerialTime(ch, pktBits)+1e-9 {
+			t.Fatalf("SICTime exceeds SerialTime for %+v", x)
+		}
+	}
+}
+
+// Gain is always ≥ 1 and the swapped topology yields the same gain.
+func TestCrossGainSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 5000; i++ {
+		x := randCross(rng)
+		g := x.Gain(ch, pktBits)
+		if g < 1-1e-12 {
+			t.Fatalf("gain %v < 1 for %+v", g, x)
+		}
+		gs := x.swapped().Gain(ch, pktBits)
+		if !almostEqual(g, gs, 1e-9) {
+			t.Fatalf("gain not symmetric under link swap: %v vs %v for %+v", g, gs, x)
+		}
+	}
+}
+
+// Under Shannon rates, the generic RateFunc path must agree with the
+// closed-form methods everywhere.
+func TestRateFuncMatchesShannonPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	sh := ShannonRate(ch)
+	for i := 0; i < 3000; i++ {
+		p := randPair(rng)
+		if a, b := p.SerialTime(ch, pktBits), p.SerialTimeRate(sh, pktBits); !almostEqual(a, b, 1e-9) {
+			t.Fatalf("pair serial mismatch: %v vs %v", a, b)
+		}
+		if a, b := p.SICTime(ch, pktBits), p.SICTimeRate(sh, pktBits); !almostEqual(a, b, 1e-9) {
+			t.Fatalf("pair SIC mismatch: %v vs %v", a, b)
+		}
+		x := randCross(rng)
+		if a, b := x.SerialTime(ch, pktBits), x.SerialTimeRate(sh, pktBits); !almostEqual(a, b, 1e-9) {
+			t.Fatalf("cross serial mismatch: %v vs %v", a, b)
+		}
+		ta, oka := x.ConcurrentTime(ch, pktBits)
+		tb, okb := x.ConcurrentTimeRate(sh, pktBits)
+		if x.Case() == CaseA {
+			// The Shannon path reports the no-SIC concurrent time for CaseA
+			// with ok=false (no SIC gain attributed, Fig. 6 accounting); the
+			// rate path models the §7 capture-based concurrency with ok=true.
+			// The times themselves must agree.
+			if oka {
+				t.Fatalf("CaseA Shannon path must not claim SIC concurrency")
+			}
+			if !okb {
+				t.Fatalf("CaseA rate path should report capture concurrency")
+			}
+			if !almostEqual(ta, tb, 1e-9) {
+				t.Fatalf("CaseA concurrent time mismatch: %v vs %v", ta, tb)
+			}
+			continue
+		}
+		if oka != okb {
+			t.Fatalf("feasibility mismatch for %+v (case %v): %v vs %v", x, x.Case(), oka, okb)
+		}
+		if oka && !almostEqual(ta, tb, 1e-9) {
+			t.Fatalf("concurrent time mismatch: %v vs %v", ta, tb)
+		}
+	}
+}
+
+func TestCrossPackGainAtLeastOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	feasibleSeen := false
+	for i := 0; i < 20000; i++ {
+		x := randCross(rng)
+		g, ok := x.CrossPack(ch, pktBits)
+		if g < 1-1e-12 || math.IsNaN(g) {
+			t.Fatalf("bad pack gain %v for %+v", g, x)
+		}
+		if ok {
+			feasibleSeen = true
+		}
+	}
+	if !feasibleSeen {
+		t.Error("no feasible packing topology in 20000 draws; generator or feasibility is broken")
+	}
+}
+
+func TestGainRateDiscrete(t *testing.T) {
+	// A step-function rate: 10 Mbps above 10 dB, 1 Mbps above 0 dB.
+	step := func(sinr float64) float64 {
+		db := phy.DB(sinr)
+		switch {
+		case db >= 10:
+			return 10e6
+		case db >= 0:
+			return 1e6
+		default:
+			return 0
+		}
+	}
+	// Pair: slack lets both transmit at their clean discrete rates.
+	p := Pair{S1: phy.FromDB(30), S2: phy.FromDB(15)}
+	if g := p.GainRate(step, pktBits); g < 1 {
+		t.Errorf("pair discrete gain %v < 1", g)
+	}
+	// Unreachable pair: serial time infinite → gain 1... the weak side at
+	// -5 dB cannot transmit at all.
+	dead := Pair{S1: phy.FromDB(30), S2: phy.FromDB(-5)}
+	if g := dead.GainRate(step, pktBits); math.IsNaN(g) {
+		t.Errorf("dead pair produced NaN gain")
+	}
+
+	// Cross with an unreachable serving link: gain exactly 1.
+	x := Cross{S: [2][2]float64{
+		{phy.FromDB(-5), phy.FromDB(20)},
+		{phy.FromDB(3), phy.FromDB(25)},
+	}}
+	if g := x.GainRate(step, pktBits); g != 1 {
+		t.Errorf("cross with dead link gain %v, want 1", g)
+	}
+	// CaseA cross with big slack: capture concurrency gives gain close to 2.
+	a := Cross{S: [2][2]float64{
+		{phy.FromDB(30), phy.FromDB(12)},
+		{phy.FromDB(12), phy.FromDB(30)},
+	}}
+	if g := a.GainRate(step, pktBits); g < 1.5 {
+		t.Errorf("slack-covered CaseA gain %v, want ≈2", g)
+	}
+	if g, ok := a.CrossPackRate(step, pktBits); !ok || g < 1 {
+		t.Errorf("CaseA packing: gain %v ok=%v", g, ok)
+	}
+	// CaseB cross under the step function.
+	b := crossFromDB(20, 10, 45, 25)
+	if g := b.GainRate(step, pktBits); g < 1 {
+		t.Errorf("CaseB discrete gain %v < 1", g)
+	}
+	if _, ok := b.CrossPackRate(step, pktBits); !ok {
+		t.Log("CaseB packing infeasible under the step table (acceptable)")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	p := Pair{S1: phy.FromDB(30), S2: phy.FromDB(15)}
+	if s := p.String(); s == "" || s[:4] != "Pair" {
+		t.Errorf("Pair.String() = %q", s)
+	}
+	for c, want := range map[Case]string{
+		CaseA:   "A(no SIC needed)",
+		CaseB:   "B(SIC at R2)",
+		CaseC:   "C(SIC at R1)",
+		CaseD:   "D(SIC at both)",
+		Case(9): "Case(9)",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("Case(%d).String() = %q, want %q", int(c), got, want)
+		}
+	}
+}

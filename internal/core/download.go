@@ -1,0 +1,38 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/phy"
+)
+
+// Download models §4.1's "download traffic: two APs to one client" scenario
+// (the paper's Fig. 8). Two APs, joined by a wired backbone, each hold one
+// packet for the same client; with SIC both can transmit simultaneously.
+//
+// S1 and S2 are the client's linear received SNRs from the two APs.
+type Download struct {
+	S1, S2 float64
+}
+
+// SerialTime is Eq. (10): without SIC the backbone lets us route *both*
+// packets through the stronger AP, so the baseline is two back-to-back
+// transmissions at the better rate.
+func (d Download) SerialTime(ch phy.Channel, bits float64) float64 {
+	best := math.Max(ch.Capacity(d.S1), ch.Capacity(d.S2))
+	return 2 * phy.TxTime(bits, best)
+}
+
+// SICTime is Eq. (6) applied to this scenario: both APs transmit
+// concurrently and the client decodes via SIC.
+func (d Download) SICTime(ch phy.Channel, bits float64) float64 {
+	return Pair{S1: d.S1, S2: d.S2}.SICTime(ch, bits)
+}
+
+// Gain is the ratio plotted in Fig. 8, Eq. (10)/Eq. (6). Because the
+// baseline already exploits the stronger AP for both packets, the gain is
+// markedly smaller than in the upload case — the paper's point that
+// download traffic benefits little from SIC.
+func (d Download) Gain(ch phy.Channel, bits float64) float64 {
+	return d.SerialTime(ch, bits) / d.SICTime(ch, bits)
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/phy"
+)
+
+// This file implements the generalisations the paper sketches as future
+// work: K-signal successive cancellation chains and §5.4's "more generic
+// version of packet packing ... multiple higher bitrate transmissions from
+// different clients in parallel with a single lower bitrate transmission".
+
+// ErrNoSignals is returned for empty signal sets.
+var ErrNoSignals = errors.New("core: no signals")
+
+// ChainRates returns, for K concurrent transmitters at a common receiver,
+// the highest bitrates decodable by a K-stage SIC chain (strongest first,
+// perfect cancellation):
+//
+//	r_k = B·log2(1 + S_k / (Σ_{j>k} S_j + N0))
+//
+// rates[i] corresponds to snrs[i] (the caller's order); the decode order is
+// by descending SNR. The sum of the returned rates equals the K-user sum
+// capacity B·log2(1+ΣS/N0) — the Eq. (4) identity generalised.
+func ChainRates(ch phy.Channel, snrs []float64) ([]float64, error) {
+	if len(snrs) == 0 {
+		return nil, ErrNoSignals
+	}
+	for _, s := range snrs {
+		if !(s > 0) || math.IsInf(s, 1) || math.IsNaN(s) {
+			return nil, errors.New("core: invalid SNR in chain")
+		}
+	}
+	idx := make([]int, len(snrs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return snrs[idx[a]] > snrs[idx[b]] })
+
+	rates := make([]float64, len(snrs))
+	var weaker float64
+	for _, s := range snrs {
+		weaker += s
+	}
+	for _, i := range idx {
+		weaker -= snrs[i]
+		rates[i] = ch.Capacity(phy.SINR(snrs[i], weaker))
+	}
+	return rates, nil
+}
+
+// ChainTime is the completion time of one packet from each of K concurrent
+// transmitters through a K-stage SIC chain: all start together, completion
+// is bounded by the slowest feasible rate.
+func ChainTime(ch phy.Channel, bits float64, snrs []float64) (float64, error) {
+	rates, err := ChainRates(ch, snrs)
+	if err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for _, r := range rates {
+		if t := phy.TxTime(bits, r); t > worst {
+			worst = t
+		}
+	}
+	return worst, nil
+}
+
+// GenericPacking is the outcome of the §5.4 generic packer.
+type GenericPacking struct {
+	// Anchor indexes the slow transmission that spans the slot.
+	Anchor int
+	// Parallel lists the other transmitters that fit packets inside the
+	// anchor's airtime, with how many packets each delivers.
+	Parallel []PackedTrain
+	// Time is the slot's completion time.
+	Time float64
+	// Bits is the total payload delivered in the slot.
+	Bits float64
+}
+
+// PackedTrain is one transmitter's back-to-back packet train inside a slot.
+type PackedTrain struct {
+	// Index identifies the transmitter in the caller's SNR slice.
+	Index int
+	// Packets delivered (≥ 1).
+	Packets int
+	// Rate used for the train.
+	Rate float64
+}
+
+// PackGeneric builds a §5.4 generic packing slot: the weakest-rate
+// transmitter anchors the slot with one packet, and every other transmitter
+// that the SIC chain can decode sends as many packets as fit within the
+// anchor's airtime. Rates are the K-chain rates, so every concurrent signal
+// remains decodable throughout the overlap (the conservative regime; the
+// paper notes synchronisation limits make even this "difficult today").
+func PackGeneric(ch phy.Channel, bits float64, snrs []float64) (GenericPacking, error) {
+	rates, err := ChainRates(ch, snrs)
+	if err != nil {
+		return GenericPacking{}, err
+	}
+	// Anchor: the slowest feasible rate (it spans the slot).
+	anchor := 0
+	for i, r := range rates {
+		if r <= 0 {
+			return GenericPacking{}, errors.New("core: chain has an undecodable signal")
+		}
+		if phy.TxTime(bits, r) > phy.TxTime(bits, rates[anchor]) {
+			anchor = i
+		}
+	}
+	slot := phy.TxTime(bits, rates[anchor])
+	gp := GenericPacking{Anchor: anchor, Time: slot, Bits: bits}
+	for i, r := range rates {
+		if i == anchor {
+			continue
+		}
+		per := phy.TxTime(bits, r)
+		n := int(slot / per)
+		if n < 1 {
+			n = 1 // at least the one packet the slot was built for
+		}
+		if float64(n)*per > slot {
+			// A train that outruns the anchor extends the slot; keep the
+			// anchor authoritative by trimming the train.
+			n = int(slot / per)
+			if n < 1 {
+				n = 1
+				if per > gp.Time {
+					gp.Time = per
+				}
+			}
+		}
+		gp.Parallel = append(gp.Parallel, PackedTrain{Index: i, Packets: n, Rate: r})
+		gp.Bits += float64(n) * bits
+	}
+	return gp, nil
+}
+
+// GenericPackingGain compares the packed slot against serialising the same
+// bit volume, every packet at its sender's interference-free rate.
+func GenericPackingGain(ch phy.Channel, bits float64, snrs []float64) (float64, error) {
+	gp, err := PackGeneric(ch, bits, snrs)
+	if err != nil {
+		return 0, err
+	}
+	serial := phy.TxTime(bits, ch.Capacity(snrs[gp.Anchor]))
+	for _, tr := range gp.Parallel {
+		serial += float64(tr.Packets) * phy.TxTime(bits, ch.Capacity(snrs[tr.Index]))
+	}
+	if gp.Time <= 0 {
+		return 0, errors.New("core: degenerate packing slot")
+	}
+	g := serial / gp.Time
+	if g < 1 {
+		// Serialising is always available; generic packing is opt-in.
+		return 1, nil
+	}
+	return g, nil
+}

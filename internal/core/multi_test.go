@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/phy"
+)
+
+func TestChainRatesErrors(t *testing.T) {
+	if _, err := ChainRates(ch, nil); err != ErrNoSignals {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := ChainRates(ch, []float64{1, -2}); err == nil {
+		t.Error("negative SNR accepted")
+	}
+	if _, err := ChainRates(ch, []float64{math.NaN()}); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+// The K-user sum-capacity identity: Σ r_k = B log2(1 + ΣS).
+func TestChainRatesSumCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 1000; trial++ {
+		k := 2 + rng.Intn(5)
+		snrs := make([]float64, k)
+		var total float64
+		for i := range snrs {
+			snrs[i] = phy.FromDB(rng.Float64() * 45)
+			total += snrs[i]
+		}
+		rates, err := ChainRates(ch, snrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, r := range rates {
+			sum += r
+		}
+		want := ch.Capacity(total)
+		if !almostEqual(sum, want, 1e-9) {
+			t.Fatalf("trial %d: Σr = %v, want %v", trial, sum, want)
+		}
+	}
+}
+
+// K=2 chain must agree with Pair.FeasibleRates.
+func TestChainMatchesPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		p := randPair(rng)
+		rates, err := ChainRates(ch, []float64{p.S1, p.S2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, rw, strongIsS1 := p.FeasibleRates(ch)
+		want := []float64{rw, rs}
+		if strongIsS1 {
+			want = []float64{rs, rw}
+		}
+		if !almostEqual(rates[0], want[0], 1e-9) || !almostEqual(rates[1], want[1], 1e-9) {
+			t.Fatalf("chain %v != pair rates %v", rates, want)
+		}
+	}
+}
+
+// Order independence: rates follow the caller's indices regardless of input
+// permutation.
+func TestChainRatesOrderIndependent(t *testing.T) {
+	snrs := []float64{phy.FromDB(30), phy.FromDB(10), phy.FromDB(20)}
+	r1, err := ChainRates(ch, snrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := []float64{snrs[2], snrs[0], snrs[1]}
+	r2, err := ChainRates(ch, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r1[0], r2[1], 1e-12) || !almostEqual(r1[1], r2[2], 1e-12) || !almostEqual(r1[2], r2[0], 1e-12) {
+		t.Errorf("permutation changed per-signal rates: %v vs %v", r1, r2)
+	}
+}
+
+func TestChainTime(t *testing.T) {
+	snrs := []float64{phy.FromDB(30), phy.FromDB(15)}
+	tm, err := ChainTime(ch, pktBits, snrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Pair{S1: snrs[0], S2: snrs[1]}.SICTime(ch, pktBits)
+	if !almostEqual(tm, want, 1e-12) {
+		t.Errorf("ChainTime = %v, want %v", tm, want)
+	}
+}
+
+func TestPackGenericThreeClients(t *testing.T) {
+	// One far (slow) client anchors; two near clients pack trains — the
+	// paper's Fig. 10g scenario.
+	snrs := []float64{phy.FromDB(8), phy.FromDB(35), phy.FromDB(25)}
+	gp, err := PackGeneric(ch, pktBits, snrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gp.Parallel) != 2 {
+		t.Fatalf("want 2 parallel trains, got %d", len(gp.Parallel))
+	}
+	totalPkts := 1
+	for _, tr := range gp.Parallel {
+		if tr.Packets < 1 {
+			t.Errorf("train %d has %d packets", tr.Index, tr.Packets)
+		}
+		totalPkts += tr.Packets
+	}
+	if gp.Bits != float64(totalPkts)*pktBits {
+		t.Errorf("bits accounting: %v vs %v packets", gp.Bits, totalPkts)
+	}
+	// Trains must fit inside the slot.
+	for _, tr := range gp.Parallel {
+		if float64(tr.Packets)*(pktBits/tr.Rate) > gp.Time+1e-12 {
+			t.Errorf("train %d overruns the slot", tr.Index)
+		}
+	}
+}
+
+func TestGenericPackingGainProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	saw2x := false
+	for trial := 0; trial < 2000; trial++ {
+		k := 2 + rng.Intn(4)
+		snrs := make([]float64, k)
+		for i := range snrs {
+			snrs[i] = phy.FromDB(3 + rng.Float64()*40)
+		}
+		g, err := GenericPackingGain(ch, pktBits, snrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g < 1-1e-12 || math.IsNaN(g) || math.IsInf(g, 0) {
+			t.Fatalf("bad gain %v for %v", g, snrs)
+		}
+		if g > 2 {
+			saw2x = true
+		}
+	}
+	if !saw2x {
+		t.Log("no >2x packing gain observed (possible but unusual at these draws)")
+	}
+}
+
+// With K clients the generic packer can beat the best 2-client packing —
+// the reason the paper calls it out as a future direction.
+func TestGenericBeatsPairwiseSometimes(t *testing.T) {
+	snrs := []float64{phy.FromDB(6), phy.FromDB(34), phy.FromDB(26)}
+	g3, err := GenericPackingGain(ch, pktBits, snrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best pairwise packing gain among the three pairs.
+	best2 := 0.0
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if g := (Pair{S1: snrs[i], S2: snrs[j]}).PackingGain(ch, pktBits); g > best2 {
+				best2 = g
+			}
+		}
+	}
+	if g3 <= best2 {
+		t.Errorf("3-way packing (%v) should beat best pairwise (%v) here", g3, best2)
+	}
+}

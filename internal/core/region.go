@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/phy"
+)
+
+// Region is the two-user multiple-access capacity region the paper's §2
+// builds on (its reference [12], Tse & Viswanath): the pentagon
+//
+//	R1 ≤ B·log2(1 + S1/N0)
+//	R2 ≤ B·log2(1 + S2/N0)
+//	R1 + R2 ≤ B·log2(1 + (S1+S2)/N0)
+//
+// SIC achieves the two corner points of the dominant face; time-sharing
+// between them reaches every point on it. Conventional decoding (treating
+// the other user as noise) reaches only the interior point
+// (C(S1/(S2+N0)), C(S2/(S1+N0))).
+type Region struct {
+	// C1 and C2 are the single-user capacity bounds (bits/s).
+	C1, C2 float64
+	// CSum is the sum-rate bound (bits/s).
+	CSum float64
+}
+
+// Region computes the capacity region of the pair over a channel.
+func (p Pair) Region(ch phy.Channel) Region {
+	return Region{
+		C1:   ch.Capacity(p.S1),
+		C2:   ch.Capacity(p.S2),
+		CSum: p.CapacityWithSIC(ch),
+	}
+}
+
+// Contains reports whether the rate pair (r1, r2) is achievable. The
+// comparison uses a relative tolerance so corner points computed through
+// different formulas (which agree only to floating-point precision at
+// hundreds of Mbit/s) are classified as inside.
+func (r Region) Contains(r1, r2 float64) bool {
+	tol := func(bound float64) float64 { return 1e-9 * math.Max(1, bound) }
+	return r1 >= 0 && r2 >= 0 &&
+		r1 <= r.C1+tol(r.C1) && r2 <= r.C2+tol(r.C2) &&
+		r1+r2 <= r.CSum+tol(r.CSum)
+}
+
+// Corners returns the two SIC corner points of the dominant face.
+//
+// cornerA decodes user 1 first (user 1 suffers user 2's interference, user
+// 2 rides clean after cancellation); cornerB is the opposite order. For a
+// pair p over channel ch these are exactly Eqs. (1)-(2) of the paper and
+// their mirror.
+func (p Pair) Corners(ch phy.Channel) (a, b [2]float64) {
+	a = [2]float64{
+		ch.Capacity(phy.SINR(p.S1, p.S2)), // user 1 decoded under interference
+		ch.Capacity(p.S2),                 // user 2 after cancellation
+	}
+	b = [2]float64{
+		ch.Capacity(p.S1),
+		ch.Capacity(phy.SINR(p.S2, p.S1)),
+	}
+	return a, b
+}
+
+// ConventionalPoint is the rate pair without SIC when both transmit
+// concurrently and each receiver-side decode treats the other signal as
+// noise.
+func (p Pair) ConventionalPoint(ch phy.Channel) [2]float64 {
+	return [2]float64{
+		ch.Capacity(phy.SINR(p.S1, p.S2)),
+		ch.Capacity(phy.SINR(p.S2, p.S1)),
+	}
+}
+
+// Boundary samples n points of the region's outer boundary for plotting,
+// walking R1 from 0 to C1 and reporting the max achievable R2 at each R1.
+func (r Region) Boundary(n int) (r1s, r2s []float64) {
+	if n < 2 {
+		n = 2
+	}
+	r1s = make([]float64, n)
+	r2s = make([]float64, n)
+	for i := 0; i < n; i++ {
+		r1 := r.C1 * float64(i) / float64(n-1)
+		r2 := math.Min(r.C2, r.CSum-r1)
+		if r2 < 0 {
+			r2 = 0
+		}
+		r1s[i] = r1
+		r2s[i] = r2
+	}
+	return r1s, r2s
+}

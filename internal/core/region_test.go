@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestRegionBounds(t *testing.T) {
+	p := Pair{S1: 15, S2: 3}
+	r := p.Region(ch)
+	b := ch.BandwidthHz
+	if !almostEqual(r.C1, 4*b, 1e-9) { // log2(16) = 4
+		t.Errorf("C1 = %v, want %v", r.C1, 4*b)
+	}
+	if !almostEqual(r.C2, 2*b, 1e-9) { // log2(4) = 2
+		t.Errorf("C2 = %v, want %v", r.C2, 2*b)
+	}
+	// CSum = B log2(1+18) < C1+C2.
+	if r.CSum >= r.C1+r.C2 {
+		t.Errorf("sum bound %v not binding vs %v", r.CSum, r.C1+r.C2)
+	}
+}
+
+func TestCornersOnDominantFace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		p := randPair(rng)
+		r := p.Region(ch)
+		a, b := p.Corners(ch)
+		// Both corners achieve the sum capacity exactly (the Eq. 4 identity).
+		if !almostEqual(a[0]+a[1], r.CSum, 1e-9) {
+			t.Fatalf("corner A misses the sum bound for %v: %v vs %v", p, a[0]+a[1], r.CSum)
+		}
+		if !almostEqual(b[0]+b[1], r.CSum, 1e-9) {
+			t.Fatalf("corner B misses the sum bound for %v: %v vs %v", p, b[0]+b[1], r.CSum)
+		}
+		// And both are inside the region.
+		if !r.Contains(a[0], a[1]) || !r.Contains(b[0], b[1]) {
+			t.Fatalf("corner outside region for %v", p)
+		}
+	}
+}
+
+func TestConventionalPointStrictlyInside(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		p := randPair(rng)
+		r := p.Region(ch)
+		c := p.ConventionalPoint(ch)
+		if !r.Contains(c[0], c[1]) {
+			t.Fatalf("conventional point outside region for %v", p)
+		}
+		// Without SIC the sum rate is strictly below the SIC sum capacity.
+		if c[0]+c[1] >= r.CSum {
+			t.Fatalf("conventional sum rate %v reaches the SIC bound %v for %v", c[0]+c[1], r.CSum, p)
+		}
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{C1: 10, C2: 8, CSum: 14}
+	cases := []struct {
+		r1, r2 float64
+		want   bool
+	}{
+		{0, 0, true},
+		{10, 4, true},
+		{10, 4.1, false}, // violates sum
+		{6, 8, true},
+		{11, 0, false}, // violates C1
+		{0, 9, false},  // violates C2
+		{-1, 0, false},
+		{0, -1, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.r1, c.r2); got != c.want {
+			t.Errorf("Contains(%v, %v) = %v, want %v", c.r1, c.r2, got, c.want)
+		}
+	}
+}
+
+func TestBoundary(t *testing.T) {
+	p := Pair{S1: phy15(), S2: phy3()}
+	r := p.Region(ch)
+	r1s, r2s := r.Boundary(50)
+	if len(r1s) != 50 || len(r2s) != 50 {
+		t.Fatalf("boundary lengths %d/%d", len(r1s), len(r2s))
+	}
+	// r1 increases, r2 decreases (weakly), endpoints pinned.
+	if !sort.Float64sAreSorted(r1s) {
+		t.Error("r1 samples not sorted")
+	}
+	for i := 1; i < len(r2s); i++ {
+		if r2s[i] > r2s[i-1]+1e-9 {
+			t.Fatalf("r2 increased along the boundary at %d", i)
+		}
+	}
+	if r1s[0] != 0 || !almostEqual(r1s[len(r1s)-1], r.C1, 1e-9) {
+		t.Error("r1 endpoints wrong")
+	}
+	// Every boundary point is achievable.
+	for i := range r1s {
+		if !r.Contains(r1s[i], r2s[i]) {
+			t.Fatalf("boundary point %d outside region", i)
+		}
+	}
+	// Degenerate n.
+	a, b := r.Boundary(1)
+	if len(a) != 2 || len(b) != 2 {
+		t.Error("Boundary(1) should clamp to 2 samples")
+	}
+}
+
+// helpers so the test reads as linear SNRs without magic numbers.
+func phy15() float64 { return 15 }
+func phy3() float64  { return 3 }

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/phy"
+)
+
+// This file implements §5 of the paper: the link-layer techniques that pull
+// a client pair toward the SIC sweet spot where both transmitters achieve
+// the same feasible bitrate.
+
+// PowerReduction is the outcome of the §5.2 optimisation: scale the weaker
+// client's transmit power by Scale ∈ (0, 1] so that (when possible) the two
+// SIC-feasible bitrates are equal, minimising the joint completion time.
+type PowerReduction struct {
+	// Scale is the multiplicative power reduction applied to the weaker
+	// transmitter's received SNR. 1 means no reduction helps.
+	Scale float64
+	// Pair is the resulting pair after scaling.
+	Pair Pair
+}
+
+// PowerReduce computes the optimal power reduction for the pair.
+//
+// When the stronger transmitter is the bottleneck (its interference-limited
+// rate is below the weaker's post-cancellation rate — the usual situation
+// when the two RSSs are close), shrinking the weaker signal raises the
+// stronger's SINR while lowering the weaker's rate; the joint completion
+// time is minimised where the two rates meet:
+//
+//	S_strong/(x+N0) = x/N0  ⇒  x² + x·N0 − N0·S_strong = 0
+//	x* = (−1 + √(1+4·S_strong))/2   (with N0 ≡ 1)
+//
+// If x* ≥ S_weak the weaker client would have to *increase* power, which the
+// paper rules out (it would amplify overall channel interference), so the
+// pair is returned unchanged. Likewise if the weaker link is already the
+// bottleneck, reduction cannot help (§5.4: "if the weaker client has lower
+// bitrate, power reduction won't help").
+func (p Pair) PowerReduce() PowerReduction {
+	strong, weak := p.ordered()
+	xStar := BestPartnerSNR(strong)
+	if xStar >= weak {
+		return PowerReduction{Scale: 1, Pair: Pair{S1: strong, S2: weak}}
+	}
+	return PowerReduction{Scale: xStar / weak, Pair: Pair{S1: strong, S2: xStar}}
+}
+
+// SICTimeWithPowerControl is the joint completion time with SIC after
+// applying the optimal §5.2 power reduction. It is never worse than SICTime.
+func (p Pair) SICTimeWithPowerControl(ch phy.Channel, bits float64) float64 {
+	return p.PowerReduce().Pair.SICTime(ch, bits)
+}
+
+// MultirateTime implements §5.3 multirate packetization: during the overlap
+// the stronger client is limited to its SIC rate, but once the weaker
+// (faster, post-cancellation) client finishes, the remainder of the stronger
+// packet is transmitted at its interference-free rate.
+//
+// Both packets start at t=0. The weaker finishes at t_w = L/r_weak. If the
+// stronger has bits left at t_w they drain at B·log2(1+S_strong/N0).
+func (p Pair) MultirateTime(ch phy.Channel, bits float64) float64 {
+	strong, weak := p.ordered()
+	rStrongSIC := ch.Capacity(phy.SINR(strong, weak))
+	rWeak := ch.Capacity(weak)
+	rStrongFree := ch.Capacity(strong)
+
+	tWeak := phy.TxTime(bits, rWeak)
+	if math.IsInf(tWeak, 1) {
+		// The weaker link cannot carry the packet at all; the "overlap" never
+		// ends, so multirate degenerates to plain SIC.
+		return p.SICTime(ch, bits)
+	}
+	sentInOverlap := rStrongSIC * tWeak
+	if sentInOverlap >= bits {
+		// The stronger finished within the overlap; the weaker bounds completion.
+		return tWeak
+	}
+	return tWeak + phy.TxTime(bits-sentInOverlap, rStrongFree)
+}
+
+// Packing is the outcome of §5.4 packet packing at a common receiver: while
+// the slower transmission is on the air, the faster transmitter sends a
+// train of back-to-back packets instead of just one.
+type Packing struct {
+	// Packets is the number of packets delivered by the faster transmitter
+	// (≥ 1).
+	Packets int
+	// Time is the joint completion time for the whole exchange.
+	Time float64
+}
+
+// Pack computes packet packing for a pair at a common SIC receiver: the
+// faster of the two SIC-feasible rates fits as many packets as possible
+// under the slower one's airtime (always at least one).
+func (p Pair) Pack(ch phy.Channel, bits float64) Packing {
+	rs, rw, _ := p.FeasibleRates(ch)
+	tStrong := phy.TxTime(bits, rs)
+	tWeak := phy.TxTime(bits, rw)
+	slow, fast := tStrong, tWeak
+	if fast > slow {
+		slow, fast = fast, slow
+	}
+	if math.IsInf(slow, 1) || fast <= 0 {
+		return Packing{Packets: 1, Time: math.Max(tStrong, tWeak)}
+	}
+	n := int(slow / fast)
+	if n < 1 {
+		n = 1
+	}
+	return Packing{Packets: n, Time: math.Max(slow, float64(n)*fast)}
+}
+
+// PackingGain compares SIC-with-packing against the serial baseline carrying
+// the same bit volume: the faster transmitter's extra packets would also
+// have to be serialised in the baseline, each at its interference-free rate.
+// The result is the ratio of baseline time to packed time (≥ 0; > 1 means
+// packing wins).
+func (p Pair) PackingGain(ch phy.Channel, bits float64) float64 {
+	rs, rw, strongIsS1 := p.FeasibleRates(ch)
+	strong, weak := p.ordered()
+	_ = strongIsS1
+	pk := p.Pack(ch, bits)
+
+	// Which transmitter supplied the extra packets? The faster of the two
+	// SIC-feasible rates.
+	var fastFree, slowFree float64
+	if phy.TxTime(bits, rs) <= phy.TxTime(bits, rw) {
+		fastFree, slowFree = ch.Capacity(strong), ch.Capacity(weak)
+	} else {
+		fastFree, slowFree = ch.Capacity(weak), ch.Capacity(strong)
+	}
+	serial := phy.TxTime(bits, slowFree) + float64(pk.Packets)*phy.TxTime(bits, fastFree)
+	return serial / pk.Time
+}
+
+// CrossPack applies packet packing to the two-receiver building block
+// (used by the paper's Fig. 11b and Fig. 14 evaluation): when SIC-enabled
+// concurrency is feasible, the link with the shorter airtime sends
+// back-to-back packets until the longer one finishes.
+//
+// It returns the per-bit-normalised gain over the serial baseline carrying
+// the same packet count, and feasible=false (gain 1) when concurrency is
+// impossible, in which case packing cannot be applied either.
+func (x Cross) CrossPack(ch phy.Channel, bits float64) (gain float64, feasible bool) {
+	tConc, ok := x.ConcurrentTime(ch, bits)
+	if !ok || math.IsInf(tConc, 1) {
+		return 1, false
+	}
+
+	// Per-link airtimes during SIC concurrency.
+	var t1, t2 float64
+	switch x.Case() {
+	case CaseB:
+		t1 = phy.TxTime(bits, ch.Capacity(phy.SINR(x.S[0][0], x.S[0][1])))
+		t2 = phy.TxTime(bits, ch.Capacity(x.S[1][1]))
+	case CaseC:
+		return x.swapped().CrossPack(ch, bits)
+	case CaseD:
+		t1 = phy.TxTime(bits, ch.Capacity(x.S[0][0]))
+		t2 = phy.TxTime(bits, ch.Capacity(x.S[1][1]))
+	default:
+		return 1, false
+	}
+
+	slow, fast := t1, t2
+	fastFree := ch.Capacity(x.S[1][1])
+	slowFree := ch.Capacity(x.S[0][0])
+	if fast > slow {
+		slow, fast = fast, slow
+		fastFree, slowFree = ch.Capacity(x.S[0][0]), ch.Capacity(x.S[1][1])
+	}
+	n := int(slow / fast)
+	if n < 1 {
+		n = 1
+	}
+	packed := math.Max(slow, float64(n)*fast)
+	serial := phy.TxTime(bits, slowFree) + float64(n)*phy.TxTime(bits, fastFree)
+	g := serial / packed
+	if g < 1 {
+		// Packing never forces concurrency when serialising is better.
+		return 1, true
+	}
+	return g, true
+}

@@ -1,0 +1,250 @@
+package emu
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/frame"
+	"repro/internal/mac"
+	"repro/internal/phy"
+	"repro/internal/sched"
+)
+
+// plannedTx is one transmitter the AP solicits in a slot: the commanded
+// power scale and bitrate.
+type plannedTx struct {
+	station uint32
+	scale   float64
+	rate    float64
+	peer    uint32
+	sic     bool
+}
+
+// runAP drives the protocol round by round:
+//
+//  1. poll every station for its backlog (short report frames),
+//  2. compute the SIC-aware schedule over the stations that reported
+//     pending traffic,
+//  3. fire per-slot trigger frames, collect the medium's decode results,
+//  4. ACK delivered frames (stations decrement their queues only on ACK,
+//     so retries after failed SIC decodes are automatic).
+//
+// The loop ends when every station reports an empty queue.
+func runAP(ctx context.Context, stations []mac.Station, actors map[uint32]*stationActor,
+	med *medium, opts sched.Options, cfg Config, errc <-chan error) (Result, error) {
+
+	res := Result{Delivered: map[uint32]int{}}
+	var order []uint32
+	snrOf := map[uint32]float64{}
+	totalBacklog := 0
+	for _, st := range stations {
+		order = append(order, st.ID)
+		snrOf[st.ID] = st.SNR
+		totalBacklog += st.Backlog
+	}
+	failed := map[uint32]bool{}
+	maxRounds := 4*totalBacklog + 16
+
+	slotSeq := func(round, slot int) uint32 { return uint32(round)<<16 | uint32(slot&0xffff) }
+
+	// deliver pushes a frame into a station's inbox without deadlocking on
+	// teardown.
+	deliver := func(id uint32, f *frame.Frame) error {
+		select {
+		case actors[id].inbox <- f:
+			return nil
+		case err := <-errc:
+			return err
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+
+	// execSlot triggers the planned transmitters and waits for the medium;
+	// data=false marks poll/report slots whose airtime is overhead.
+	execSlot := func(round, slot int, txs []plannedTx, data bool) (*slotResult, error) {
+		key := slotKey{round: round, slot: slot}
+		done := med.expect(key, len(txs))
+		for _, tx := range txs {
+			var payload []byte
+			if data {
+				var err error
+				payload, err = frame.MarshalSchedule([]frame.ScheduleEntry{{
+					A:               tx.station,
+					B:               tx.peer,
+					Concurrent:      tx.sic,
+					WeakScaleMicros: frame.ScaleToMicros(tx.scale),
+				}})
+				if err != nil {
+					return nil, fmt.Errorf("emu: trigger payload: %w", err)
+				}
+			}
+			trig := &frame.Frame{
+				Type: frame.TypePoll, Src: 0, Dst: tx.station,
+				Seq:        slotSeq(round, slot),
+				DurationUS: uint32(tx.rate / 1e3), // commanded rate, kbit/s
+				Payload:    payload,
+			}
+			if err := deliver(tx.station, trig); err != nil {
+				return nil, err
+			}
+		}
+		select {
+		case r := <-done:
+			if data {
+				res.AirtimeData += r.airtime
+			} else {
+				res.AirtimeOverhead += r.airtime
+			}
+			return &r, nil
+		case err := <-errc:
+			return nil, err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	// ackDelivered confirms a decoded data frame to its sender and updates
+	// the delivery accounting.
+	ackDelivered := func(f *frame.Frame) error {
+		res.Delivered[f.Src]++
+		delete(failed, f.Src)
+		ack := &frame.Frame{Type: frame.TypeAck, Src: 0, Dst: f.Src, Seq: f.Seq}
+		return deliver(f.Src, ack)
+	}
+
+	// pollBacklogs queries every station (one report slot each) and returns
+	// the pending queue depths.
+	pollBacklogs := func(round int) (map[uint32]int, error) {
+		backlog := map[uint32]int{}
+		slot := 10000 // poll slots live in their own index space per round
+		for _, id := range order {
+			tx := plannedTx{station: id, scale: 1, rate: cfg.Channel.Capacity(snrOf[id]), peer: frame.Broadcast}
+			r, err := execSlot(round, slot, []plannedTx{tx}, false)
+			if err != nil {
+				return nil, err
+			}
+			slot++
+			if len(r.decoded) != 1 || len(r.decoded[0].Payload) != 4 {
+				return nil, fmt.Errorf("emu: bad backlog report from %d", id)
+			}
+			backlog[id] = int(binary.BigEndian.Uint32(r.decoded[0].Payload))
+		}
+		return backlog, nil
+	}
+
+	round := 0
+	for {
+		round++
+		if round > maxRounds {
+			return Result{}, fmt.Errorf("emu: did not drain after %d rounds", maxRounds)
+		}
+
+		backlog, err := pollBacklogs(round)
+		if err != nil {
+			return Result{}, err
+		}
+		var pendingIDs []uint32
+		for _, id := range order {
+			if backlog[id] > 0 {
+				pendingIDs = append(pendingIDs, id)
+			}
+		}
+		if len(pendingIDs) == 0 {
+			break
+		}
+		res.Rounds++
+		slot := 0
+
+		runSolo := func(id uint32) error {
+			tx := plannedTx{station: id, scale: 1, rate: cfg.Channel.Capacity(snrOf[id]), peer: frame.Broadcast}
+			r, err := execSlot(round, slot, []plannedTx{tx}, true)
+			if err != nil {
+				return err
+			}
+			slot++
+			for _, f := range r.decoded {
+				if err := ackDelivered(f); err != nil {
+					return err
+				}
+			}
+			for _, fid := range r.failed {
+				res.DecodeFailures++
+				failed[fid] = true
+			}
+			return nil
+		}
+
+		// ARQ recovery: last round's failures transmit alone first.
+		var schedIDs []uint32
+		for _, id := range pendingIDs {
+			if failed[id] {
+				if err := runSolo(id); err != nil {
+					return Result{}, err
+				}
+				continue
+			}
+			schedIDs = append(schedIDs, id)
+		}
+		if len(schedIDs) == 0 {
+			continue
+		}
+
+		clients := make([]sched.Client, len(schedIDs))
+		for i, id := range schedIDs {
+			clients[i] = sched.Client{ID: fmt.Sprint(id), SNR: snrOf[id]}
+		}
+		schedule, err := sched.New(clients, opts)
+		if err != nil {
+			return Result{}, fmt.Errorf("emu: round %d: %w", round, err)
+		}
+
+		for _, sl := range schedule.Slots {
+			switch sl.Mode {
+			case sched.ModeSolo:
+				if err := runSolo(schedIDs[sl.A]); err != nil {
+					return Result{}, err
+				}
+			case sched.ModeSerial:
+				for _, k := range []int{sl.A, sl.B} {
+					if err := runSolo(schedIDs[k]); err != nil {
+						return Result{}, err
+					}
+				}
+			case sched.ModeSIC:
+				idA, idB := schedIDs[sl.A], schedIDs[sl.B]
+				strong, weak := idA, idB
+				if snrOf[idB] > snrOf[idA] {
+					strong, weak = idB, idA
+				}
+				// Plan with the scale as the station will actually apply it
+				// after wire quantisation, or the commanded rates would
+				// overshoot the achieved SINRs by a rounding hair.
+				scaleQ := float64(frame.ScaleToMicros(sl.WeakScale)) / 1e6
+				weakSNR := snrOf[weak] * scaleQ
+				strongRate := cfg.Channel.Capacity(phy.SINR(snrOf[strong], weakSNR))
+				weakRate := cfg.Channel.Capacity(phy.SINR(weakSNR, opts.Residual*snrOf[strong]))
+				txs := []plannedTx{
+					{station: strong, scale: 1, rate: strongRate, peer: weak, sic: true},
+					{station: weak, scale: scaleQ, rate: weakRate, peer: strong, sic: true},
+				}
+				r, err := execSlot(round, slot, txs, true)
+				if err != nil {
+					return Result{}, err
+				}
+				slot++
+				for _, f := range r.decoded {
+					if err := ackDelivered(f); err != nil {
+						return Result{}, err
+					}
+				}
+				for _, fid := range r.failed {
+					res.DecodeFailures++
+					failed[fid] = true
+				}
+			}
+		}
+	}
+	return res, nil
+}

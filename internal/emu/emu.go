@@ -1,0 +1,323 @@
+// Package emu runs the SIC-aware upload MAC as a *live* concurrent system:
+// the access point and every station are goroutines exchanging marshalled
+// frames over a simulated radio medium, in the style of a real network
+// stack (inbox channels, context cancellation, graceful shutdown).
+//
+// Where package mac advances a single-threaded event loop, emu exercises
+// the protocol itself: the AP polls for backlog, computes a schedule
+// (package sched), broadcasts it, then fires per-slot trigger frames; the
+// addressed stations independently transmit data frames, which the medium
+// superposes and hands to the AP's SIC receiver. Virtual time lives in the
+// medium and advances per reception, so the run is deterministic despite
+// the concurrency — the same topology must reproduce package mac's data
+// airtime exactly (see the tests).
+package emu
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/frame"
+	"repro/internal/mac"
+	"repro/internal/phy"
+	"repro/internal/sched"
+)
+
+// Config parameterises an emulation run.
+type Config struct {
+	// Channel supplies bandwidth/noise.
+	Channel phy.Channel
+	// PacketBits is the data frame payload size on the air.
+	PacketBits float64
+	// Residual is the receiver's true residual-cancellation fraction.
+	Residual float64
+	// Sched configures the AP's scheduler. Channel/PacketBits are filled
+	// from this Config if zero.
+	Sched sched.Options
+}
+
+// Result summarises an emulation run.
+type Result struct {
+	// Delivered counts ACKed data frames per station.
+	Delivered map[uint32]int
+	// AirtimeData is the virtual time the medium carried data frames.
+	AirtimeData float64
+	// AirtimeOverhead is the virtual time spent on backlog polls/reports.
+	AirtimeOverhead float64
+	// Rounds is the number of poll→schedule→trigger rounds.
+	Rounds int
+	// DecodeFailures counts frames the AP could not decode.
+	DecodeFailures int
+}
+
+// transmission is one station's frame on the air, tagged with the slot that
+// solicited it.
+type transmission struct {
+	slot    slotKey
+	station uint32
+	snr     float64 // received SNR after any commanded power scaling
+	rate    float64
+	wire    []byte
+}
+
+// slotKey identifies a triggered slot.
+type slotKey struct {
+	round, slot int
+}
+
+// slotResult is what the medium hands back to the AP for one slot.
+type slotResult struct {
+	airtime float64
+	decoded []*frame.Frame
+	failed  []uint32
+}
+
+// medium owns virtual time and superposes concurrent transmissions.
+type medium struct {
+	rx mac.SICReceiver
+
+	mu      sync.Mutex
+	clock   float64
+	pending map[slotKey]*pendingSlot
+}
+
+type pendingSlot struct {
+	expected int
+	got      []transmission
+	done     chan slotResult
+}
+
+// expect registers a slot the AP is about to trigger; the returned channel
+// yields the slot's outcome once all expected transmissions arrive.
+func (m *medium) expect(key slotKey, n int) <-chan slotResult {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ps := &pendingSlot{expected: n, done: make(chan slotResult, 1)}
+	m.pending[key] = ps
+	return ps.done
+}
+
+// transmit delivers one station's frame into its slot; the completing
+// transmission triggers decoding and clock advance.
+func (m *medium) transmit(tx transmission) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ps, ok := m.pending[tx.slot]
+	if !ok {
+		return fmt.Errorf("emu: transmission for unknown slot %+v", tx.slot)
+	}
+	ps.got = append(ps.got, tx)
+	if len(ps.got) < ps.expected {
+		return nil
+	}
+	delete(m.pending, tx.slot)
+
+	// All transmitters of the slot are on the air: superpose and decode.
+	arrivals := make([]mac.Arrival, len(ps.got))
+	airtime := 0.0
+	for i, g := range ps.got {
+		arrivals[i] = mac.Arrival{StationID: g.station, SNR: g.snr, RateBps: g.rate}
+		if t := txAirtime(g); t > airtime {
+			airtime = t
+		}
+	}
+	ok2 := m.rx.Decode(arrivals)
+	res := slotResult{airtime: airtime}
+	for i, g := range ps.got {
+		if !ok2[i] {
+			res.failed = append(res.failed, g.station)
+			continue
+		}
+		f, err := frame.Decode(g.wire)
+		if err != nil {
+			res.failed = append(res.failed, g.station)
+			continue
+		}
+		res.decoded = append(res.decoded, f)
+	}
+	m.clock += airtime
+	ps.done <- res
+	return nil
+}
+
+// txAirtime is the frame's airtime at its transmit rate.
+func txAirtime(tx transmission) float64 {
+	if tx.rate <= 0 {
+		return math.Inf(1)
+	}
+	// Payload bits dominate; header overhead is carried in the payload size
+	// the station chose.
+	return float64(len(tx.wire)*8) / tx.rate
+}
+
+// stationActor is one uploading client goroutine.
+type stationActor struct {
+	id      uint32
+	snr     float64
+	backlog int
+
+	inbox chan *frame.Frame
+	med   *medium
+	ch    phy.Channel
+	bits  float64
+	seq   uint32
+}
+
+// run processes triggers until the context ends or the inbox closes.
+func (s *stationActor) run(ctx context.Context, errc chan<- error) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case f, ok := <-s.inbox:
+			if !ok {
+				return
+			}
+			if f.Type == frame.TypeAck {
+				// Delivery confirmed: the packet leaves the queue only now,
+				// so a failed SIC decode is retried automatically.
+				if s.backlog > 0 {
+					s.backlog--
+				}
+				continue
+			}
+			if f.Type != frame.TypePoll {
+				continue
+			}
+			if err := s.handleTrigger(f); err != nil {
+				select {
+				case errc <- err:
+				default:
+				}
+				return
+			}
+		}
+	}
+}
+
+// handleTrigger reacts to a per-slot trigger frame: the payload is one
+// schedule entry addressed to this station (entry.A), carrying its power
+// scale; the trigger's DurationUS field carries the commanded bitrate in
+// kbit/s. The station cannot compute its SIC rate itself — it doesn't know
+// its partner's SNR — which is exactly why the AP commands it, as an
+// 802.11ax trigger frame would.
+func (s *stationActor) handleTrigger(f *frame.Frame) error {
+	if len(f.Payload) == 0 {
+		// Backlog poll: reply with the remaining queue depth in a short
+		// report frame through the same slot machinery (count 1).
+		return s.sendBacklogReport(f)
+	}
+	entries, err := frame.DecodeSchedule(f.Payload)
+	if err != nil || len(entries) != 1 {
+		return fmt.Errorf("emu: station %d: bad trigger: %v", s.id, err)
+	}
+	e := entries[0]
+	if e.A != s.id {
+		return nil // trigger addressed to another station
+	}
+	key := slotKey{round: int(f.Seq >> 16), slot: int(f.Seq & 0xffff)}
+
+	snr := s.snr * e.WeakScale()
+	rate := float64(f.DurationUS) * 1e3
+	if rate <= 0 {
+		return fmt.Errorf("emu: station %d: zero rate commanded", s.id)
+	}
+
+	// Size the payload so the whole wire frame (24-byte header + payload +
+	// 4-byte CRC) occupies exactly PacketBits on the air.
+	data := frame.Frame{
+		Type: frame.TypeData, Src: s.id, Dst: 0, Seq: s.seq,
+		Payload: make([]byte, int(s.bits/8)-28),
+	}
+	wire, err := data.Marshal()
+	if err != nil {
+		return fmt.Errorf("emu: station %d: %w", s.id, err)
+	}
+	s.seq++
+	return s.med.transmit(transmission{
+		slot: key, station: s.id, snr: snr, rate: rate, wire: wire,
+	})
+}
+
+// sendBacklogReport answers a backlog poll: a small data frame whose
+// 4-byte payload is the station's remaining queue depth, sent at the
+// station's clean rate.
+func (s *stationActor) sendBacklogReport(f *frame.Frame) error {
+	key := slotKey{round: int(f.Seq >> 16), slot: int(f.Seq & 0xffff)}
+	payload := []byte{
+		byte(s.backlog >> 24), byte(s.backlog >> 16),
+		byte(s.backlog >> 8), byte(s.backlog),
+	}
+	report := frame.Frame{Type: frame.TypeAck, Src: s.id, Dst: 0, Payload: payload}
+	wire, err := report.Marshal()
+	if err != nil {
+		return fmt.Errorf("emu: station %d: report: %w", s.id, err)
+	}
+	return s.med.transmit(transmission{
+		slot: key, station: s.id, snr: s.snr, rate: s.ch.Capacity(s.snr), wire: wire,
+	})
+}
+
+// Run executes the emulation until every station's backlog drains.
+func Run(ctx context.Context, stations []mac.Station, cfg Config) (Result, error) {
+	if cfg.Channel.BandwidthHz <= 0 {
+		return Result{}, errors.New("emu: Channel is required")
+	}
+	if cfg.PacketBits < 512 {
+		return Result{}, errors.New("emu: PacketBits must be at least 512 (frame header + CRC)")
+	}
+	if cfg.Residual < 0 || cfg.Residual > 1 {
+		return Result{}, errors.New("emu: Residual must be in [0,1]")
+	}
+	opts := cfg.Sched
+	if opts.Channel.BandwidthHz <= 0 {
+		opts.Channel = cfg.Channel
+	}
+	if opts.PacketBits <= 0 {
+		opts.PacketBits = cfg.PacketBits
+	}
+
+	med := &medium{
+		rx:      mac.SICReceiver{Channel: cfg.Channel, Residual: cfg.Residual},
+		pending: map[slotKey]*pendingSlot{},
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errc := make(chan error, len(stations))
+	actors := make(map[uint32]*stationActor, len(stations))
+	var wg sync.WaitGroup
+	for _, st := range stations {
+		if st.ID == 0 || st.ID == frame.Broadcast {
+			return Result{}, fmt.Errorf("emu: invalid station id %d", st.ID)
+		}
+		if _, dup := actors[st.ID]; dup {
+			return Result{}, fmt.Errorf("emu: duplicate station id %d", st.ID)
+		}
+		a := &stationActor{
+			id: st.ID, snr: st.SNR, backlog: st.Backlog,
+			inbox: make(chan *frame.Frame, 8),
+			med:   med, ch: cfg.Channel, bits: cfg.PacketBits,
+		}
+		actors[st.ID] = a
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.run(ctx, errc)
+		}()
+	}
+	defer func() {
+		cancel()
+		wg.Wait()
+	}()
+
+	res, err := runAP(ctx, stations, actors, med, opts, cfg, errc)
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import "testing"
+
+func TestAblationAlpha(t *testing.T) {
+	r, err := AblationAlpha(quick(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, "ablation-alpha")
+	// The paper: lower α ⇒ fewer SIC opportunities. α=4 should show at
+	// least as many gaining topologies as α=2.5.
+	lo := r.Metrics["frac_with_gain_alpha_2.5"]
+	hi := r.Metrics["frac_with_gain_alpha_4.0"]
+	if lo > hi+0.02 {
+		t.Errorf("α=2.5 gains (%v) exceed α=4 gains (%v); contradicts the paper", lo, hi)
+	}
+}
+
+func TestAblationResidual(t *testing.T) {
+	r, err := AblationResidual(quick(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, "ablation-residual")
+	perfect := r.Metrics["scheduled_drain_s_beta_0"]
+	worst := r.Metrics["scheduled_drain_s_beta_0.05"]
+	if perfect <= 0 || worst <= 0 {
+		t.Fatal("missing drain times")
+	}
+	if worst <= perfect {
+		t.Errorf("5%% residual (%v) should be slower than perfect SIC (%v)", worst, perfect)
+	}
+	if r.Metrics["decode_failures_beta_0"] != 0 {
+		t.Error("perfect SIC recorded decode failures")
+	}
+	if r.Metrics["decode_failures_beta_0.05"] == 0 {
+		t.Error("5% residual recorded no decode failures")
+	}
+	// SIC scheduling with perfect cancellation beats the serial baseline.
+	if perfect >= r.Metrics["serial_drain_s"] {
+		t.Errorf("perfect scheduled drain (%v) did not beat serial (%v)", perfect, r.Metrics["serial_drain_s"])
+	}
+}
+
+func TestAblationGreedy(t *testing.T) {
+	p := quick(t)
+	p.TraceDays = 2 // need enough ≥4-client snapshots
+	r, err := AblationGreedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, r, "ablation-greedy")
+	if r.Metrics["mean_greedy_over_opt"] < 1-1e-9 {
+		t.Errorf("greedy cannot beat optimal on average: %v", r.Metrics["mean_greedy_over_opt"])
+	}
+	if r.Metrics["max_greedy_over_opt"] < 1-1e-9 {
+		t.Errorf("max ratio below 1: %v", r.Metrics["max_greedy_over_opt"])
+	}
+}
+
+func TestAblationsList(t *testing.T) {
+	abls := Ablations()
+	if len(abls) != 10 {
+		t.Fatalf("Ablations() = %d, want 10 (3 ablations + 7 extensions)", len(abls))
+	}
+	for _, a := range abls {
+		if a.Run == nil || a.ID == "" {
+			t.Errorf("bad ablation runner %+v", a)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/plot"
+	"repro/internal/stats"
+	"repro/internal/wlan"
+)
+
+// ExtArchitectures is an extension experiment: it turns the paper's §4
+// qualitative architecture survey (Fig. 7's scenarios) into measured gain
+// distributions — enterprise upload/download/cross traffic, residential
+// download, and the multihop mesh relay — so the "where is SIC worth it"
+// conclusion is reproducible as numbers rather than prose.
+func ExtArchitectures(p Params) (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	d := wlan.DefaultDeployment()
+	d.Channel = p.Channel
+	d.PacketBits = p.PacketBits
+	if err := d.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	metrics := map[string]float64{}
+	var series []plot.Series
+	var text strings.Builder
+	text.WriteString("Extension — SIC gain distribution per wireless architecture (§4)\n\n")
+	fmt.Fprintf(&text, "%-22s %10s %10s %10s\n", "scenario", "median", ">20% frac", "max")
+
+	for si, sc := range d.Scenarios() {
+		rng := rand.New(rand.NewSource(p.Seed + int64(si)*7919))
+		samples := make([]float64, p.Trials)
+		for i := range samples {
+			samples[i] = sc.Sample(rng)
+		}
+		e, err := stats.NewECDF(samples)
+		if err != nil {
+			return Result{}, err
+		}
+		series = append(series, plot.SeriesFromECDF(sc.Name, e))
+		key := strings.ReplaceAll(sc.Name, "-", "_")
+		metrics["median_"+key] = e.Quantile(0.5)
+		metrics["frac_over_20pct_"+key] = e.FracAbove(1.2)
+		metrics["max_"+key] = e.Max()
+		fmt.Fprintf(&text, "%-22s %10.3f %10.3f %10.3f\n",
+			sc.Name, e.Quantile(0.5), e.FracAbove(1.2), e.Max())
+	}
+
+	var csv strings.Builder
+	if err := plot.WriteSeriesCSV(&csv, "gain", series...); err != nil {
+		return Result{}, err
+	}
+	r := Result{
+		ID:    "ext-architectures",
+		Title: "SIC opportunity per wireless architecture (extension)",
+		Files: map[string]string{
+			"ext_architectures.csv": csv.String(),
+			"ext_architectures.svg": plot.CDFPlotSVG("SIC gain per architecture", series...),
+		},
+		Metrics: metrics,
+	}
+	r.Text = text.String() + "\n" +
+		plot.CDFPlot("Architecture gain CDFs", 64, 16, series...) +
+		r.MetricsBlock()
+	return r, nil
+}

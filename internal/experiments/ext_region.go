@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/phy"
+	"repro/internal/plot"
+)
+
+// ExtRegion is an extension experiment for §2: the two-user multiple-access
+// capacity region (the paper's reference [12]) rendered explicitly — the
+// pentagon boundary, the two SIC corner points where the sum capacity is
+// achieved, and the conventional (treat-interference-as-noise) operating
+// point strictly inside. It is the geometric picture behind Fig. 2.
+func ExtRegion(p Params) (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	pair := core.Pair{S1: phy.FromDB(20), S2: phy.FromDB(10)}
+	region := pair.Region(p.Channel)
+	cornerA, cornerB := pair.Corners(p.Channel)
+	conv := pair.ConventionalPoint(p.Channel)
+
+	xs, ys := region.Boundary(200)
+	toMbps := func(v []float64) []float64 {
+		out := make([]float64, len(v))
+		for i := range v {
+			out[i] = v[i] / 1e6
+		}
+		return out
+	}
+	series := []plot.Series{
+		{Name: "capacity region boundary", X: toMbps(xs), Y: toMbps(ys)},
+		{Name: "SIC corner (decode 1 first)", X: []float64{cornerA[0] / 1e6}, Y: []float64{cornerA[1] / 1e6}},
+		{Name: "SIC corner (decode 2 first)", X: []float64{cornerB[0] / 1e6}, Y: []float64{cornerB[1] / 1e6}},
+		{Name: "no SIC (interference as noise)", X: []float64{conv[0] / 1e6}, Y: []float64{conv[1] / 1e6}},
+	}
+	svg := plot.XYPlotSVG("Two-user capacity region (S1=20 dB, S2=10 dB)", "R1 (Mbit/s)", "R2 (Mbit/s)", series...)
+
+	var csv strings.Builder
+	csv.WriteString("r1_bps,r2_bps\n")
+	for i := range xs {
+		fmt.Fprintf(&csv, "%g,%g\n", xs[i], ys[i])
+	}
+
+	sumGap := region.CSum - (conv[0] + conv[1])
+	metrics := map[string]float64{
+		"c1_bps":                   region.C1,
+		"c2_bps":                   region.C2,
+		"csum_bps":                 region.CSum,
+		"corner_a_sum_bps":         cornerA[0] + cornerA[1],
+		"corner_b_sum_bps":         cornerB[0] + cornerB[1],
+		"conventional_sum_bps":     conv[0] + conv[1],
+		"sic_over_conventional":    region.CSum / (conv[0] + conv[1]),
+		"conventional_gap_to_csum": sumGap,
+	}
+	r := Result{
+		ID:    "ext-region",
+		Title: "Two-user capacity region with SIC corners (extension)",
+		Files: map[string]string{
+			"ext_region.svg": svg,
+			"ext_region.csv": csv.String(),
+		},
+		Metrics: metrics,
+	}
+	r.Text = fmt.Sprintf(`Extension — the §2 capacity region made explicit
+Pair: S1 = 20 dB, S2 = 10 dB over %.0f MHz.
+Both SIC corners achieve the sum capacity %.1f Mbit/s exactly; decoding with
+interference-as-noise reaches only %.1f Mbit/s (%.2fx less).
+`, p.Channel.BandwidthHz/1e6, region.CSum/1e6, (conv[0]+conv[1])/1e6, metrics["sic_over_conventional"]) + r.MetricsBlock()
+
+	if sumGap <= 0 {
+		return Result{}, fmt.Errorf("ext-region: conventional point not strictly inside (gap %v)", sumGap)
+	}
+	return r, nil
+}

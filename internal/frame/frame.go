@@ -1,0 +1,268 @@
+// Package frame defines the wire format exchanged by the discrete-event MAC
+// simulator: data frames, ACKs, and the AP's SIC schedule announcements.
+//
+// The design follows the layered decode/serialize idiom of packet libraries
+// like gopacket: a fixed header with an explicit type field, typed payload
+// encoders per frame kind, strict validation on decode, and a trailing
+// CRC-32 so corrupted frames are rejected rather than misparsed.
+//
+// Wire layout (big-endian):
+//
+//	offset  size  field
+//	0       2     magic 0x51C0
+//	2       1     version (1)
+//	3       1     type
+//	4       4     src station id
+//	8       4     dst station id
+//	12      4     seq
+//	16      4     duration (microseconds of airtime the frame claims)
+//	20      4     payload length N
+//	24      N     payload
+//	24+N    4     CRC-32 (IEEE) over bytes [0, 24+N)
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Magic identifies simulator frames on the wire.
+const Magic = 0x51C0
+
+// Version is the current wire version.
+const Version = 1
+
+// headerLen and trailerLen bound every frame.
+const (
+	headerLen  = 24
+	trailerLen = 4
+)
+
+// MaxPayload caps payload size; anything larger is a protocol violation.
+const MaxPayload = 1 << 16
+
+// Type enumerates frame kinds.
+type Type uint8
+
+const (
+	// TypeData carries upload payload from a client to the AP.
+	TypeData Type = 1
+	// TypeAck acknowledges a data frame.
+	TypeAck Type = 2
+	// TypePoll solicits backlog reports from clients.
+	TypePoll Type = 3
+	// TypeSchedule announces the AP's SIC transmission schedule.
+	TypeSchedule Type = 4
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeData:
+		return "data"
+	case TypeAck:
+		return "ack"
+	case TypePoll:
+		return "poll"
+	case TypeSchedule:
+		return "schedule"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Broadcast is the all-stations destination address.
+const Broadcast = ^uint32(0)
+
+// Frame is a decoded simulator frame.
+type Frame struct {
+	Type     Type
+	Src, Dst uint32
+	Seq      uint32
+	// DurationUS is the airtime the frame occupies, in microseconds.
+	DurationUS uint32
+	Payload    []byte
+}
+
+// Errors returned by Decode.
+var (
+	ErrTooShort    = errors.New("frame: buffer shorter than minimum frame")
+	ErrBadMagic    = errors.New("frame: bad magic")
+	ErrBadVersion  = errors.New("frame: unsupported version")
+	ErrBadType     = errors.New("frame: unknown frame type")
+	ErrBadLength   = errors.New("frame: payload length field inconsistent with buffer")
+	ErrBadChecksum = errors.New("frame: CRC mismatch")
+	ErrTooLarge    = errors.New("frame: payload exceeds MaxPayload")
+)
+
+// Marshal serialises the frame. It returns ErrTooLarge for oversized
+// payloads and ErrBadType for unknown types, so malformed frames can never
+// be put on the wire.
+func (f *Frame) Marshal() ([]byte, error) {
+	switch f.Type {
+	case TypeData, TypeAck, TypePoll, TypeSchedule:
+	default:
+		return nil, ErrBadType
+	}
+	if len(f.Payload) > MaxPayload {
+		return nil, ErrTooLarge
+	}
+	buf := make([]byte, headerLen+len(f.Payload)+trailerLen)
+	binary.BigEndian.PutUint16(buf[0:2], Magic)
+	buf[2] = Version
+	buf[3] = byte(f.Type)
+	binary.BigEndian.PutUint32(buf[4:8], f.Src)
+	binary.BigEndian.PutUint32(buf[8:12], f.Dst)
+	binary.BigEndian.PutUint32(buf[12:16], f.Seq)
+	binary.BigEndian.PutUint32(buf[16:20], f.DurationUS)
+	binary.BigEndian.PutUint32(buf[20:24], uint32(len(f.Payload)))
+	copy(buf[headerLen:], f.Payload)
+	crc := crc32.ChecksumIEEE(buf[:headerLen+len(f.Payload)])
+	binary.BigEndian.PutUint32(buf[headerLen+len(f.Payload):], crc)
+	return buf, nil
+}
+
+// Decode parses and validates a frame from buf. The returned frame's
+// payload aliases buf; copy it if the buffer will be reused.
+func Decode(buf []byte) (*Frame, error) {
+	if len(buf) < headerLen+trailerLen {
+		return nil, ErrTooShort
+	}
+	if binary.BigEndian.Uint16(buf[0:2]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if buf[2] != Version {
+		return nil, ErrBadVersion
+	}
+	t := Type(buf[3])
+	switch t {
+	case TypeData, TypeAck, TypePoll, TypeSchedule:
+	default:
+		return nil, ErrBadType
+	}
+	n := binary.BigEndian.Uint32(buf[20:24])
+	if n > MaxPayload {
+		return nil, ErrTooLarge
+	}
+	if len(buf) != headerLen+int(n)+trailerLen {
+		return nil, ErrBadLength
+	}
+	want := binary.BigEndian.Uint32(buf[headerLen+int(n):])
+	if crc32.ChecksumIEEE(buf[:headerLen+int(n)]) != want {
+		return nil, ErrBadChecksum
+	}
+	return &Frame{
+		Type:       t,
+		Src:        binary.BigEndian.Uint32(buf[4:8]),
+		Dst:        binary.BigEndian.Uint32(buf[8:12]),
+		Seq:        binary.BigEndian.Uint32(buf[12:16]),
+		DurationUS: binary.BigEndian.Uint32(buf[16:20]),
+		Payload:    buf[headerLen : headerLen+int(n)],
+	}, nil
+}
+
+// ScheduleEntry is one slot of a TypeSchedule payload: which client(s)
+// transmit, concurrently or not, and the power scale the weaker client must
+// apply (in millionths, so 1_000_000 = full power).
+type ScheduleEntry struct {
+	// A and B are station ids; B == Broadcast means a solo slot.
+	A, B uint32
+	// Concurrent marks a SIC slot (both transmit at once).
+	Concurrent bool
+	// Multirate marks a §5.3 multirate-packetization slot: the stronger
+	// station switches to its interference-free rate once the weaker
+	// finishes. Only valid on concurrent slots.
+	Multirate bool
+	// WeakScaleMicros is the weaker station's power scale ×10⁶ (0 < s ≤ 10⁶).
+	WeakScaleMicros uint32
+}
+
+const scheduleEntryLen = 13
+
+// ErrBadSchedule reports a malformed schedule payload.
+var ErrBadSchedule = errors.New("frame: malformed schedule payload")
+
+// MarshalSchedule encodes schedule entries as a TypeSchedule payload.
+func MarshalSchedule(entries []ScheduleEntry) ([]byte, error) {
+	if len(entries)*scheduleEntryLen > MaxPayload {
+		return nil, ErrTooLarge
+	}
+	buf := make([]byte, 0, len(entries)*scheduleEntryLen)
+	for i, e := range entries {
+		if e.WeakScaleMicros == 0 || e.WeakScaleMicros > 1_000_000 {
+			return nil, fmt.Errorf("%w: entry %d has power scale %d", ErrBadSchedule, i, e.WeakScaleMicros)
+		}
+		if e.Multirate && !e.Concurrent {
+			return nil, fmt.Errorf("%w: entry %d is multirate but not concurrent", ErrBadSchedule, i)
+		}
+		var rec [scheduleEntryLen]byte
+		binary.BigEndian.PutUint32(rec[0:4], e.A)
+		binary.BigEndian.PutUint32(rec[4:8], e.B)
+		if e.Concurrent {
+			rec[8] |= 0x01
+		}
+		if e.Multirate {
+			rec[8] |= 0x02
+		}
+		binary.BigEndian.PutUint32(rec[9:13], e.WeakScaleMicros)
+		buf = append(buf, rec[:]...)
+	}
+	return buf, nil
+}
+
+// DecodeSchedule parses a TypeSchedule payload.
+func DecodeSchedule(payload []byte) ([]ScheduleEntry, error) {
+	if len(payload)%scheduleEntryLen != 0 {
+		return nil, ErrBadSchedule
+	}
+	out := make([]ScheduleEntry, 0, len(payload)/scheduleEntryLen)
+	for off := 0; off < len(payload); off += scheduleEntryLen {
+		rec := payload[off : off+scheduleEntryLen]
+		flags := rec[8]
+		if flags > 0x03 {
+			return nil, ErrBadSchedule
+		}
+		e := ScheduleEntry{
+			A:               binary.BigEndian.Uint32(rec[0:4]),
+			B:               binary.BigEndian.Uint32(rec[4:8]),
+			Concurrent:      flags&0x01 != 0,
+			Multirate:       flags&0x02 != 0,
+			WeakScaleMicros: binary.BigEndian.Uint32(rec[9:13]),
+		}
+		if e.Multirate && !e.Concurrent {
+			return nil, fmt.Errorf("%w: multirate flag without concurrency", ErrBadSchedule)
+		}
+		if e.WeakScaleMicros == 0 || e.WeakScaleMicros > 1_000_000 {
+			return nil, ErrBadSchedule
+		}
+		if e.Concurrent && e.B == Broadcast {
+			return nil, fmt.Errorf("%w: concurrent solo slot", ErrBadSchedule)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// WeakScale converts the wire representation to the (0,1] float used by the
+// analysis packages.
+func (e ScheduleEntry) WeakScale() float64 {
+	return float64(e.WeakScaleMicros) / 1e6
+}
+
+// ScaleToMicros converts a (0,1] power scale to wire form, clamping tiny
+// values up to 1 micro so the wire invariant (non-zero) holds.
+func ScaleToMicros(s float64) uint32 {
+	if math.IsNaN(s) || s <= 0 {
+		return 1
+	}
+	if s >= 1 {
+		return 1_000_000
+	}
+	v := uint32(math.Round(s * 1e6))
+	if v == 0 {
+		v = 1
+	}
+	return v
+}

@@ -1,0 +1,230 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalDecodeRoundTrip(t *testing.T) {
+	f := &Frame{
+		Type:       TypeData,
+		Src:        7,
+		Dst:        1,
+		Seq:        99,
+		DurationUS: 1500,
+		Payload:    []byte("hello sic"),
+	}
+	buf, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != f.Type || got.Src != f.Src || got.Dst != f.Dst ||
+		got.Seq != f.Seq || got.DurationUS != f.DurationUS ||
+		!bytes.Equal(got.Payload, f.Payload) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, f)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(typeSel uint8, src, dst, seq, dur uint32, payload []byte) bool {
+		types := []Type{TypeData, TypeAck, TypePoll, TypeSchedule}
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		in := &Frame{
+			Type: types[int(typeSel)%len(types)], Src: src, Dst: dst,
+			Seq: seq, DurationUS: dur, Payload: payload,
+		}
+		buf, err := in.Marshal()
+		if err != nil {
+			return false
+		}
+		out, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		return out.Type == in.Type && out.Src == in.Src && out.Dst == in.Dst &&
+			out.Seq == in.Seq && out.DurationUS == in.DurationUS &&
+			bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarshalRejectsBadFrames(t *testing.T) {
+	if _, err := (&Frame{Type: Type(9)}).Marshal(); !errors.Is(err, ErrBadType) {
+		t.Errorf("unknown type: %v", err)
+	}
+	if _, err := (&Frame{Type: TypeData, Payload: make([]byte, MaxPayload+1)}).Marshal(); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized payload: %v", err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	f := &Frame{Type: TypeAck, Src: 1, Dst: 2, Seq: 3, Payload: []byte{1, 2, 3}}
+	good, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(mutate func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		mutate(b)
+		return b
+	}
+
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"short", good[:10], ErrTooShort},
+		{"magic", corrupt(func(b []byte) { b[0] = 0 }), ErrBadMagic},
+		{"version", corrupt(func(b []byte) { b[2] = 99 }), ErrBadVersion},
+		{"type", corrupt(func(b []byte) { b[3] = 200 }), ErrBadType},
+		{"length", corrupt(func(b []byte) { b[23] = 200 }), ErrBadLength},
+		{"crc", corrupt(func(b []byte) { b[len(b)-1] ^= 0xff }), ErrBadChecksum},
+		{"payload flip", corrupt(func(b []byte) { b[25] ^= 0x01 }), ErrBadChecksum},
+		{"truncated", good[:len(good)-1], ErrBadLength},
+		{"padded", append(append([]byte(nil), good...), 0), ErrBadLength},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c.buf); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestDecodeRejectsHugeLengthField(t *testing.T) {
+	f := &Frame{Type: TypeData, Payload: []byte{1}}
+	buf, _ := f.Marshal()
+	// Overwrite the length field with something enormous.
+	buf[20], buf[21], buf[22], buf[23] = 0xff, 0xff, 0xff, 0xff
+	if _, err := Decode(buf); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("huge length: %v", err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	want := map[Type]string{
+		TypeData: "data", TypeAck: "ack", TypePoll: "poll", TypeSchedule: "schedule",
+		Type(77): "Type(77)",
+	}
+	for ty, s := range want {
+		if ty.String() != s {
+			t.Errorf("%d.String() = %q, want %q", uint8(ty), ty.String(), s)
+		}
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	entries := []ScheduleEntry{
+		{A: 1, B: 2, Concurrent: true, WeakScaleMicros: 730000},
+		{A: 3, B: 4, Concurrent: false, WeakScaleMicros: 1000000},
+		{A: 5, B: Broadcast, Concurrent: false, WeakScaleMicros: 1000000},
+	}
+	payload, err := MarshalSchedule(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSchedule(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(entries) {
+		t.Fatalf("got %d entries, want %d", len(back), len(entries))
+	}
+	for i := range entries {
+		if back[i] != entries[i] {
+			t.Errorf("entry %d: %+v != %+v", i, back[i], entries[i])
+		}
+	}
+}
+
+func TestScheduleThroughFrame(t *testing.T) {
+	payload, err := MarshalSchedule([]ScheduleEntry{{A: 1, B: 2, Concurrent: true, WeakScaleMicros: 500000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Frame{Type: TypeSchedule, Src: 0, Dst: Broadcast, Payload: payload}
+	buf, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := DecodeSchedule(got.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].WeakScale() != 0.5 {
+		t.Errorf("bad entries %+v", entries)
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	if _, err := MarshalSchedule([]ScheduleEntry{{A: 1, B: 2, WeakScaleMicros: 0}}); err == nil {
+		t.Error("zero power scale accepted")
+	}
+	if _, err := MarshalSchedule([]ScheduleEntry{{A: 1, B: 2, WeakScaleMicros: 2_000_000}}); err == nil {
+		t.Error("super-unity power scale accepted")
+	}
+	if _, err := DecodeSchedule([]byte{1, 2, 3}); err == nil {
+		t.Error("ragged payload accepted")
+	}
+	// Concurrent solo slot is nonsense.
+	bad := make([]byte, scheduleEntryLen)
+	for i := 0; i < 8; i++ {
+		bad[i] = 0xff // A, B = Broadcast
+	}
+	bad[8] = 1                   // concurrent
+	bad[9], bad[12] = 0x00, 0x01 // scale = 1
+	if _, err := DecodeSchedule(bad); err == nil {
+		t.Error("concurrent solo slot accepted")
+	}
+	// Flag byte other than 0/1.
+	bad2 := make([]byte, scheduleEntryLen)
+	bad2[8] = 7
+	bad2[12] = 1
+	if _, err := DecodeSchedule(bad2); err == nil {
+		t.Error("bad flag byte accepted")
+	}
+}
+
+func TestScaleToMicros(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want uint32
+	}{
+		{1, 1_000_000},
+		{2, 1_000_000},
+		{0.5, 500_000},
+		{0, 1},
+		{-3, 1},
+		{1e-9, 1},
+	}
+	for _, c := range cases {
+		if got := ScaleToMicros(c.in); got != c.want {
+			t.Errorf("ScaleToMicros(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMarshalScheduleTooLarge(t *testing.T) {
+	entries := make([]ScheduleEntry, MaxPayload/scheduleEntryLen+1)
+	for i := range entries {
+		entries[i] = ScheduleEntry{A: 1, B: 2, WeakScaleMicros: 1}
+	}
+	if _, err := MarshalSchedule(entries); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized schedule: %v", err)
+	}
+}

@@ -1,0 +1,61 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the frame parser with arbitrary bytes: it must never
+// panic, and whenever it does accept a buffer, re-marshalling the decoded
+// frame must reproduce the input exactly (canonical wire form).
+func FuzzDecode(f *testing.F) {
+	// Seed with valid frames of each type and some corruptions.
+	for _, ft := range []Type{TypeData, TypeAck, TypePoll, TypeSchedule} {
+		fr := &Frame{Type: ft, Src: 1, Dst: 2, Seq: 3, DurationUS: 4, Payload: []byte("seed")}
+		if buf, err := fr.Marshal(); err == nil {
+			f.Add(buf)
+		}
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Decode(data)
+		if err != nil {
+			return // rejection is always acceptable
+		}
+		out, err := fr.Marshal()
+		if err != nil {
+			t.Fatalf("decoded frame failed to marshal: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("re-marshal differs from accepted input:\n in: %x\nout: %x", data, out)
+		}
+	})
+}
+
+// FuzzDecodeSchedule checks the schedule payload parser the same way.
+func FuzzDecodeSchedule(f *testing.F) {
+	if p, err := MarshalSchedule([]ScheduleEntry{
+		{A: 1, B: 2, Concurrent: true, WeakScaleMicros: 500000},
+		{A: 3, B: Broadcast, WeakScaleMicros: 1000000},
+	}); err == nil {
+		f.Add(p)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x01}, scheduleEntryLen*3))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodeSchedule(data)
+		if err != nil {
+			return
+		}
+		out, err := MarshalSchedule(entries)
+		if err != nil {
+			t.Fatalf("decoded schedule failed to marshal: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("re-marshal differs from accepted input:\n in: %x\nout: %x", data, out)
+		}
+	})
+}

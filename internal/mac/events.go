@@ -1,0 +1,64 @@
+package mac
+
+import "container/heap"
+
+// eventKind discriminates simulator events.
+type eventKind int
+
+const (
+	evTxEnd eventKind = iota
+	evAckEnd
+	evSlotDone
+)
+
+// event is one scheduled occurrence on the simulated timeline.
+type event struct {
+	at      float64
+	kind    eventKind
+	station uint32 // transmitter involved, if any
+	seq     uint64 // tie-break so ordering is deterministic
+	// payload carries the decoded frame bytes for events that deliver one.
+	payload []byte
+}
+
+// eventQueue is a time-ordered min-heap of events.
+type eventQueue struct {
+	items []event
+	seq   uint64
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	if q.items[i].at != q.items[j].at {
+		return q.items[i].at < q.items[j].at
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+
+func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *eventQueue) Push(x any) { q.items = append(q.items, x.(event)) }
+
+func (q *eventQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}
+
+// schedule enqueues an event, stamping it for deterministic ordering.
+func (q *eventQueue) schedule(e event) {
+	e.seq = q.seq
+	q.seq++
+	heap.Push(q, e)
+}
+
+// next pops the earliest event; ok is false when the queue is drained.
+func (q *eventQueue) next() (event, bool) {
+	if q.Len() == 0 {
+		return event{}, false
+	}
+	return heap.Pop(q).(event), true
+}

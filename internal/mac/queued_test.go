@@ -1,0 +1,168 @@
+package mac
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/phy"
+)
+
+func queuedCfg(rate float64) QueuedConfig {
+	return QueuedConfig{
+		Config:      cfg(),
+		ArrivalRate: rate,
+		Horizon:     0.05, // 50 ms of arrivals
+	}
+}
+
+func queuedStations() []Station {
+	return []Station{
+		{ID: 1, SNR: phy.FromDB(32)},
+		{ID: 2, SNR: phy.FromDB(16)},
+		{ID: 3, SNR: phy.FromDB(28)},
+		{ID: 4, SNR: phy.FromDB(13)},
+	}
+}
+
+func TestQueuedConfigValidation(t *testing.T) {
+	bad := queuedCfg(100)
+	bad.ArrivalRate = 0
+	if _, err := RunQueuedSerial(queuedStations(), bad); err == nil {
+		t.Error("zero arrival rate accepted")
+	}
+	bad = queuedCfg(100)
+	bad.Horizon = 0
+	if _, err := RunQueuedSerial(queuedStations(), bad); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	bad = queuedCfg(100)
+	bad.PacketBits = 0
+	if _, err := RunQueuedScheduled(queuedStations(), bad, schedOpts()); err == nil {
+		t.Error("invalid base config accepted")
+	}
+}
+
+func TestQueuedDeliversEverything(t *testing.T) {
+	qc := queuedCfg(400)
+	serial, err := RunQueuedSerial(queuedStations(), qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheduled, err := RunQueuedScheduled(queuedStations(), qc, schedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Delivered == 0 {
+		t.Fatal("no packets generated; raise the arrival rate or horizon")
+	}
+	// Arrival processes are seed-determined, identical across MACs.
+	if serial.Delivered != scheduled.Delivered {
+		t.Errorf("delivered mismatch: serial %d vs scheduled %d", serial.Delivered, scheduled.Delivered)
+	}
+	for _, r := range []QueuedResult{serial, scheduled} {
+		if r.MeanDelay <= 0 || r.P95Delay < r.MeanDelay || r.MaxDelay < r.P95Delay {
+			t.Errorf("implausible delay stats: %+v", r)
+		}
+		if r.Duration < qc.Horizon*0 { // duration is positive by construction
+			t.Errorf("bad duration %v", r.Duration)
+		}
+	}
+}
+
+func TestQueuedDelayGrowsWithLoad(t *testing.T) {
+	sts := queuedStations()
+	prevSerial, prevSched := 0.0, 0.0
+	for _, rate := range []float64{200, 800, 2400} {
+		qc := queuedCfg(rate)
+		serial, err := RunQueuedSerial(sts, qc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scheduled, err := RunQueuedScheduled(sts, qc, schedOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.MeanDelay < prevSerial*0.5 {
+			t.Errorf("serial delay dropped sharply as load grew: %v after %v", serial.MeanDelay, prevSerial)
+		}
+		if scheduled.MeanDelay < prevSched*0.5 {
+			t.Errorf("scheduled delay dropped sharply as load grew: %v after %v", scheduled.MeanDelay, prevSched)
+		}
+		prevSerial, prevSched = serial.MeanDelay, scheduled.MeanDelay
+	}
+}
+
+func TestQueuedSICBeatsSerialUnderHighLoad(t *testing.T) {
+	// Near saturation the SIC scheduler's extra capacity must show up as
+	// lower delay.
+	sts := []Station{
+		{ID: 1, SNR: phy.FromDB(30)},
+		{ID: 2, SNR: phy.FromDB(15)},
+		{ID: 3, SNR: phy.FromDB(28)},
+		{ID: 4, SNR: phy.FromDB(14)},
+	}
+	qc := queuedCfg(2500)
+	serial, err := RunQueuedSerial(sts, qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheduled, err := RunQueuedScheduled(sts, qc, schedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheduled.MeanDelay >= serial.MeanDelay {
+		t.Errorf("scheduled mean delay %v should beat serial %v at high load",
+			scheduled.MeanDelay, serial.MeanDelay)
+	}
+	if scheduled.Duration >= serial.Duration {
+		t.Errorf("scheduled duration %v should beat serial %v at high load",
+			scheduled.Duration, serial.Duration)
+	}
+}
+
+func TestQueuedDeterministic(t *testing.T) {
+	qc := queuedCfg(600)
+	a, err := RunQueuedScheduled(queuedStations(), qc, schedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunQueuedScheduled(queuedStations(), qc, schedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("identical runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestQueuedImperfectSICStillDrains(t *testing.T) {
+	qc := queuedCfg(400)
+	qc.Residual = 0.02
+	qc.MaxRounds = 100000
+	res, err := RunQueuedScheduled(queuedStations(), qc, schedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfect := queuedCfg(400)
+	base, err := RunQueuedScheduled(queuedStations(), perfect, schedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != base.Delivered {
+		t.Errorf("imperfect SIC lost packets: %d vs %d", res.Delivered, base.Delivered)
+	}
+	if res.MeanDelay < base.MeanDelay {
+		t.Errorf("imperfect SIC delay %v should not beat perfect %v", res.MeanDelay, base.MeanDelay)
+	}
+}
+
+func TestQueuedLoadMetric(t *testing.T) {
+	qc := queuedCfg(1000)
+	res, err := RunQueuedSerial(queuedStations(), qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OfferedLoad <= 0 || math.IsInf(res.OfferedLoad, 0) {
+		t.Errorf("bad offered load %v", res.OfferedLoad)
+	}
+}

@@ -1,0 +1,212 @@
+// Package mc is the Monte-Carlo harness behind the paper's randomised
+// evaluations: Fig. 6 (two transmitters to two receivers) and Fig. 11
+// (technique comparison). Topologies are drawn exactly as §3.2 describes —
+// transmitters a fixed distance apart, receivers uniform within range — and
+// every trial derives its RNG deterministically from the config seed, so
+// runs are reproducible and parallelisable.
+package mc
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/phy"
+	"repro/internal/topo"
+)
+
+// Config parameterises a Monte-Carlo experiment.
+type Config struct {
+	// Trials is the number of random topologies (the paper uses 10 000).
+	Trials int
+	// Seed feeds the per-trial RNGs.
+	Seed int64
+	// Separation is the transmitter-to-transmitter distance in meters
+	// (two-receiver experiments only).
+	Separation float64
+	// Range is the radius within which each receiver (or transmitter, for
+	// the common-receiver experiment) is placed, in meters.
+	Range float64
+	// PathLoss converts distance to received SNR.
+	PathLoss phy.PathLoss
+	// Channel supplies bandwidth for all capacity computations.
+	Channel phy.Channel
+	// PacketBits is the packet size used in all completion-time formulas.
+	PacketBits float64
+}
+
+func (c Config) validate() error {
+	if c.Trials <= 0 {
+		return errors.New("mc: Trials must be positive")
+	}
+	if c.Range <= 0 {
+		return errors.New("mc: Range must be positive")
+	}
+	if c.PacketBits <= 0 {
+		return errors.New("mc: PacketBits must be positive")
+	}
+	if c.Channel.BandwidthHz <= 0 {
+		return errors.New("mc: Channel is required")
+	}
+	if c.PathLoss.RefSNR <= 0 {
+		return errors.New("mc: PathLoss is required")
+	}
+	return nil
+}
+
+// runParallel evaluates f once per trial index across a worker pool,
+// collecting one sample per trial in order. Each trial gets its own RNG
+// seeded from Config.Seed and the trial index, making the result
+// independent of scheduling.
+func runParallel(cfg Config, f func(rng *rand.Rand) float64) []float64 {
+	out := make([]float64, cfg.Trials)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := 0; i < cfg.Trials; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*0x9e3779b9))
+				out[i] = f(rng)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// TwoReceiverGains reproduces the Fig. 6 experiment: random two-link
+// topologies, SIC gain Z₋SIC/Z₊SIC per topology (1 when SIC is infeasible
+// or unneeded).
+func TwoReceiverGains(cfg Config) ([]float64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Separation <= 0 {
+		return nil, errors.New("mc: Separation must be positive for two-receiver experiments")
+	}
+	return runParallel(cfg, func(rng *rand.Rand) float64 {
+		x := crossSample(cfg, rng)
+		return x.Gain(cfg.Channel, cfg.PacketBits)
+	}), nil
+}
+
+// crossSample draws one §3.2 topology and evaluates its RSS matrix.
+func crossSample(cfg Config, rng *rand.Rand) core.Cross {
+	pl := topo.PlaceTwoLinks(rng, cfg.Separation, cfg.Range)
+	var x core.Cross
+	x.S[0][0] = cfg.PathLoss.SNRAt(pl.T1.Dist(pl.R1))
+	x.S[0][1] = cfg.PathLoss.SNRAt(pl.T2.Dist(pl.R1))
+	x.S[1][0] = cfg.PathLoss.SNRAt(pl.T1.Dist(pl.R2))
+	x.S[1][1] = cfg.PathLoss.SNRAt(pl.T2.Dist(pl.R2))
+	return x
+}
+
+// Technique labels the §5 mechanisms compared in Fig. 11.
+type Technique int
+
+const (
+	// TechSIC is plain SIC concurrency with serial fallback.
+	TechSIC Technique = iota
+	// TechPowerControl is SIC plus §5.2 power reduction.
+	TechPowerControl
+	// TechMultirate is SIC plus §5.3 multirate packetization.
+	TechMultirate
+	// TechPacking is SIC plus §5.4 packet packing.
+	TechPacking
+)
+
+// String implements fmt.Stringer.
+func (t Technique) String() string {
+	switch t {
+	case TechSIC:
+		return "SIC"
+	case TechPowerControl:
+		return "SIC+power-control"
+	case TechMultirate:
+		return "SIC+multirate"
+	case TechPacking:
+		return "SIC+packing"
+	}
+	return "unknown-technique"
+}
+
+// SameReceiverGains reproduces the one-receiver half of Fig. 11: random
+// two-transmitter/common-receiver topologies (transmitters uniform within
+// Range of the receiver) and the gain of the chosen technique over the
+// serial baseline. The serial fallback is always available, so samples are
+// ≥ 1.
+func SameReceiverGains(cfg Config, tech Technique) ([]float64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return runParallel(cfg, func(rng *rand.Rand) float64 {
+		rx := topo.Point{}
+		t1 := topo.UniformInDisc(rng, rx, cfg.Range)
+		t2 := topo.UniformInDisc(rng, rx, cfg.Range)
+		p := core.Pair{
+			S1: cfg.PathLoss.SNRAt(rx.Dist(t1)),
+			S2: cfg.PathLoss.SNRAt(rx.Dist(t2)),
+		}
+		serial := p.SerialTime(cfg.Channel, cfg.PacketBits)
+		var t float64
+		switch tech {
+		case TechPowerControl:
+			t = p.SICTimeWithPowerControl(cfg.Channel, cfg.PacketBits)
+		case TechMultirate:
+			t = p.MultirateTime(cfg.Channel, cfg.PacketBits)
+		case TechPacking:
+			g := p.PackingGain(cfg.Channel, cfg.PacketBits)
+			if g < 1 {
+				g = 1
+			}
+			return g
+		default:
+			t = p.SICTime(cfg.Channel, cfg.PacketBits)
+		}
+		if t >= serial {
+			return 1
+		}
+		return serial / t
+	}), nil
+}
+
+// TwoReceiverTechniqueGains reproduces the two-receiver half of Fig. 11:
+// per-topology gain for plain SIC or SIC-with-packing. (Multirate
+// packetization is impossible in this scenario — the paper's §5.5 — and
+// power control has no lever because each transmission already runs at its
+// receiver-limited rate.)
+func TwoReceiverTechniqueGains(cfg Config, tech Technique) ([]float64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Separation <= 0 {
+		return nil, errors.New("mc: Separation must be positive for two-receiver experiments")
+	}
+	return runParallel(cfg, func(rng *rand.Rand) float64 {
+		x := crossSample(cfg, rng)
+		switch tech {
+		case TechPacking:
+			base := x.Gain(cfg.Channel, cfg.PacketBits)
+			if g, ok := x.CrossPack(cfg.Channel, cfg.PacketBits); ok && g > base {
+				return g
+			}
+			return base
+		default:
+			return x.Gain(cfg.Channel, cfg.PacketBits)
+		}
+	}), nil
+}

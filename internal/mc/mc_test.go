@@ -1,0 +1,190 @@
+package mc
+
+import (
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/stats"
+)
+
+func testConfig(trials int) Config {
+	pl, err := phy.NewPathLoss(4, 1, 60)
+	if err != nil {
+		panic(err)
+	}
+	return Config{
+		Trials: trials,
+		Seed:   1,
+		// The paper separates transmitters by the range itself, so the
+		// coverage discs overlap and SIC's topological conditions occur.
+		Separation: 20,
+		Range:      20,
+		PathLoss:   pl,
+		Channel:    phy.Wifi20MHz,
+		PacketBits: 12000,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := testConfig(10)
+	bad := base
+	bad.Trials = 0
+	if _, err := TwoReceiverGains(bad); err == nil {
+		t.Error("zero trials accepted")
+	}
+	bad = base
+	bad.Range = 0
+	if _, err := TwoReceiverGains(bad); err == nil {
+		t.Error("zero range accepted")
+	}
+	bad = base
+	bad.Separation = 0
+	if _, err := TwoReceiverGains(bad); err == nil {
+		t.Error("zero separation accepted for two-receiver")
+	}
+	bad = base
+	bad.PacketBits = 0
+	if _, err := SameReceiverGains(bad, TechSIC); err == nil {
+		t.Error("zero packet bits accepted")
+	}
+	bad = base
+	bad.Channel = phy.Channel{}
+	if _, err := SameReceiverGains(bad, TechSIC); err == nil {
+		t.Error("zero channel accepted")
+	}
+	bad = base
+	bad.PathLoss = phy.PathLoss{}
+	if _, err := SameReceiverGains(bad, TechSIC); err == nil {
+		t.Error("zero path loss accepted")
+	}
+}
+
+func TestTwoReceiverGainsMatchPaperShape(t *testing.T) {
+	// Fig. 6's headline: no gain from SIC in ~90% of random two-receiver
+	// topologies. Allow a generous band around the paper's number.
+	gains, err := TwoReceiverGains(testConfig(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := stats.NewECDF(gains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noGain := e.At(1.0)
+	if noGain < 0.70 || noGain > 0.999 {
+		t.Errorf("fraction with no SIC gain = %v, want the large majority (paper: ≈0.9)", noGain)
+	}
+	for _, g := range gains {
+		if g < 1-1e-12 {
+			t.Fatalf("gain %v below 1", g)
+		}
+	}
+}
+
+func TestTwoReceiverGainsDeterministic(t *testing.T) {
+	a, err := TwoReceiverGains(testConfig(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TwoReceiverGains(testConfig(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d differs between identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSameReceiverTechniqueOrdering(t *testing.T) {
+	// Fig. 11a: every technique dominates plain SIC in distribution, and
+	// plain SIC itself yields gains ≥ 1.
+	cfg := testConfig(4000)
+	sic, err := SameReceiverGains(cfg, TechSIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tech := range []Technique{TechPowerControl, TechMultirate, TechPacking} {
+		withTech, err := SameReceiverGains(cfg, tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Identical seeds → same topology per index → pointwise comparison
+		// is meaningful.
+		worse := 0
+		for i := range sic {
+			if withTech[i] < sic[i]-1e-9 {
+				worse++
+			}
+		}
+		if worse > 0 {
+			t.Errorf("%v made %d/%d topologies worse than plain SIC", tech, worse, len(sic))
+		}
+	}
+}
+
+func TestSameReceiverSICGainBand(t *testing.T) {
+	// Fig. 11a: plain SIC gains over 20% in roughly 20% of topologies —
+	// modest but real. Accept a broad band.
+	gains, err := SameReceiverGains(testConfig(5000), TechSIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := stats.NewECDF(gains)
+	frac := e.FracAbove(1.2)
+	if frac < 0.03 || frac > 0.6 {
+		t.Errorf("fraction of one-receiver topologies with >20%% SIC gain = %v, want a modest minority (paper: ≈0.2)", frac)
+	}
+}
+
+func TestTechniquesBeatPlainSICInAggregate(t *testing.T) {
+	// Fig. 11a: with a mechanism, >20% gain in ~40% of topologies — roughly
+	// double plain SIC's fraction. Check the aggregate ordering.
+	cfg := testConfig(5000)
+	sic, _ := SameReceiverGains(cfg, TechSIC)
+	pc, _ := SameReceiverGains(cfg, TechPowerControl)
+	eSIC, _ := stats.NewECDF(sic)
+	ePC, _ := stats.NewECDF(pc)
+	if ePC.FracAbove(1.2) <= eSIC.FracAbove(1.2) {
+		t.Errorf("power control should raise the >20%%-gain fraction: %v vs %v",
+			ePC.FracAbove(1.2), eSIC.FracAbove(1.2))
+	}
+}
+
+func TestTwoReceiverTechniqueGains(t *testing.T) {
+	cfg := testConfig(4000)
+	plain, err := TwoReceiverTechniqueGains(cfg, TechSIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := TwoReceiverTechniqueGains(cfg, TechPacking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if packed[i] < plain[i]-1e-9 {
+			t.Fatalf("packing made topology %d worse: %v < %v", i, packed[i], plain[i])
+		}
+	}
+	// Fig. 11b: even with optimisations the two-receiver case gains little.
+	ePacked, _ := stats.NewECDF(packed)
+	if frac := ePacked.FracAbove(1.2); frac > 0.5 {
+		t.Errorf("two-receiver packing >20%% gain fraction = %v; paper says very little gain", frac)
+	}
+}
+
+func TestTechniqueString(t *testing.T) {
+	want := map[Technique]string{
+		TechSIC:          "SIC",
+		TechPowerControl: "SIC+power-control",
+		TechMultirate:    "SIC+multirate",
+		TechPacking:      "SIC+packing",
+		Technique(42):    "unknown-technique",
+	}
+	for tech, s := range want {
+		if tech.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(tech), tech.String(), s)
+		}
+	}
+}

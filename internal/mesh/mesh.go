@@ -1,0 +1,262 @@
+// Package mesh models the paper's §4.3 multihop mesh setting as a real
+// substrate: router topologies, expected-transmission-time routing, and
+// TDMA link scheduling in which two links may be active simultaneously
+// either because their mutual interference is negligible (ordinary spatial
+// reuse) or because a receiver can decode-and-cancel the interfering
+// transmission (SIC — the self-interference case of the A→C→D→E pipeline).
+//
+// The paper's observation falls out of the model: long-hop/short-hop/long-
+// hop paths are "a perfect recipe for SIC" because the relay hears the
+// downstream transmitter loudly enough to cancel it, while uniformly short
+// hops push the downstream rate beyond what the relay can decode.
+package mesh
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/phy"
+	"repro/internal/topo"
+)
+
+// Network is a set of mesh routers over a propagation model.
+type Network struct {
+	// Nodes are router positions.
+	Nodes []topo.Point
+	// PathLoss maps distance to SNR.
+	PathLoss phy.PathLoss
+	// Channel supplies bandwidth.
+	Channel phy.Channel
+	// MinLinkSNRdB is the weakest usable link (routing ignores links below
+	// it). Default 3 dB via NewChain/NewNetwork.
+	MinLinkSNRdB float64
+}
+
+// NewNetwork builds a mesh over explicit positions.
+func NewNetwork(nodes []topo.Point, pl phy.PathLoss, ch phy.Channel) (*Network, error) {
+	if len(nodes) < 2 {
+		return nil, errors.New("mesh: need at least two nodes")
+	}
+	if pl.RefSNR <= 0 {
+		return nil, errors.New("mesh: PathLoss is required")
+	}
+	if ch.BandwidthHz <= 0 {
+		return nil, errors.New("mesh: Channel is required")
+	}
+	return &Network{
+		Nodes:        nodes,
+		PathLoss:     pl,
+		Channel:      ch,
+		MinLinkSNRdB: 3,
+	}, nil
+}
+
+// NewChain builds a linear topology with the given hop lengths (meters):
+// node 0 at the origin, node i+1 hopLens[i] meters further along the x-axis.
+func NewChain(hopLens []float64, pl phy.PathLoss, ch phy.Channel) (*Network, error) {
+	if len(hopLens) == 0 {
+		return nil, errors.New("mesh: chain needs at least one hop")
+	}
+	nodes := make([]topo.Point, len(hopLens)+1)
+	x := 0.0
+	for i, h := range hopLens {
+		if h <= 0 {
+			return nil, fmt.Errorf("mesh: non-positive hop length %v at %d", h, i)
+		}
+		x += h
+		nodes[i+1] = topo.Point{X: x}
+	}
+	return NewNetwork(nodes, pl, ch)
+}
+
+// SNR returns the linear SNR of a transmission from node i heard at node j.
+func (n *Network) SNR(i, j int) float64 {
+	return n.PathLoss.SNRAt(n.Nodes[i].Dist(n.Nodes[j]))
+}
+
+// Link is a directed transmission i → j.
+type Link struct {
+	From, To int
+}
+
+// Rate returns the link's interference-free Shannon rate.
+func (n *Network) Rate(l Link) float64 {
+	return n.Channel.Capacity(n.SNR(l.From, l.To))
+}
+
+// Route computes the minimum-ETT path (expected transmission time: packet
+// airtime at the link's clean rate) from src to dst using Dijkstra over all
+// usable links. It returns the node sequence including both endpoints.
+func (n *Network) Route(src, dst int, bits float64) ([]int, error) {
+	if src < 0 || src >= len(n.Nodes) || dst < 0 || dst >= len(n.Nodes) {
+		return nil, errors.New("mesh: route endpoints out of range")
+	}
+	if src == dst {
+		return []int{src}, nil
+	}
+	if bits <= 0 {
+		return nil, errors.New("mesh: bits must be positive")
+	}
+	minSNR := phy.FromDB(n.MinLinkSNRdB)
+
+	const unvisited = -1
+	dist := make([]float64, len(n.Nodes))
+	prev := make([]int, len(n.Nodes))
+	done := make([]bool, len(n.Nodes))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = unvisited
+	}
+	dist[src] = 0
+	for {
+		u, best := -1, math.Inf(1)
+		for i := range dist {
+			if !done[i] && dist[i] < best {
+				u, best = i, dist[i]
+			}
+		}
+		if u == -1 {
+			break
+		}
+		if u == dst {
+			break
+		}
+		done[u] = true
+		for v := range n.Nodes {
+			if v == u || done[v] {
+				continue
+			}
+			snr := n.SNR(u, v)
+			if snr < minSNR {
+				continue
+			}
+			ett := phy.TxTime(bits, n.Channel.Capacity(snr))
+			if d := dist[u] + ett; d < dist[v] {
+				dist[v] = d
+				prev[v] = u
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil, fmt.Errorf("mesh: no route from %d to %d", src, dst)
+	}
+	var path []int
+	for v := dst; v != unvisited; v = prev[v] {
+		path = append(path, v)
+		if v == src {
+			break
+		}
+	}
+	// Reverse in place.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	if path[0] != src {
+		return nil, fmt.Errorf("mesh: route reconstruction failed")
+	}
+	return path, nil
+}
+
+// Compatible reports whether two links can be active in the same TDMA slot.
+// Links sharing a node never can (half-duplex radios). Otherwise each
+// receiver must cope with the other link's transmitter, using the paper's
+// own interference convention (§3.2's case analysis):
+//
+//   - interference strictly weaker than the signal of interest: tolerated
+//     (capture — the paper's Eqs. 7-9 keep such a receiver at its clean
+//     rate), with or without SIC;
+//   - interference at or above the signal: allowed only with SIC, and only
+//     if the interferer's own-link rate is decodable at this receiver (the
+//     §4.3 condition) — then it is cancelled and the link runs clean.
+func (n *Network) Compatible(a, b Link, sic bool) bool {
+	if a.From == b.From || a.From == b.To || a.To == b.From || a.To == b.To {
+		return false
+	}
+	return n.receiverTolerates(a, b, sic) && n.receiverTolerates(b, a, sic)
+}
+
+// receiverTolerates checks link v's receiver against link i's transmitter.
+func (n *Network) receiverTolerates(v, i Link, sic bool) bool {
+	interf := n.SNR(i.From, v.To)
+	signal := n.SNR(v.From, v.To)
+	if interf < signal {
+		return true // weaker interference: capture, per the paper's convention
+	}
+	if !sic {
+		return false
+	}
+	// SIC: decode the interferer first. It transmits at its own link's
+	// clean rate; our SINR for it must support that rate.
+	interfererRate := n.Rate(i)
+	return n.Channel.Capacity(phy.SINR(interf, signal)) >= interfererRate
+}
+
+// FlowSchedule is the steady-state TDMA schedule of one flow's path.
+type FlowSchedule struct {
+	// Groups are sets of path-link indices active together; the slot time
+	// of a group is its slowest member's airtime.
+	Groups [][]int
+	// CycleTime is the per-packet pipeline period (sum of group slots).
+	CycleTime float64
+	// Throughput is bits per CycleTime.
+	Throughput float64
+}
+
+// ScheduleFlow builds a greedy link-grouping schedule for the path: each
+// link joins the first earlier group whose members it is compatible with.
+// With sic=false only plain spatial reuse groups links; with sic=true the
+// §4.3 cancellation concurrency applies too.
+func (n *Network) ScheduleFlow(path []int, bits float64, sic bool) (FlowSchedule, error) {
+	if len(path) < 2 {
+		return FlowSchedule{}, errors.New("mesh: path needs at least one link")
+	}
+	if bits <= 0 {
+		return FlowSchedule{}, errors.New("mesh: bits must be positive")
+	}
+	links := make([]Link, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		links[i] = Link{From: path[i], To: path[i+1]}
+		if n.Rate(links[i]) <= 0 {
+			return FlowSchedule{}, fmt.Errorf("mesh: dead link %d→%d", path[i], path[i+1])
+		}
+	}
+
+	var groups [][]int
+	for li := range links {
+		placed := false
+		for gi := range groups {
+			ok := true
+			for _, other := range groups[gi] {
+				if !n.Compatible(links[li], links[other], sic) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				groups[gi] = append(groups[gi], li)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, []int{li})
+		}
+	}
+
+	var cycle float64
+	for _, g := range groups {
+		worst := 0.0
+		for _, li := range g {
+			if t := phy.TxTime(bits, n.Rate(links[li])); t > worst {
+				worst = t
+			}
+		}
+		cycle += worst
+	}
+	return FlowSchedule{
+		Groups:     groups,
+		CycleTime:  cycle,
+		Throughput: bits / cycle,
+	}, nil
+}

@@ -1,0 +1,283 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/topo"
+)
+
+func pl(t *testing.T) phy.PathLoss {
+	t.Helper()
+	p, err := phy.NewPathLoss(3.2, 1, 58)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const bits = 12000.0
+
+func TestConstructorsValidate(t *testing.T) {
+	good := pl(t)
+	if _, err := NewNetwork([]topo.Point{{}}, good, phy.Wifi20MHz); err == nil {
+		t.Error("single node accepted")
+	}
+	if _, err := NewNetwork([]topo.Point{{}, {X: 5}}, phy.PathLoss{}, phy.Wifi20MHz); err == nil {
+		t.Error("empty path loss accepted")
+	}
+	if _, err := NewNetwork([]topo.Point{{}, {X: 5}}, good, phy.Channel{}); err == nil {
+		t.Error("empty channel accepted")
+	}
+	if _, err := NewChain(nil, good, phy.Wifi20MHz); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if _, err := NewChain([]float64{10, -1}, good, phy.Wifi20MHz); err == nil {
+		t.Error("negative hop accepted")
+	}
+}
+
+func TestChainGeometry(t *testing.T) {
+	n, err := NewChain([]float64{10, 4, 10}, pl(t), phy.Wifi20MHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Nodes) != 4 {
+		t.Fatalf("chain has %d nodes, want 4", len(n.Nodes))
+	}
+	if n.Nodes[3].X != 24 {
+		t.Errorf("last node at %v, want 24", n.Nodes[3].X)
+	}
+	// SNR symmetric in distance.
+	if n.SNR(0, 2) != n.SNR(2, 0) {
+		t.Error("SNR not symmetric")
+	}
+}
+
+func TestRouteChain(t *testing.T) {
+	// Long chain: hop-by-hop beats any long jump under α=3.2.
+	n, err := NewChain([]float64{20, 20, 20, 20}, pl(t), phy.Wifi20MHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := n.Route(0, 4, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3, 4}
+	if len(path) != len(want) {
+		t.Fatalf("path %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path %v, want %v", path, want)
+		}
+	}
+}
+
+func TestRouteSkipsUselessRelays(t *testing.T) {
+	// A relay a tiny detour away from a short direct hop: ETT routing must
+	// go direct.
+	nodes := []topo.Point{{}, {X: 4, Y: 0.5}, {X: 8}}
+	n, err := NewNetwork(nodes, pl(t), phy.Wifi20MHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := n.Route(0, 2, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 {
+		t.Errorf("expected the direct link, got %v", path)
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	n, err := NewChain([]float64{10}, pl(t), phy.Wifi20MHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Route(-1, 1, bits); err == nil {
+		t.Error("bad src accepted")
+	}
+	if _, err := n.Route(0, 1, 0); err == nil {
+		t.Error("zero bits accepted")
+	}
+	p, err := n.Route(0, 0, bits)
+	if err != nil || len(p) != 1 {
+		t.Errorf("self route: %v %v", p, err)
+	}
+	// Unreachable: a node far beyond the usable-SNR horizon.
+	far, err := NewNetwork([]topo.Point{{}, {X: 1e6}}, pl(t), phy.Wifi20MHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := far.Route(0, 1, bits); err == nil {
+		t.Error("unreachable route accepted")
+	}
+}
+
+func TestCompatibleSharedNode(t *testing.T) {
+	n, err := NewChain([]float64{10, 10}, pl(t), phy.Wifi20MHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Links sharing node 1 can never be concurrent.
+	if n.Compatible(Link{0, 1}, Link{1, 2}, true) {
+		t.Error("links sharing a node reported compatible")
+	}
+}
+
+// The §4.3 recipe: long-short-long chain, A→C concurrent with D→E via SIC.
+func TestLongShortLongEnablesSIC(t *testing.T) {
+	n, err := NewChain([]float64{30, 4, 30}, pl(t), phy.Wifi20MHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac := Link{0, 1}
+	de := Link{2, 3}
+	if !n.Compatible(ac, de, true) {
+		t.Error("long-short-long should allow SIC concurrency of the outer links")
+	}
+	if n.Compatible(ac, de, false) {
+		t.Error("without SIC the adjacent interference is not negligible")
+	}
+
+	// Short hops everywhere: downstream rate too high to decode at the relay.
+	short, err := NewChain([]float64{8, 4, 8}, pl(t), phy.Wifi20MHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Compatible(Link{0, 1}, Link{2, 3}, true) {
+		t.Error("short hops should break the SIC decode condition")
+	}
+}
+
+func TestScheduleFlowThroughput(t *testing.T) {
+	n, err := NewChain([]float64{30, 4, 30}, pl(t), phy.Wifi20MHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := []int{0, 1, 2, 3}
+	serial, err := n.ScheduleFlow(path, bits, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sic, err := n.ScheduleFlow(path, bits, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Groups) != 3 {
+		t.Errorf("no-SIC schedule groups = %d, want 3 (fully serial)", len(serial.Groups))
+	}
+	if len(sic.Groups) != 2 {
+		t.Errorf("SIC schedule groups = %d, want 2 (outer links share a slot)", len(sic.Groups))
+	}
+	if sic.Throughput <= serial.Throughput {
+		t.Errorf("SIC throughput %v should beat serial %v", sic.Throughput, serial.Throughput)
+	}
+	// Cycle-time bookkeeping.
+	if math.Abs(sic.Throughput-bits/sic.CycleTime) > 1e-9 {
+		t.Error("throughput != bits/cycle")
+	}
+}
+
+// On a long uniform chain, plain spatial reuse already groups far-apart
+// links; SIC should never do worse.
+func TestLongChainSpatialReuse(t *testing.T) {
+	hops := make([]float64, 10)
+	for i := range hops {
+		hops[i] = 25
+	}
+	n, err := NewChain(hops, pl(t), phy.Wifi20MHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := make([]int, len(hops)+1)
+	for i := range path {
+		path[i] = i
+	}
+	serial, err := n.ScheduleFlow(path, bits, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sic, err := n.ScheduleFlow(path, bits, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Groups) >= len(hops) {
+		t.Errorf("10-hop chain should show spatial reuse even without SIC, got %d groups", len(serial.Groups))
+	}
+	if sic.Throughput < serial.Throughput-1e-12 {
+		t.Errorf("SIC made the chain worse: %v vs %v", sic.Throughput, serial.Throughput)
+	}
+}
+
+func TestScheduleFlowErrors(t *testing.T) {
+	n, err := NewChain([]float64{10}, pl(t), phy.Wifi20MHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ScheduleFlow([]int{0}, bits, true); err == nil {
+		t.Error("single-node path accepted")
+	}
+	if _, err := n.ScheduleFlow([]int{0, 1}, 0, true); err == nil {
+		t.Error("zero bits accepted")
+	}
+}
+
+// Dijkstra invariants: every prefix of a min-ETT route is itself a min-ETT
+// route, and the route's total ETT never exceeds the direct link's.
+func TestRouteOptimalityInvariants(t *testing.T) {
+	// A 2-D scatter with enough nodes for nontrivial routes.
+	nodes := []topo.Point{
+		{}, {X: 18, Y: 3}, {X: 36, Y: -2}, {X: 54, Y: 4},
+		{X: 25, Y: 20}, {X: 45, Y: 18}, {X: 70, Y: 0},
+	}
+	n, err := NewNetwork(nodes, pl(t), phy.Wifi20MHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ett := func(path []int) float64 {
+		total := 0.0
+		for i := 0; i+1 < len(path); i++ {
+			total += bits / n.Rate(Link{From: path[i], To: path[i+1]})
+		}
+		return total
+	}
+	for dst := 1; dst < len(nodes); dst++ {
+		path, err := n.Route(0, dst, bits)
+		if err != nil {
+			t.Fatalf("route 0->%d: %v", dst, err)
+		}
+		if path[0] != 0 || path[len(path)-1] != dst {
+			t.Fatalf("route endpoints wrong: %v", path)
+		}
+		// No repeated nodes.
+		seen := map[int]bool{}
+		for _, v := range path {
+			if seen[v] {
+				t.Fatalf("route revisits node %d: %v", v, path)
+			}
+			seen[v] = true
+		}
+		// Never worse than the direct link (when usable).
+		direct := bits / n.Rate(Link{From: 0, To: dst})
+		if total := ett(path); total > direct+1e-12 {
+			t.Errorf("route 0->%d ETT %v worse than direct %v", dst, total, direct)
+		}
+		// Prefix optimality: the route to every intermediate node equals
+		// Dijkstra's answer for that node.
+		for i := 1; i < len(path)-1; i++ {
+			sub, err := n.Route(0, path[i], bits)
+			if err != nil {
+				t.Fatalf("subroute 0->%d: %v", path[i], err)
+			}
+			if ett(sub) > ett(path[:i+1])+1e-12 {
+				t.Errorf("prefix to %d (ETT %v) beats Dijkstra's own answer (%v)",
+					path[i], ett(path[:i+1]), ett(sub))
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Fading is a first-order Gauss-Markov (autoregressive) shadow-fading
+// process in dB: successive SNR samples are correlated, wandering around a
+// mean with a configurable deviation. It is the standard discrete-time
+// model for slow indoor channel variation and drives the rate-adaptation
+// study (the paper's §1 argument that adaptation quality bounds SIC's
+// usable slack).
+//
+//	s[t+1] = mean + rho·(s[t] − mean) + sigma·sqrt(1−rho²)·N(0,1)   (all dB)
+//
+// rho = 0 gives i.i.d. shadowing; rho → 1 freezes the channel.
+type Fading struct {
+	// MeanSNRdB is the long-run average SNR in dB.
+	MeanSNRdB float64
+	// SigmaDB is the stationary standard deviation in dB.
+	SigmaDB float64
+	// Rho is the per-step correlation in [0, 1).
+	Rho float64
+
+	cur         float64
+	initialized bool
+}
+
+// NewFading validates and builds a fading process.
+func NewFading(meanSNRdB, sigmaDB, rho float64) (*Fading, error) {
+	if sigmaDB < 0 {
+		return nil, fmt.Errorf("phy: negative fading sigma %v", sigmaDB)
+	}
+	if rho < 0 || rho >= 1 {
+		return nil, fmt.Errorf("phy: fading rho %v outside [0,1)", rho)
+	}
+	return &Fading{MeanSNRdB: meanSNRdB, SigmaDB: sigmaDB, Rho: rho}, nil
+}
+
+// Next draws the next SNR sample (linear ratio). The first call draws from
+// the stationary distribution.
+func (f *Fading) Next(rng *rand.Rand) float64 {
+	if !f.initialized {
+		f.cur = f.MeanSNRdB + rng.NormFloat64()*f.SigmaDB
+		f.initialized = true
+		return FromDB(f.cur)
+	}
+	innov := f.SigmaDB * math.Sqrt(1-f.Rho*f.Rho)
+	f.cur = f.MeanSNRdB + f.Rho*(f.cur-f.MeanSNRdB) + rng.NormFloat64()*innov
+	return FromDB(f.cur)
+}
+
+// CurrentDB returns the most recent sample in dB (the mean before any draw).
+func (f *Fading) CurrentDB() float64 {
+	if !f.initialized {
+		return f.MeanSNRdB
+	}
+	return f.cur
+}
+
+// Reset returns the process to its pre-first-draw state.
+func (f *Fading) Reset() {
+	f.initialized = false
+	f.cur = 0
+}

@@ -1,0 +1,113 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewFadingValidation(t *testing.T) {
+	if _, err := NewFading(20, -1, 0.5); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	if _, err := NewFading(20, 5, 1); err == nil {
+		t.Error("rho=1 accepted")
+	}
+	if _, err := NewFading(20, 5, -0.1); err == nil {
+		t.Error("negative rho accepted")
+	}
+	if _, err := NewFading(20, 5, 0.9); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestFadingStationaryMoments(t *testing.T) {
+	f, err := NewFading(18, 5, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		db := DB(f.Next(rng))
+		sum += db
+		sumSq += db * db
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-18) > 0.2 {
+		t.Errorf("stationary mean %v, want ≈18", mean)
+	}
+	if math.Abs(std-5) > 0.2 {
+		t.Errorf("stationary std %v, want ≈5", std)
+	}
+}
+
+func TestFadingCorrelation(t *testing.T) {
+	f, err := NewFading(20, 6, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	const n = 100000
+	prev := DB(f.Next(rng))
+	var num, den float64
+	for i := 1; i < n; i++ {
+		cur := DB(f.Next(rng))
+		num += (prev - 20) * (cur - 20)
+		den += (prev - 20) * (prev - 20)
+		prev = cur
+	}
+	rho := num / den
+	if math.Abs(rho-0.95) > 0.02 {
+		t.Errorf("lag-1 autocorrelation %v, want ≈0.95", rho)
+	}
+}
+
+func TestFadingIIDWhenRhoZero(t *testing.T) {
+	f, err := NewFading(15, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	const n = 100000
+	prev := DB(f.Next(rng))
+	var num, den float64
+	for i := 1; i < n; i++ {
+		cur := DB(f.Next(rng))
+		num += (prev - 15) * (cur - 15)
+		den += (prev - 15) * (prev - 15)
+		prev = cur
+	}
+	if rho := num / den; math.Abs(rho) > 0.02 {
+		t.Errorf("rho=0 process shows correlation %v", rho)
+	}
+}
+
+func TestFadingResetAndCurrent(t *testing.T) {
+	f, err := NewFading(25, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.CurrentDB(); got != 25 {
+		t.Errorf("CurrentDB before draws = %v, want the mean", got)
+	}
+	rng := rand.New(rand.NewSource(5))
+	v := f.Next(rng)
+	if got := f.CurrentDB(); math.Abs(got-DB(v)) > 1e-12 {
+		t.Errorf("CurrentDB = %v, want %v", got, DB(v))
+	}
+	f.Reset()
+	if got := f.CurrentDB(); got != 25 {
+		t.Errorf("CurrentDB after Reset = %v, want the mean", got)
+	}
+	// Same seed after reset reproduces the sequence.
+	f.Reset()
+	a := f.Next(rand.New(rand.NewSource(9)))
+	f.Reset()
+	b := f.Next(rand.New(rand.NewSource(9)))
+	if a != b {
+		t.Errorf("reset did not restore determinism: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,172 @@
+// Package phy models the physical-layer quantities the paper's analysis is
+// built on: decibel conversions, Shannon capacity, SINR arithmetic, and
+// log-distance path loss with optional log-normal shadowing.
+//
+// Signal strengths cross package boundaries as linear power ratios relative
+// to the noise floor (i.e. an SNR of 100 means the received power is 20 dB
+// above noise). This keeps every equation from the paper a one-liner and
+// avoids unit confusion; use DB and FromDB at the edges.
+package phy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Ln2 is cached so capacity computations avoid repeated division constant setup.
+const ln2 = math.Ln2
+
+// DB converts a linear power ratio to decibels.
+// DB(0) returns -Inf, matching the physical meaning of zero power.
+func DB(linear float64) float64 {
+	return 10 * math.Log10(linear)
+}
+
+// FromDB converts decibels to a linear power ratio.
+func FromDB(db float64) float64 {
+	return math.Pow(10, db/10)
+}
+
+// Log2 returns the base-2 logarithm. It is a tiny wrapper kept for symmetry
+// with the capacity formulas in the paper.
+func Log2(x float64) float64 {
+	return math.Log(x) / ln2
+}
+
+// Capacity returns the Shannon capacity in bits/second of a channel with
+// bandwidth bw (Hz) at the given linear SINR:
+//
+//	C = B · log2(1 + SINR)
+//
+// A non-positive SINR yields zero capacity (an unusable channel) rather than
+// a NaN, because that is what every caller in this repository wants.
+func Capacity(bw, sinr float64) float64 {
+	if sinr <= 0 || bw <= 0 {
+		return 0
+	}
+	return bw * Log2(1+sinr)
+}
+
+// SINRFor inverts Capacity: it returns the minimum linear SINR needed to
+// sustain rate bits/second over bandwidth bw Hz.
+//
+//	SINR = 2^(rate/B) − 1
+func SINRFor(bw, rate float64) float64 {
+	if rate <= 0 {
+		return 0
+	}
+	if bw <= 0 {
+		return math.Inf(1)
+	}
+	return math.Exp2(rate/bw) - 1
+}
+
+// SINR combines a desired signal s with interference i, both expressed as
+// linear ratios to the noise floor. The +1 term is the (normalised) noise.
+//
+//	SINR = S / (I + N₀)  with N₀ ≡ 1
+func SINR(s, i float64) float64 {
+	return s / (i + 1)
+}
+
+// Channel describes a wireless channel: its bandwidth and noise floor.
+// The zero value is not useful; use NewChannel.
+type Channel struct {
+	// BandwidthHz is the channel bandwidth B in hertz.
+	BandwidthHz float64
+	// NoiseW is the thermal noise power N0 in watts. Signal strengths that
+	// carry absolute units (watts) are divided by NoiseW to obtain the
+	// normalised linear ratios used throughout the library.
+	NoiseW float64
+}
+
+// NewChannel returns a channel with the given bandwidth (Hz) and noise
+// power (W). It panics if either is non-positive, since such a channel is a
+// programming error rather than a runtime condition.
+func NewChannel(bandwidthHz, noiseW float64) Channel {
+	if bandwidthHz <= 0 {
+		panic(fmt.Sprintf("phy: non-positive bandwidth %v", bandwidthHz))
+	}
+	if noiseW <= 0 {
+		panic(fmt.Sprintf("phy: non-positive noise %v", noiseW))
+	}
+	return Channel{BandwidthHz: bandwidthHz, NoiseW: noiseW}
+}
+
+// Wifi20MHz is a convenience channel: 20 MHz bandwidth with the noise floor
+// normalised to 1, so signal strengths are interpreted directly as SNR.
+var Wifi20MHz = Channel{BandwidthHz: 20e6, NoiseW: 1}
+
+// Normalize converts an absolute received power (W) into the linear
+// signal-to-noise ratio used by the analysis packages.
+func (c Channel) Normalize(powerW float64) float64 {
+	return powerW / c.NoiseW
+}
+
+// Capacity returns the Shannon capacity of this channel at the given linear
+// SINR.
+func (c Channel) Capacity(sinr float64) float64 {
+	return Capacity(c.BandwidthHz, sinr)
+}
+
+// PathLoss is a deterministic large-scale propagation model mapping distance
+// to received SNR (linear, noise-normalised).
+type PathLoss struct {
+	// Exponent is the path-loss exponent α (2 in free space, 3–4 indoors).
+	Exponent float64
+	// RefDistance d0 is the reference distance in meters at which the
+	// received SNR equals RefSNR.
+	RefDistance float64
+	// RefSNR is the linear SNR measured at RefDistance.
+	RefSNR float64
+}
+
+// ErrBadPathLoss reports an invalid path-loss configuration.
+var ErrBadPathLoss = errors.New("phy: path-loss model requires positive exponent, reference distance and reference SNR")
+
+// NewPathLoss builds a log-distance path-loss model. refSNRdB is the SNR in
+// dB at the reference distance d0 (meters).
+func NewPathLoss(exponent, refDistance, refSNRdB float64) (PathLoss, error) {
+	pl := PathLoss{Exponent: exponent, RefDistance: refDistance, RefSNR: FromDB(refSNRdB)}
+	if exponent <= 0 || refDistance <= 0 || pl.RefSNR <= 0 {
+		return PathLoss{}, ErrBadPathLoss
+	}
+	return pl, nil
+}
+
+// SNRAt returns the linear SNR at distance d meters:
+//
+//	SNR(d) = RefSNR · (d0/d)^α
+//
+// Distances below the reference distance are clamped to it, which caps the
+// near-field SNR instead of letting it diverge.
+func (p PathLoss) SNRAt(d float64) float64 {
+	if d < p.RefDistance {
+		d = p.RefDistance
+	}
+	return p.RefSNR * math.Pow(p.RefDistance/d, p.Exponent)
+}
+
+// Shadowed returns the SNR at distance d with one sample of log-normal
+// shadowing applied: the dB value is perturbed by a zero-mean Gaussian with
+// standard deviation sigmaDB. The rng must not be nil.
+func (p PathLoss) Shadowed(d, sigmaDB float64, rng *rand.Rand) float64 {
+	snr := p.SNRAt(d)
+	if sigmaDB <= 0 {
+		return snr
+	}
+	return FromDB(DB(snr) + rng.NormFloat64()*sigmaDB)
+}
+
+// TxTime returns the time (seconds) to transmit bits at rate bits/second.
+// A non-positive rate means the link cannot carry the packet at all; the
+// transmission time is +Inf, which propagates correctly through min/max
+// completion-time comparisons.
+func TxTime(bits, rate float64) float64 {
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return bits / rate
+}

@@ -1,0 +1,241 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	// Relative tolerance for large magnitudes.
+	return diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	cases := []float64{1, 2, 10, 100, 0.5, 1e-6, 1e9}
+	for _, lin := range cases {
+		got := FromDB(DB(lin))
+		if !almostEqual(got, lin, 1e-12) {
+			t.Errorf("FromDB(DB(%v)) = %v, want %v", lin, got, lin)
+		}
+	}
+}
+
+func TestDBKnownValues(t *testing.T) {
+	cases := []struct {
+		lin, db float64
+	}{
+		{1, 0},
+		{10, 10},
+		{100, 20},
+		{1000, 30},
+		{0.1, -10},
+	}
+	for _, c := range cases {
+		if got := DB(c.lin); !almostEqual(got, c.db, 1e-12) {
+			t.Errorf("DB(%v) = %v, want %v", c.lin, got, c.db)
+		}
+		if got := FromDB(c.db); !almostEqual(got, c.lin, 1e-12) {
+			t.Errorf("FromDB(%v) = %v, want %v", c.db, got, c.lin)
+		}
+	}
+}
+
+func TestDBZeroIsMinusInf(t *testing.T) {
+	if got := DB(0); !math.IsInf(got, -1) {
+		t.Errorf("DB(0) = %v, want -Inf", got)
+	}
+}
+
+func TestDBRoundTripProperty(t *testing.T) {
+	f := func(x float64) bool {
+		lin := math.Abs(x)
+		if lin == 0 || math.IsInf(lin, 0) || math.IsNaN(lin) {
+			return true
+		}
+		return almostEqual(FromDB(DB(lin)), lin, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapacityKnownValues(t *testing.T) {
+	// C = B log2(1+SNR): SNR=1 → B, SNR=3 → 2B, SNR=15 → 4B.
+	cases := []struct {
+		snr, want float64
+	}{
+		{1, 20e6},
+		{3, 40e6},
+		{15, 80e6},
+		{0, 0},
+		{-2, 0},
+	}
+	for _, c := range cases {
+		if got := Capacity(20e6, c.snr); !almostEqual(got, c.want, 1e-6) {
+			t.Errorf("Capacity(20e6, %v) = %v, want %v", c.snr, got, c.want)
+		}
+	}
+}
+
+func TestCapacityMonotoneInSINR(t *testing.T) {
+	prev := 0.0
+	for snr := 0.1; snr < 1e6; snr *= 1.7 {
+		c := Capacity(1e6, snr)
+		if c <= prev {
+			t.Fatalf("Capacity not strictly increasing at snr=%v: %v <= %v", snr, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestSINRForInvertsCapacity(t *testing.T) {
+	f := func(x float64) bool {
+		snr := math.Abs(x)
+		if snr == 0 || snr > 1e12 || math.IsNaN(snr) || math.IsInf(snr, 0) {
+			return true
+		}
+		bw := 20e6
+		rate := Capacity(bw, snr)
+		back := SINRFor(bw, rate)
+		return almostEqual(back, snr, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSINRForEdges(t *testing.T) {
+	if got := SINRFor(20e6, 0); got != 0 {
+		t.Errorf("SINRFor(bw, 0) = %v, want 0", got)
+	}
+	if got := SINRFor(0, 5); !math.IsInf(got, 1) {
+		t.Errorf("SINRFor(0, rate) = %v, want +Inf", got)
+	}
+}
+
+func TestSINRCombines(t *testing.T) {
+	// S=30, I=9, N=1 → SINR = 3.
+	if got := SINR(30, 9); !almostEqual(got, 3, 1e-12) {
+		t.Errorf("SINR(30, 9) = %v, want 3", got)
+	}
+	// No interference: SINR = S/N0 = S.
+	if got := SINR(42, 0); !almostEqual(got, 42, 1e-12) {
+		t.Errorf("SINR(42, 0) = %v, want 42", got)
+	}
+}
+
+func TestNewChannelPanics(t *testing.T) {
+	for _, c := range []struct{ bw, n float64 }{{0, 1}, {-1, 1}, {1, 0}, {1, -5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewChannel(%v, %v) did not panic", c.bw, c.n)
+				}
+			}()
+			NewChannel(c.bw, c.n)
+		}()
+	}
+}
+
+func TestChannelNormalize(t *testing.T) {
+	ch := NewChannel(20e6, 1e-10)
+	if got := ch.Normalize(1e-7); !almostEqual(got, 1000, 1e-9) {
+		t.Errorf("Normalize = %v, want 1000", got)
+	}
+}
+
+func TestChannelCapacity(t *testing.T) {
+	ch := Wifi20MHz
+	if got := ch.Capacity(3); !almostEqual(got, 40e6, 1e-6) {
+		t.Errorf("Wifi20MHz.Capacity(3) = %v, want 40e6", got)
+	}
+}
+
+func TestNewPathLossValidation(t *testing.T) {
+	for _, c := range []struct{ e, d, s float64 }{{0, 1, 10}, {4, 0, 10}, {4, 1, math.Inf(-1)}} {
+		if _, err := NewPathLoss(c.e, c.d, c.s); err == nil {
+			t.Errorf("NewPathLoss(%v, %v, %v): want error", c.e, c.d, c.s)
+		}
+	}
+	if _, err := NewPathLoss(4, 1, 60); err != nil {
+		t.Errorf("NewPathLoss(4,1,60): unexpected error %v", err)
+	}
+}
+
+func TestPathLossSNRAt(t *testing.T) {
+	pl, err := NewPathLoss(4, 1, 60) // 60 dB at 1 m
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 10 m with α=4 the SNR drops by 40 dB: 60-40 = 20 dB = 100x.
+	if got := pl.SNRAt(10); !almostEqual(got, 100, 1e-6) {
+		t.Errorf("SNRAt(10) = %v, want 100", got)
+	}
+	// Below the reference distance the SNR is clamped.
+	if got := pl.SNRAt(0.01); !almostEqual(got, pl.RefSNR, 1e-9) {
+		t.Errorf("SNRAt(0.01) = %v, want clamp to %v", got, pl.RefSNR)
+	}
+}
+
+func TestPathLossMonotoneProperty(t *testing.T) {
+	pl, _ := NewPathLoss(3.5, 1, 55)
+	f := func(a, b float64) bool {
+		d1, d2 := 1+math.Abs(a), 1+math.Abs(b)
+		if math.IsInf(d1, 0) || math.IsInf(d2, 0) || math.IsNaN(d1) || math.IsNaN(d2) {
+			return true
+		}
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		return pl.SNRAt(d1) >= pl.SNRAt(d2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShadowedZeroSigmaIsDeterministic(t *testing.T) {
+	pl, _ := NewPathLoss(4, 1, 60)
+	rng := rand.New(rand.NewSource(1))
+	if got, want := pl.Shadowed(5, 0, rng), pl.SNRAt(5); got != want {
+		t.Errorf("Shadowed with sigma=0 = %v, want %v", got, want)
+	}
+}
+
+func TestShadowedStatistics(t *testing.T) {
+	pl, _ := NewPathLoss(4, 1, 60)
+	rng := rand.New(rand.NewSource(42))
+	const n = 20000
+	const sigma = 6.0
+	meanDB := 0.0
+	for i := 0; i < n; i++ {
+		meanDB += DB(pl.Shadowed(10, sigma, rng))
+	}
+	meanDB /= n
+	wantDB := DB(pl.SNRAt(10))
+	// Mean of the dB perturbation is zero; allow 3 sigma/sqrt(n).
+	if math.Abs(meanDB-wantDB) > 3*sigma/math.Sqrt(n) {
+		t.Errorf("shadowed mean %v dB too far from %v dB", meanDB, wantDB)
+	}
+}
+
+func TestTxTime(t *testing.T) {
+	if got := TxTime(1e6, 1e6); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("TxTime(1e6, 1e6) = %v, want 1", got)
+	}
+	if got := TxTime(1e6, 0); !math.IsInf(got, 1) {
+		t.Errorf("TxTime with zero rate = %v, want +Inf", got)
+	}
+	if got := TxTime(1e6, -3); !math.IsInf(got, 1) {
+		t.Errorf("TxTime with negative rate = %v, want +Inf", got)
+	}
+}

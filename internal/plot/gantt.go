@@ -1,0 +1,104 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// GanttBar is one transmission in a schedule timeline (the visual form of
+// the paper's Fig. 10 illustrations).
+type GanttBar struct {
+	// Row labels the lane (typically a client name).
+	Row string
+	// Start and End bound the bar in schedule-time units.
+	Start, End float64
+	// Label is drawn inside the bar when it fits.
+	Label string
+	// Kind selects the bar colour: "sic", "serial", "solo", or "" (default).
+	Kind string
+}
+
+var ganttColors = map[string]string{
+	"sic":    "#2ca02c",
+	"serial": "#1f77b4",
+	"solo":   "#9467bd",
+	"":       "#7f7f7f",
+}
+
+// GanttSVG renders transmission bars grouped into labelled lanes.
+func GanttSVG(title string, bars []GanttBar) string {
+	const (
+		laneH  = 26
+		barH   = 18
+		leftW  = 90
+		plotW  = 520
+		titleH = 26
+		axisH  = 26
+	)
+	// Lane order: first appearance.
+	var rows []string
+	rowIdx := map[string]int{}
+	for _, b := range bars {
+		if _, ok := rowIdx[b.Row]; !ok {
+			rowIdx[b.Row] = len(rows)
+			rows = append(rows, b.Row)
+		}
+	}
+	tmax := 0.0
+	for _, b := range bars {
+		if b.End > tmax {
+			tmax = b.End
+		}
+	}
+	if tmax <= 0 {
+		tmax = 1
+	}
+	px := func(t float64) float64 { return leftW + t/tmax*plotW }
+
+	h := titleH + laneH*len(rows) + axisH
+	w := leftW + plotW + 20
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", w, h)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&sb, `<text x="%d" y="17" font-size="14">%s</text>`+"\n", 8, svgEscape(title))
+
+	for ri, row := range rows {
+		y := titleH + ri*laneH
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="end">%s</text>`+"\n", leftW-8, y+barH-4, svgEscape(row))
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#eee"/>`+"\n",
+			leftW, y+laneH-3, leftW+plotW, y+laneH-3)
+	}
+	// Bars, sorted for deterministic output.
+	sorted := append([]GanttBar(nil), bars...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return rowIdx[sorted[i].Row] < rowIdx[sorted[j].Row]
+		}
+		return sorted[i].Start < sorted[j].Start
+	})
+	for _, b := range sorted {
+		if b.End <= b.Start {
+			continue
+		}
+		color, ok := ganttColors[b.Kind]
+		if !ok {
+			color = ganttColors[""]
+		}
+		y := titleH + rowIdx[b.Row]*laneH
+		x0, x1 := px(b.Start), px(b.End)
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" fill-opacity="0.85" stroke="#333" stroke-width="0.5"/>`+"\n",
+			x0, y, math.Max(x1-x0, 1), barH, color)
+		if b.Label != "" && x1-x0 > 7*float64(len(b.Label)) {
+			fmt.Fprintf(&sb, `<text x="%.1f" y="%d" fill="white">%s</text>`+"\n", x0+4, y+barH-5, svgEscape(b.Label))
+		}
+	}
+	// Time axis.
+	axisY := titleH + laneH*len(rows) + 12
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#888"/>`+"\n", leftW, axisY, leftW+plotW, axisY)
+	fmt.Fprintf(&sb, `<text x="%d" y="%d">0</text>`+"\n", leftW, axisY+12)
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="end">%.3g</text>`+"\n", leftW+plotW, axisY+12, tmax)
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}

@@ -1,0 +1,186 @@
+// Package plot renders the evaluation's figures without external plotting
+// libraries: shaded ASCII heatmaps (the medium of the paper's Figs. 3, 4
+// and 8), ASCII CDF line plots (Figs. 6, 11, 13, 14), and CSV exports so
+// the same data can be re-plotted with any tool.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// shades runs from dark (low) to light (high), mirroring the paper's
+// "the lighter the shade, the higher the gain" convention.
+var shades = []rune(" .:-=+*#%@")
+
+// Heatmap renders the grid as shaded ASCII art, one character per cell,
+// with simple axis annotations. Rows are printed with y increasing upward.
+func Heatmap(g *stats.Grid, title, xLabel, yLabel string) string {
+	lo, hi := g.MinMax()
+	span := hi - lo
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [%c=%.3g .. %c=%.3g]\n", title, shades[len(shades)-1], hi, shades[0], lo)
+	for j := g.NY - 1; j >= 0; j-- {
+		fmt.Fprintf(&b, "%8.1f |", g.Y(j))
+		for i := 0; i < g.NX; i++ {
+			v := g.At(i, j)
+			idx := 0
+			if span > 0 {
+				idx = int((v - lo) / span * float64(len(shades)-1))
+				if idx < 0 {
+					idx = 0
+				}
+				if idx >= len(shades) {
+					idx = len(shades) - 1
+				}
+			}
+			b.WriteRune(shades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", g.NX))
+	fmt.Fprintf(&b, "%8s  %-8.1f%*s%8.1f\n", "", g.X(0), g.NX-16, "", g.X(g.NX-1))
+	fmt.Fprintf(&b, "%8s  x: %s   y: %s\n", "", xLabel, yLabel)
+	return b.String()
+}
+
+// Series is one named line of a CDF (or any x→y) plot.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// SeriesFromECDF converts an ECDF into a plottable series.
+func SeriesFromECDF(name string, e stats.ECDF) Series {
+	xs, ys := e.Points()
+	return Series{Name: name, X: xs, Y: ys}
+}
+
+// CDFPlot renders one or more CDF series as an ASCII line plot of the given
+// character dimensions. Each series is drawn with its own glyph.
+func CDFPlot(title string, width, height int, series ...Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 8 {
+		height = 8
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+
+	// Common x-range across series.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, x := range s.X {
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+		}
+	}
+	if math.IsInf(xmin, 0) || xmin == xmax {
+		xmax = xmin + 1
+	}
+
+	canvas := make([][]byte, height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		glyph := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := int(s.Y[i] * float64(height-1))
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			canvas[height-1-row][col] = glyph
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	for r, line := range canvas {
+		yVal := float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(&b, "%5.2f |%s\n", yVal, string(line))
+	}
+	fmt.Fprintf(&b, "%5s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%5s  %-10.3g%*s%10.3g\n", "", xmin, width-20, "", xmax)
+	for si, s := range series {
+		fmt.Fprintf(&b, "%5s  %c %s\n", "", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// WriteGridCSV exports a grid as "x,y,value" rows with a header.
+func WriteGridCSV(w io.Writer, g *stats.Grid, xName, yName, vName string) error {
+	if _, err := fmt.Fprintf(w, "%s,%s,%s\n", xName, yName, vName); err != nil {
+		return err
+	}
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			if _, err := fmt.Fprintf(w, "%g,%g,%g\n", g.X(i), g.Y(j), g.At(i, j)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteSeriesCSV exports aligned series as CSV: the x column followed by one
+// column per series. Series are re-sampled onto the union of x values via
+// step interpolation (correct for CDFs).
+func WriteSeriesCSV(w io.Writer, xName string, series ...Series) error {
+	// Union of x values.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+
+	header := xName
+	for _, s := range series {
+		header += "," + s.Name
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, x := range xs {
+		row := fmt.Sprintf("%g", x)
+		for _, s := range series {
+			row += fmt.Sprintf(",%g", stepAt(s, x))
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stepAt evaluates a series at x with left-continuous step interpolation:
+// the y of the largest series-x not exceeding x, else 0.
+func stepAt(s Series, x float64) float64 {
+	// Series X values are sorted (they come from ECDF.Points); find the
+	// last index with X[i] <= x.
+	i := sort.SearchFloat64s(s.X, x)
+	for i < len(s.X) && s.X[i] == x {
+		i++
+	}
+	if i == 0 {
+		return 0
+	}
+	return s.Y[i-1]
+}

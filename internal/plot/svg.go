@@ -1,0 +1,187 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// This file renders figures as standalone SVG documents — the viewable
+// counterpart of the ASCII renderings, still with no dependencies.
+
+// svgEscape guards text nodes.
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// heatColor maps a normalised value in [0,1] to a dark-to-light colour ramp
+// matching the paper's "lighter = higher" convention.
+func heatColor(v float64) string {
+	if math.IsNaN(v) {
+		return "#ff00ff"
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	// Deep blue → teal → pale yellow.
+	r := int(20 + 235*v)
+	g := int(24 + 220*v)
+	b := int(72 + 130*(1-math.Abs(v-0.35)))
+	if b > 255 {
+		b = 255
+	}
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}
+
+// HeatmapSVG renders the grid as an SVG heatmap with axes and a value ramp.
+func HeatmapSVG(g *stats.Grid, title, xLabel, yLabel string) string {
+	const (
+		cell   = 6
+		margin = 60
+		rampW  = 18
+		titleH = 28
+		labelH = 36
+	)
+	w := margin + g.NX*cell + 2*rampW + margin
+	h := titleH + g.NY*cell + labelH + 20
+
+	lo, hi := g.MinMax()
+	span := hi - lo
+	norm := func(v float64) float64 {
+		if span <= 0 {
+			return 0.5
+		}
+		return (v - lo) / span
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="14">%s</text>`+"\n", margin, svgEscape(title))
+
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			x := margin + i*cell
+			y := titleH + (g.NY-1-j)*cell
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+				x, y, cell, cell, heatColor(norm(g.At(i, j))))
+		}
+	}
+
+	// Axes labels (corners only — the CSV carries full resolution).
+	plotBottom := titleH + g.NY*cell
+	fmt.Fprintf(&b, `<text x="%d" y="%d">%.3g</text>`+"\n", margin-4, plotBottom+14, g.X(0))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%.3g</text>`+"\n", margin+g.NX*cell, plotBottom+14, g.X(g.NX-1))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n", margin+g.NX*cell/2, plotBottom+30, svgEscape(xLabel))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%.3g</text>`+"\n", margin-6, plotBottom, g.Y(0))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%.3g</text>`+"\n", margin-6, titleH+10, g.Y(g.NY-1))
+	fmt.Fprintf(&b, `<text x="14" y="%d" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`+"\n",
+		titleH+g.NY*cell/2, titleH+g.NY*cell/2, svgEscape(yLabel))
+
+	// Value ramp.
+	rampX := margin + g.NX*cell + 12
+	steps := 32
+	stepH := float64(g.NY*cell) / float64(steps)
+	for s := 0; s < steps; s++ {
+		v := 1 - float64(s)/float64(steps-1)
+		y := float64(titleH) + float64(s)*stepH
+		fmt.Fprintf(&b, `<rect x="%d" y="%.1f" width="%d" height="%.1f" fill="%s"/>`+"\n",
+			rampX, y, rampW, stepH+0.5, heatColor(v))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d">%.3g</text>`+"\n", rampX+rampW+4, titleH+10, hi)
+	fmt.Fprintf(&b, `<text x="%d" y="%d">%.3g</text>`+"\n", rampX+rampW+4, plotBottom, lo)
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// seriesColors is a categorical palette for line plots.
+var seriesColors = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// CDFPlotSVG renders CDF series as an SVG step plot with a legend.
+func CDFPlotSVG(title string, series ...Series) string {
+	const (
+		plotW  = 480
+		plotH  = 280
+		margin = 56
+		titleH = 26
+	)
+	legendH := 18*len(series) + 8
+	w := plotW + 2*margin
+	h := titleH + plotH + 44 + legendH
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, x := range s.X {
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+		}
+	}
+	if math.IsInf(xmin, 0) {
+		xmin, xmax = 0, 1
+	}
+	if xmin == xmax {
+		xmax = xmin + 1
+	}
+	px := func(x float64) float64 { return margin + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return float64(titleH) + (1-y)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="17" font-size="14">%s</text>`+"\n", margin, svgEscape(title))
+
+	// Frame and gridlines at quartiles.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#888"/>`+"\n",
+		margin, titleH, plotW, plotH)
+	for _, q := range []float64{0.25, 0.5, 0.75} {
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			margin, py(q), margin+plotW, py(q))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%.2f</text>`+"\n", margin-6, py(q)+4, q)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">1.00</text>`+"\n", margin-6, py(1)+4)
+	fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">0.00</text>`+"\n", margin-6, py(0)+4)
+	fmt.Fprintf(&b, `<text x="%d" y="%d">%.3g</text>`+"\n", margin, titleH+plotH+16, xmin)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%.3g</text>`+"\n", margin+plotW, titleH+plotH+16, xmax)
+
+	for si, s := range series {
+		if len(s.X) == 0 {
+			continue
+		}
+		color := seriesColors[si%len(seriesColors)]
+		idx := make([]int, len(s.X))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, c int) bool { return s.X[idx[a]] < s.X[idx[c]] })
+		var path strings.Builder
+		prevY := 0.0
+		fmt.Fprintf(&path, "M %.1f %.1f", px(s.X[idx[0]]), py(prevY))
+		for _, i := range idx {
+			// Step: horizontal to the new x at the old y, then vertical.
+			fmt.Fprintf(&path, " L %.1f %.1f", px(s.X[i]), py(prevY))
+			fmt.Fprintf(&path, " L %.1f %.1f", px(s.X[i]), py(s.Y[i]))
+			prevY = s.Y[i]
+		}
+		fmt.Fprintf(&path, " L %.1f %.1f", px(xmax), py(prevY))
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n", path.String(), color)
+
+		ly := titleH + plotH + 34 + si*18
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`+"\n",
+			margin, ly, margin+24, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", margin+30, ly+4, svgEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// validateXML parses the document to catch malformed SVG.
+func validateXML(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, doc[:min(len(doc), 400)])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestHeatmapSVG(t *testing.T) {
+	doc := HeatmapSVG(demoGrid(), "demo <heat>", "x (dB)", "y (dB)")
+	validateXML(t, doc)
+	if !strings.Contains(doc, "demo &lt;heat&gt;") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(doc, "<svg") || !strings.Contains(doc, "</svg>") {
+		t.Error("not an SVG document")
+	}
+	// One rect per cell plus chrome.
+	if n := strings.Count(doc, "<rect"); n < 20*10 {
+		t.Errorf("only %d rects for a 20x10 grid", n)
+	}
+}
+
+func TestHeatmapSVGConstantGrid(t *testing.T) {
+	g := stats.NewGrid(0, 0, 1, 1, 4, 4)
+	g.Fill(func(x, y float64) float64 { return 7 })
+	doc := HeatmapSVG(g, "flat", "x", "y")
+	validateXML(t, doc)
+	if strings.Contains(doc, "NaN") {
+		t.Error("constant grid produced NaN colours")
+	}
+}
+
+func TestCDFPlotSVG(t *testing.T) {
+	e1, _ := stats.NewECDF([]float64{1, 1.2, 1.5, 2})
+	e2, _ := stats.NewECDF([]float64{1, 1.1, 1.15})
+	doc := CDFPlotSVG("gains & losses", SeriesFromECDF("sic", e1), SeriesFromECDF("pc", e2))
+	validateXML(t, doc)
+	if !strings.Contains(doc, "gains &amp; losses") {
+		t.Error("title not escaped")
+	}
+	if strings.Count(doc, "<path") != 2 {
+		t.Errorf("want 2 series paths, got %d", strings.Count(doc, "<path"))
+	}
+	if !strings.Contains(doc, "sic") || !strings.Contains(doc, "pc") {
+		t.Error("legend entries missing")
+	}
+}
+
+func TestCDFPlotSVGEmpty(t *testing.T) {
+	doc := CDFPlotSVG("empty")
+	validateXML(t, doc)
+}
+
+func TestHeatColorRange(t *testing.T) {
+	for _, v := range []float64{-1, 0, 0.35, 0.5, 1, 2} {
+		c := heatColor(v)
+		if len(c) != 7 || c[0] != '#' {
+			t.Errorf("heatColor(%v) = %q", v, c)
+		}
+	}
+	// Lighter at the top of the ramp: parse crude brightness.
+	if heatColor(1) == heatColor(0) {
+		t.Error("ramp endpoints identical")
+	}
+}
+
+func TestGanttSVG(t *testing.T) {
+	bars := []GanttBar{
+		{Row: "C1", Start: 0, End: 2, Label: "sic", Kind: "sic"},
+		{Row: "C2", Start: 0, End: 2, Label: "sic", Kind: "sic"},
+		{Row: "C3", Start: 2, End: 10, Label: "solo", Kind: "solo"},
+		{Row: "C1", Start: 10, End: 11, Kind: "unknown-kind"},
+		{Row: "C2", Start: 5, End: 5, Kind: "serial"}, // zero width: skipped
+	}
+	doc := GanttSVG("Fig. 10 <timelines>", bars)
+	validateXML(t, doc)
+	if !strings.Contains(doc, "Fig. 10 &lt;timelines&gt;") {
+		t.Error("title not escaped")
+	}
+	for _, lane := range []string{"C1", "C2", "C3"} {
+		if !strings.Contains(doc, ">"+lane+"<") {
+			t.Errorf("missing lane label %s", lane)
+		}
+	}
+	// Four visible bars (one skipped for zero width): count bar rects by
+	// the stroke they carry.
+	if n := strings.Count(doc, `stroke="#333"`); n != 4 {
+		t.Errorf("want 4 bars, got %d", n)
+	}
+}
+
+func TestGanttSVGEmpty(t *testing.T) {
+	doc := GanttSVG("empty", nil)
+	validateXML(t, doc)
+}
+
+func TestXYPlotSVG(t *testing.T) {
+	line := Series{Name: "boundary", X: []float64{0, 1, 2}, Y: []float64{5, 4, 0}}
+	point := Series{Name: "corner", X: []float64{1.5}, Y: []float64{3}}
+	doc := XYPlotSVG("region <r>", "R1", "R2", line, point)
+	validateXML(t, doc)
+	if !strings.Contains(doc, "region &lt;r&gt;") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(doc, "<circle") {
+		t.Error("single-point series should render a marker")
+	}
+	if !strings.Contains(doc, "<path") {
+		t.Error("line series should render a path")
+	}
+	// Degenerate: no series.
+	validateXML(t, XYPlotSVG("empty", "x", "y"))
+}

@@ -1,0 +1,206 @@
+// Package rates provides the discrete bitrate tables of IEEE 802.11 b/g/n
+// together with the receiver-sensitivity SNR thresholds needed to pick the
+// best rate a channel supports.
+//
+// The paper's central argument is that fine-grained discrete rates plus good
+// rate adaptation squeeze out most of SIC's slack: 802.11b exposes 4 rates,
+// 802.11g 8, and 802.11n (with MCS across 1–4 spatial streams) 32. This
+// package is the substrate for the §7 "discrete bitrates" evaluation
+// (Fig. 14b), where the paper replaces the Shannon log terms with the rates
+// its testbed actually sustained.
+package rates
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/phy"
+)
+
+// Step is one entry of a rate table: a bitrate and the minimum SNR (dB) at
+// which a receiver sustains it (conventionally at ≥90% packet delivery, the
+// criterion the paper used on its testbed).
+type Step struct {
+	// BitsPerSec is the PHY bitrate.
+	BitsPerSec float64
+	// MinSNRdB is the lowest SNR in dB that sustains this rate.
+	MinSNRdB float64
+}
+
+// Table is a discrete rate table sorted by ascending bitrate.
+// The zero value is an empty table whose Rate is always 0.
+type Table struct {
+	name  string
+	steps []Step
+}
+
+// NewTable builds a table from steps. Steps are sorted by bitrate; it is an
+// error (panic) for thresholds not to be monotone in rate, since such a
+// table cannot arise from a real PHY and would break rate selection.
+func NewTable(name string, steps []Step) Table {
+	s := make([]Step, len(steps))
+	copy(s, steps)
+	sort.Slice(s, func(i, j int) bool { return s[i].BitsPerSec < s[j].BitsPerSec })
+	for i := 1; i < len(s); i++ {
+		if s[i].MinSNRdB < s[i-1].MinSNRdB {
+			panic(fmt.Sprintf("rates: table %q has non-monotone SNR thresholds (%v dB for %v bps after %v dB for %v bps)",
+				name, s[i].MinSNRdB, s[i].BitsPerSec, s[i-1].MinSNRdB, s[i-1].BitsPerSec))
+		}
+	}
+	return Table{name: name, steps: s}
+}
+
+// Name returns the table's human-readable name, e.g. "802.11g".
+func (t Table) Name() string { return t.name }
+
+// Steps returns a copy of the table entries in ascending bitrate order.
+func (t Table) Steps() []Step {
+	out := make([]Step, len(t.steps))
+	copy(out, t.steps)
+	return out
+}
+
+// Len returns the number of rates in the table.
+func (t Table) Len() int { return len(t.steps) }
+
+// Rate returns the highest bitrate whose threshold the given linear SINR
+// meets, or 0 if even the lowest rate is unsupported.
+func (t Table) Rate(sinr float64) float64 {
+	// A whisker of tolerance so dB→linear→dB round-trips don't drop a rate
+	// when the SINR sits exactly on a threshold.
+	sinrDB := phy.DB(sinr) + 1e-9
+	// Binary search for the first step whose threshold exceeds sinrDB.
+	i := sort.Search(len(t.steps), func(i int) bool { return t.steps[i].MinSNRdB > sinrDB })
+	if i == 0 {
+		return 0
+	}
+	return t.steps[i-1].BitsPerSec
+}
+
+// RateFunc adapts the table to the core package's RateFunc.
+func (t Table) RateFunc() core.RateFunc {
+	return func(sinr float64) float64 { return t.Rate(sinr) }
+}
+
+// MaxRate returns the top bitrate of the table (0 for an empty table).
+func (t Table) MaxRate() float64 {
+	if len(t.steps) == 0 {
+		return 0
+	}
+	return t.steps[len(t.steps)-1].BitsPerSec
+}
+
+// MinSNRdBFor returns the SNR threshold (dB) for a given bitrate and whether
+// the rate exists in the table.
+func (t Table) MinSNRdBFor(bps float64) (float64, bool) {
+	for _, s := range t.steps {
+		if s.BitsPerSec == bps {
+			return s.MinSNRdB, true
+		}
+	}
+	return 0, false
+}
+
+const mbps = 1e6
+
+// Dot11b is the 4-rate IEEE 802.11b (DSSS/CCK) table. Thresholds follow
+// commonly published receiver sensitivities normalised to a -95 dBm noise
+// floor.
+var Dot11b = NewTable("802.11b", []Step{
+	{1 * mbps, 1},
+	{2 * mbps, 3},
+	{5.5 * mbps, 6},
+	{11 * mbps, 9},
+})
+
+// Dot11g is the 8-rate IEEE 802.11g (ERP-OFDM) table.
+var Dot11g = NewTable("802.11g", []Step{
+	{6 * mbps, 6},
+	{9 * mbps, 7},
+	{12 * mbps, 9},
+	{18 * mbps, 11},
+	{24 * mbps, 14},
+	{36 * mbps, 18},
+	{48 * mbps, 22},
+	{54 * mbps, 24},
+})
+
+// Dot11n is a 32-rate IEEE 802.11n table: HT MCS 0–7 over 1–4 spatial
+// streams at 20 MHz, long guard interval. Per-stream SNR requirements grow
+// with stream count (array gain aside, spatial multiplexing needs higher
+// per-stream SINR); the offsets used here follow the usual +3 dB-per-
+// doubling engineering rule.
+var Dot11n = newDot11n()
+
+func newDot11n() Table {
+	// MCS 0-7 base rates for one spatial stream, 20 MHz, 800 ns GI.
+	base := []Step{
+		{6.5 * mbps, 5},
+		{13 * mbps, 8},
+		{19.5 * mbps, 11},
+		{26 * mbps, 14},
+		{39 * mbps, 18},
+		{52 * mbps, 22},
+		{58.5 * mbps, 24},
+		{65 * mbps, 26},
+	}
+	var steps []Step
+	for streams := 1; streams <= 4; streams++ {
+		// Each extra stream multiplies throughput and costs ~3 dB of SINR
+		// headroom per doubling.
+		offset := 3 * float64(streams-1)
+		for _, b := range base {
+			steps = append(steps, Step{
+				BitsPerSec: b.BitsPerSec * float64(streams),
+				MinSNRdB:   b.MinSNRdB + offset,
+			})
+		}
+	}
+	// Multiple stream-counts can produce identical bitrates at different
+	// thresholds; keep the cheapest threshold per bitrate so the table stays
+	// monotone and maximally permissive.
+	byRate := map[float64]float64{}
+	for _, s := range steps {
+		if th, ok := byRate[s.BitsPerSec]; !ok || s.MinSNRdB < th {
+			byRate[s.BitsPerSec] = s.MinSNRdB
+		}
+	}
+	dedup := make([]Step, 0, len(byRate))
+	for r, th := range byRate {
+		dedup = append(dedup, Step{BitsPerSec: r, MinSNRdB: th})
+	}
+	sort.Slice(dedup, func(i, j int) bool { return dedup[i].BitsPerSec < dedup[j].BitsPerSec })
+	// Enforce monotone thresholds: a faster rate may never be easier to
+	// decode than a slower one after the dedup above.
+	for i := 1; i < len(dedup); i++ {
+		if dedup[i].MinSNRdB < dedup[i-1].MinSNRdB {
+			dedup[i].MinSNRdB = dedup[i-1].MinSNRdB
+		}
+	}
+	return NewTable("802.11n", dedup)
+}
+
+// PERWidthDB is the softness of the error-rate transition around each
+// rate's SNR threshold, in dB. Real receivers do not switch from 0% to
+// 100% delivery at a hard threshold; a ~1.5 dB logistic matches typical
+// measured waterfall curves.
+const PERWidthDB = 1.5
+
+// PER returns the packet error rate for a frame sent at bps under the
+// given linear SINR: a logistic in dB centred on the rate's threshold.
+// Rates absent from the table always fail (PER 1); SINRs far above the
+// threshold deliver essentially always.
+func (t Table) PER(bps, sinr float64) float64 {
+	th, ok := t.MinSNRdBFor(bps)
+	if !ok {
+		return 1
+	}
+	marginDB := phy.DB(sinr) - th
+	// Logistic centred 0.5·width below the threshold so that the hard
+	// threshold (Rate's criterion) corresponds to ≈90% delivery, the
+	// paper's testbed criterion.
+	x := (marginDB + PERWidthDB/2) / (PERWidthDB / 4)
+	return 1 / (1 + math.Exp(x))
+}

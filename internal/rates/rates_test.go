@@ -1,0 +1,206 @@
+package rates
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/phy"
+)
+
+func TestTableCounts(t *testing.T) {
+	// The paper's §1: "4 in 802.11b vs 8 in 802.11g vs 32 in 802.11n".
+	if got := Dot11b.Len(); got != 4 {
+		t.Errorf("802.11b has %d rates, want 4", got)
+	}
+	if got := Dot11g.Len(); got != 8 {
+		t.Errorf("802.11g has %d rates, want 8", got)
+	}
+	// 802.11n exposes 32 MCS indices (0-31); several stream/MCS combinations
+	// share a bitrate (e.g. 26 Mbps = MCS3 = 2×MCS1 = 4×MCS0), so the table
+	// of *distinct* bitrates is smaller but still far finer-grained than b/g.
+	if got := Dot11n.Len(); got < 16 || got > 32 {
+		t.Errorf("802.11n has %d distinct bitrates, want 16-32", got)
+	}
+}
+
+func TestRateSelectionKnown(t *testing.T) {
+	cases := []struct {
+		snrDB float64
+		want  float64
+	}{
+		{-5, 0},      // below sensitivity
+		{6, 6e6},     // exactly the 6 Mbps threshold
+		{6.9, 6e6},   // below 9 Mbps threshold
+		{7, 9e6},     // exactly 9
+		{13.9, 18e6}, //
+		{24, 54e6},   // top rate threshold
+		{45, 54e6},   // clamped at top
+	}
+	for _, c := range cases {
+		if got := Dot11g.Rate(phy.FromDB(c.snrDB)); got != c.want {
+			t.Errorf("Dot11g.Rate(%v dB) = %v, want %v", c.snrDB, got, c.want)
+		}
+	}
+}
+
+func TestRateMonotoneProperty(t *testing.T) {
+	for _, tbl := range []Table{Dot11b, Dot11g, Dot11n} {
+		f := func(a, b float64) bool {
+			s1 := math.Abs(a)
+			s2 := math.Abs(b)
+			if math.IsNaN(s1) || math.IsNaN(s2) || math.IsInf(s1, 0) || math.IsInf(s2, 0) {
+				return true
+			}
+			if s1 > s2 {
+				s1, s2 = s2, s1
+			}
+			return tbl.Rate(s1) <= tbl.Rate(s2)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", tbl.Name(), err)
+		}
+	}
+}
+
+func TestRateNeverExceedsShannon(t *testing.T) {
+	// A real table must stay below Shannon capacity at its own threshold —
+	// otherwise the table promises physically impossible rates. For the
+	// single-antenna b/g tables that bound is B·log2(1+SNR); 802.11n uses up
+	// to 4 spatial streams, so its MIMO bound is 4× the SISO capacity.
+	ch := phy.Wifi20MHz
+	for _, tc := range []struct {
+		tbl     Table
+		streams float64
+	}{{Dot11b, 1}, {Dot11g, 1}, {Dot11n, 4}} {
+		for _, s := range tc.tbl.Steps() {
+			bound := tc.streams * ch.Capacity(phy.FromDB(s.MinSNRdB))
+			if s.BitsPerSec > bound {
+				t.Errorf("%s: rate %v bps at %v dB exceeds the %v-stream Shannon bound %v bps",
+					tc.tbl.Name(), s.BitsPerSec, s.MinSNRdB, tc.streams, bound)
+			}
+		}
+	}
+}
+
+func TestRateAtExactThresholds(t *testing.T) {
+	for _, tbl := range []Table{Dot11b, Dot11g, Dot11n} {
+		for _, s := range tbl.Steps() {
+			if got := tbl.Rate(phy.FromDB(s.MinSNRdB)); got < s.BitsPerSec {
+				t.Errorf("%s: Rate at its own threshold %v dB = %v, want ≥ %v",
+					tbl.Name(), s.MinSNRdB, got, s.BitsPerSec)
+			}
+		}
+	}
+}
+
+func TestMaxRate(t *testing.T) {
+	if got := Dot11g.MaxRate(); got != 54e6 {
+		t.Errorf("Dot11g.MaxRate() = %v, want 54e6", got)
+	}
+	if got := Dot11n.MaxRate(); got != 260e6 {
+		t.Errorf("Dot11n.MaxRate() = %v, want 260e6 (4×65 Mbps)", got)
+	}
+	var empty Table
+	if got := empty.MaxRate(); got != 0 {
+		t.Errorf("empty MaxRate() = %v, want 0", got)
+	}
+}
+
+func TestMinSNRdBFor(t *testing.T) {
+	th, ok := Dot11g.MinSNRdBFor(54e6)
+	if !ok || th != 24 {
+		t.Errorf("MinSNRdBFor(54e6) = (%v, %v), want (24, true)", th, ok)
+	}
+	if _, ok := Dot11g.MinSNRdBFor(7e6); ok {
+		t.Error("MinSNRdBFor(nonexistent) reported ok")
+	}
+}
+
+func TestNewTablePanicsOnNonMonotone(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTable with inverted thresholds did not panic")
+		}
+	}()
+	NewTable("bad", []Step{{1e6, 10}, {2e6, 5}})
+}
+
+func TestRateFuncAdapter(t *testing.T) {
+	rf := Dot11g.RateFunc()
+	if got := rf(phy.FromDB(24)); got != 54e6 {
+		t.Errorf("RateFunc(24 dB) = %v, want 54e6", got)
+	}
+	if got := rf(phy.FromDB(0)); got != 0 {
+		t.Errorf("RateFunc(0 dB) = %v, want 0", got)
+	}
+}
+
+func TestStepsReturnsCopy(t *testing.T) {
+	s := Dot11g.Steps()
+	s[0].BitsPerSec = 999
+	if Dot11g.Steps()[0].BitsPerSec == 999 {
+		t.Error("Steps() leaked internal slice")
+	}
+}
+
+func TestEmptyTableRate(t *testing.T) {
+	var empty Table
+	if got := empty.Rate(1e9); got != 0 {
+		t.Errorf("empty table Rate = %v, want 0", got)
+	}
+}
+
+// The discrete-rate slack: between two adjacent thresholds the channel
+// supports more than the selected rate. Verify the worst-case slack for
+// 802.11g is substantial (this is the slack SIC can harness, §7).
+func TestDiscreteSlackExists(t *testing.T) {
+	ch := phy.Wifi20MHz
+	worst := 0.0
+	for dB := 6.0; dB <= 30; dB += 0.1 {
+		shannon := ch.Capacity(phy.FromDB(dB))
+		discrete := Dot11g.Rate(phy.FromDB(dB))
+		if discrete == 0 {
+			continue
+		}
+		if slack := shannon / discrete; slack > worst {
+			worst = slack
+		}
+	}
+	if worst < 1.5 {
+		t.Errorf("worst-case Shannon/discrete ratio %v; expected meaningful slack (> 1.5×)", worst)
+	}
+}
+
+func TestPERShape(t *testing.T) {
+	tbl := Dot11g
+	const bps = 24e6 // threshold 14 dB
+	// Monotone decreasing in SINR.
+	prev := 1.0
+	for db := 5.0; db <= 25; db += 0.5 {
+		p := tbl.PER(bps, phy.FromDB(db))
+		if p > prev+1e-12 {
+			t.Fatalf("PER not monotone at %v dB", db)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("PER %v out of range", p)
+		}
+		prev = p
+	}
+	// Well below threshold: essentially always lost.
+	if p := tbl.PER(bps, phy.FromDB(8)); p < 0.99 {
+		t.Errorf("PER 6 dB below threshold = %v, want ≈1", p)
+	}
+	// At the hard threshold: roughly the 90%-delivery criterion.
+	if p := tbl.PER(bps, phy.FromDB(14)); p < 0.03 || p > 0.35 {
+		t.Errorf("PER at threshold = %v, want near 10%%", p)
+	}
+	// Far above: essentially always delivered.
+	if p := tbl.PER(bps, phy.FromDB(22)); p > 1e-3 {
+		t.Errorf("PER 8 dB above threshold = %v, want ≈0", p)
+	}
+	// Unknown rate: always fails.
+	if p := tbl.PER(7e6, phy.FromDB(40)); p != 1 {
+		t.Errorf("PER of unknown rate = %v, want 1", p)
+	}
+}

@@ -1,0 +1,334 @@
+// Package sched implements the paper's §6 SIC-aware scheduling algorithm
+// for WLAN upload traffic: given a set of backlogged clients and their
+// received SNRs at the AP, pick client pairs (and optional per-pair power
+// reductions) so that the total time to drain one packet from every client
+// is minimised.
+//
+// The problem reduces to minimum-weight perfect matching on the complete
+// client graph — with a dummy vertex when the client count is odd — exactly
+// as Fig. 12 of the paper describes; package matching supplies Edmonds'
+// algorithm.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/matching"
+	"repro/internal/phy"
+)
+
+// Client is one backlogged uploader.
+type Client struct {
+	// ID is an opaque caller-supplied identifier carried through to the
+	// schedule (a MAC address, a trace key, …).
+	ID string
+	// SNR is the linear received signal-to-noise ratio at the AP when the
+	// client transmits at full power.
+	SNR float64
+}
+
+// Options configures cost computation for the scheduler.
+type Options struct {
+	// Channel supplies bandwidth and noise; required.
+	Channel phy.Channel
+	// PacketBits is the uplink packet length in bits; required.
+	PacketBits float64
+	// PowerControl enables the §5.2 per-pair power reduction of the weaker
+	// client when computing joint transmission costs.
+	PowerControl bool
+	// Multirate enables §5.3 multirate packetization in the joint cost.
+	Multirate bool
+	// Rate optionally replaces the ideal Shannon rate with a discrete table
+	// (e.g. rates.Dot11g.RateFunc()). When set, PowerControl and Multirate
+	// are ignored for cost purposes: the paper applies those techniques to
+	// the continuous-rate analysis.
+	Rate core.RateFunc
+	// Residual is the receiver's known residual-cancellation fraction β
+	// (see core.Pair.SICTimeImperfect). A residual-aware scheduler derates
+	// the weaker client of every SIC slot so the pair remains decodable on
+	// an imperfect receiver, trading rate for reliability. Ignored when
+	// Rate or Multirate is set.
+	Residual float64
+}
+
+// Mode says how a scheduled slot transmits.
+type Mode int
+
+const (
+	// ModeSerial: the two clients of the slot transmit one after the other
+	// (pairing them concurrently would be slower).
+	ModeSerial Mode = iota
+	// ModeSIC: the two clients transmit concurrently and the AP decodes
+	// both via SIC.
+	ModeSIC
+	// ModeSolo: a single client transmits alone (odd client count).
+	ModeSolo
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeSerial:
+		return "serial"
+	case ModeSIC:
+		return "sic"
+	case ModeSolo:
+		return "solo"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Slot is one entry of the resulting schedule: either a pair of clients or
+// a lone client.
+type Slot struct {
+	// A and B index into the scheduled client slice; B is -1 for ModeSolo.
+	A, B int
+	// Mode records whether the slot runs serial, concurrent-SIC, or solo.
+	Mode Mode
+	// WeakScale is the power-reduction factor applied to the weaker client
+	// of a ModeSIC slot (1 when power control is off or unhelpful).
+	WeakScale float64
+	// Time is the slot's completion time in seconds.
+	Time float64
+}
+
+// Schedule is the scheduler's output.
+type Schedule struct {
+	// Slots in arbitrary order (the AP may sequence them any way it likes).
+	Slots []Slot
+	// Total is the sum of slot times: the time to drain one packet from
+	// every backlogged client.
+	Total float64
+	// SerialBaseline is the no-SIC drain time (every client alone at its
+	// best rate), for gain reporting.
+	SerialBaseline float64
+}
+
+// Gain is the paper's headline metric: serial baseline over scheduled time.
+func (s Schedule) Gain() float64 {
+	if s.Total == 0 {
+		return 1
+	}
+	return s.SerialBaseline / s.Total
+}
+
+// ErrNoClients is returned when the client set is empty.
+var ErrNoClients = errors.New("sched: no clients to schedule")
+
+// costNanos converts a slot time to the integer nanoseconds the matcher
+// consumes. Times are clamped into a range that cannot overflow the
+// matcher's dual arithmetic.
+func costNanos(t float64) (int64, error) {
+	if math.IsNaN(t) {
+		return 0, errors.New("sched: NaN slot time")
+	}
+	if math.IsInf(t, 1) {
+		return 0, errors.New("sched: unschedulable client (zero achievable rate)")
+	}
+	ns := t * 1e9
+	const maxNs = 1e15 // ~11.5 days of airtime; beyond this, refuse
+	if ns > maxNs {
+		return 0, fmt.Errorf("sched: slot time %.3gs too large to schedule", t)
+	}
+	return int64(math.Round(ns)), nil
+}
+
+// soloTime is one client's airtime at its interference-free best rate.
+func soloTime(c Client, o Options) float64 {
+	if o.Rate != nil {
+		return phy.TxTime(o.PacketBits, o.Rate(c.SNR))
+	}
+	return phy.TxTime(o.PacketBits, o.Channel.Capacity(c.SNR))
+}
+
+// pairCost computes the best joint drain time for clients a and b and the
+// mode/power-scale achieving it.
+func pairCost(a, b Client, o Options) (t float64, mode Mode, weakScale float64) {
+	serial := soloTime(a, o) + soloTime(b, o)
+	p := core.Pair{S1: a.SNR, S2: b.SNR}
+
+	var joint float64
+	weakScale = 1
+	switch {
+	case o.Rate != nil:
+		joint = p.SICTimeRate(o.Rate, o.PacketBits)
+	case o.PowerControl && o.Multirate:
+		// Apply the power reduction first, then let multirate drain the
+		// stronger client's tail — the techniques compose.
+		pr := p.PowerReduce()
+		joint = pr.Pair.MultirateTime(o.Channel, o.PacketBits)
+		weakScale = pr.Scale
+	case o.PowerControl:
+		pr := p.PowerReduce()
+		joint = pr.Pair.SICTimeImperfect(o.Channel, o.PacketBits, o.Residual)
+		weakScale = pr.Scale
+	case o.Multirate:
+		joint = p.MultirateTime(o.Channel, o.PacketBits)
+	default:
+		joint = p.SICTimeImperfect(o.Channel, o.PacketBits, o.Residual)
+	}
+
+	if joint < serial {
+		return joint, ModeSIC, weakScale
+	}
+	return serial, ModeSerial, 1
+}
+
+// New computes the optimal schedule for the given clients.
+//
+// It builds the complete graph of pairwise joint-transmission costs, adds a
+// dummy vertex when len(clients) is odd (edge cost = that client's solo
+// airtime), solves minimum-weight perfect matching, and translates the
+// matching back into transmission slots.
+func New(clients []Client, o Options) (Schedule, error) {
+	if len(clients) == 0 {
+		return Schedule{}, ErrNoClients
+	}
+	if o.Channel.BandwidthHz <= 0 || o.Channel.NoiseW <= 0 {
+		return Schedule{}, errors.New("sched: Options.Channel is required")
+	}
+	if o.PacketBits <= 0 {
+		return Schedule{}, errors.New("sched: Options.PacketBits must be positive")
+	}
+	for i, c := range clients {
+		if !(c.SNR > 0) || math.IsInf(c.SNR, 1) || math.IsNaN(c.SNR) {
+			return Schedule{}, fmt.Errorf("sched: client %d (%q) has invalid SNR %v", i, c.ID, c.SNR)
+		}
+	}
+
+	n := len(clients)
+	var baseline float64
+	for _, c := range clients {
+		baseline += soloTime(c, o)
+	}
+	if math.IsInf(baseline, 1) {
+		return Schedule{}, errors.New("sched: some client cannot reach the AP at any rate")
+	}
+
+	if n == 1 {
+		t := soloTime(clients[0], o)
+		return Schedule{
+			Slots:          []Slot{{A: 0, B: -1, Mode: ModeSolo, WeakScale: 1, Time: t}},
+			Total:          t,
+			SerialBaseline: baseline,
+		}, nil
+	}
+
+	// Vertex layout: clients 0..n-1, optional dummy at index n.
+	size := n
+	odd := n%2 == 1
+	if odd {
+		size = n + 1
+	}
+	cost := make([][]int64, size)
+	for i := range cost {
+		cost[i] = make([]int64, size)
+	}
+	type cacheEntry struct {
+		t     float64
+		mode  Mode
+		scale float64
+	}
+	cache := make(map[[2]int]cacheEntry, n*n/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			t, mode, scale := pairCost(clients[i], clients[j], o)
+			ns, err := costNanos(t)
+			if err != nil {
+				return Schedule{}, fmt.Errorf("pair (%q, %q): %w", clients[i].ID, clients[j].ID, err)
+			}
+			cost[i][j], cost[j][i] = ns, ns
+			cache[[2]int{i, j}] = cacheEntry{t: t, mode: mode, scale: scale}
+		}
+	}
+	if odd {
+		for i := 0; i < n; i++ {
+			t := soloTime(clients[i], o)
+			ns, err := costNanos(t)
+			if err != nil {
+				return Schedule{}, fmt.Errorf("client %q solo: %w", clients[i].ID, err)
+			}
+			cost[i][n], cost[n][i] = ns, ns
+		}
+	}
+
+	mate, _, err := matching.MinCostPerfect(cost)
+	if err != nil {
+		return Schedule{}, fmt.Errorf("sched: matching failed: %w", err)
+	}
+
+	var slots []Slot
+	var total float64
+	for i := 0; i < n; i++ {
+		m := mate[i]
+		if m < i {
+			continue // already emitted (or i is the dummy's partner handled below)
+		}
+		if odd && m == n {
+			t := soloTime(clients[i], o)
+			slots = append(slots, Slot{A: i, B: -1, Mode: ModeSolo, WeakScale: 1, Time: t})
+			total += t
+			continue
+		}
+		e := cache[[2]int{i, m}]
+		slots = append(slots, Slot{A: i, B: m, Mode: e.mode, WeakScale: e.scale, Time: e.t})
+		total += e.t
+	}
+	return Schedule{Slots: slots, Total: total, SerialBaseline: baseline}, nil
+}
+
+// Greedy computes a schedule with best-pair-first greedy selection instead
+// of optimal matching. It exists as the ablation baseline quantifying what
+// Edmonds' algorithm buys (see DESIGN.md).
+func Greedy(clients []Client, o Options) (Schedule, error) {
+	if len(clients) == 0 {
+		return Schedule{}, ErrNoClients
+	}
+	n := len(clients)
+	var baseline float64
+	for i, c := range clients {
+		if !(c.SNR > 0) || math.IsNaN(c.SNR) || math.IsInf(c.SNR, 1) {
+			return Schedule{}, fmt.Errorf("sched: client %d (%q) has invalid SNR %v", i, c.ID, c.SNR)
+		}
+		baseline += soloTime(c, o)
+	}
+
+	type cand struct {
+		i, j  int
+		t     float64
+		mode  Mode
+		scale float64
+	}
+	var cands []cand
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			t, mode, scale := pairCost(clients[i], clients[j], o)
+			cands = append(cands, cand{i, j, t, mode, scale})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].t < cands[b].t })
+
+	used := make([]bool, n)
+	var slots []Slot
+	var total float64
+	for _, c := range cands {
+		if used[c.i] || used[c.j] {
+			continue
+		}
+		used[c.i], used[c.j] = true, true
+		slots = append(slots, Slot{A: c.i, B: c.j, Mode: c.mode, WeakScale: c.scale, Time: c.t})
+		total += c.t
+	}
+	for i := 0; i < n; i++ {
+		if !used[i] {
+			t := soloTime(clients[i], o)
+			slots = append(slots, Slot{A: i, B: -1, Mode: ModeSolo, WeakScale: 1, Time: t})
+			total += t
+		}
+	}
+	return Schedule{Slots: slots, Total: total, SerialBaseline: baseline}, nil
+}

@@ -1,0 +1,240 @@
+// Package stats implements the small statistical toolkit the evaluation
+// needs: empirical CDFs, quantiles, summary statistics and dense 2-D grids
+// for heatmap figures. It exists because the reproduction is stdlib-only —
+// there is no gonum here, and none is needed.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by constructors handed no data.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// ECDF is an empirical cumulative distribution function over a sample.
+// Construct with NewECDF; the zero value is unusable.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from a sample (which it copies and sorts).
+// NaNs are rejected because every downstream quantile would be poisoned.
+func NewECDF(sample []float64) (ECDF, error) {
+	if len(sample) == 0 {
+		return ECDF{}, ErrEmpty
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	for _, v := range s {
+		if math.IsNaN(v) {
+			return ECDF{}, errors.New("stats: NaN in sample")
+		}
+	}
+	sort.Float64s(s)
+	return ECDF{sorted: s}, nil
+}
+
+// N returns the sample size.
+func (e ECDF) N() int { return len(e.sorted) }
+
+// At returns F(x): the fraction of the sample ≤ x.
+func (e ECDF) At(x float64) float64 {
+	i := sort.SearchFloat64s(e.sorted, x)
+	// SearchFloat64s finds the first index with sorted[i] >= x; advance over
+	// the run of values equal to x so we count "≤ x".
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-th quantile for q in [0,1] using nearest-rank.
+// Out-of-range q is clamped.
+func (e ECDF) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	i := int(math.Ceil(q*float64(len(e.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return e.sorted[i]
+}
+
+// Min returns the smallest sample value.
+func (e ECDF) Min() float64 { return e.sorted[0] }
+
+// Max returns the largest sample value.
+func (e ECDF) Max() float64 { return e.sorted[len(e.sorted)-1] }
+
+// FracAbove returns the fraction of the sample strictly greater than x —
+// the form the paper quotes ("over 20% gain in 40% of the topologies").
+func (e ECDF) FracAbove(x float64) float64 {
+	return 1 - e.At(x)
+}
+
+// Points returns (x, F(x)) pairs suitable for plotting, one per distinct
+// sample value.
+func (e ECDF) Points() (xs, ys []float64) {
+	n := float64(len(e.sorted))
+	for i := 0; i < len(e.sorted); i++ {
+		if i+1 < len(e.sorted) && e.sorted[i+1] == e.sorted[i] {
+			continue
+		}
+		xs = append(xs, e.sorted[i])
+		ys = append(ys, float64(i+1)/n)
+	}
+	return xs, ys
+}
+
+// Summary holds the usual moments and extremes of a sample.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+	P90, P99  float64
+}
+
+// Summarize computes a Summary. It returns ErrEmpty for empty input.
+func Summarize(sample []float64) (Summary, error) {
+	e, err := NewECDF(sample)
+	if err != nil {
+		return Summary{}, err
+	}
+	var sum, sumSq float64
+	for _, v := range sample {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(sample))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // numerical floor
+	}
+	return Summary{
+		N:      len(sample),
+		Mean:   mean,
+		Std:    math.Sqrt(variance),
+		Min:    e.Min(),
+		Max:    e.Max(),
+		Median: e.Quantile(0.5),
+		P90:    e.Quantile(0.9),
+		P99:    e.Quantile(0.99),
+	}, nil
+}
+
+// Grid is a dense 2-D scalar field over a regular lattice: the substrate
+// for the paper's heatmap figures (Figs. 3, 4, 8).
+type Grid struct {
+	// X0, Y0 are the coordinates of cell (0,0); DX, DY the lattice spacing.
+	X0, Y0, DX, DY float64
+	// NX, NY are the lattice dimensions.
+	NX, NY int
+	vals   []float64
+}
+
+// NewGrid allocates an NX×NY grid covering [x0, x0+(nx-1)dx]×[y0, y0+(ny-1)dy].
+func NewGrid(x0, y0, dx, dy float64, nx, ny int) *Grid {
+	if nx <= 0 || ny <= 0 {
+		panic("stats: non-positive grid dimensions")
+	}
+	return &Grid{X0: x0, Y0: y0, DX: dx, DY: dy, NX: nx, NY: ny, vals: make([]float64, nx*ny)}
+}
+
+// Set stores v at cell (i, j). Indices are range-checked by the slice.
+func (g *Grid) Set(i, j int, v float64) { g.vals[j*g.NX+i] = v }
+
+// At returns the value at cell (i, j).
+func (g *Grid) At(i, j int) float64 { return g.vals[j*g.NX+i] }
+
+// X returns the x-coordinate of column i.
+func (g *Grid) X(i int) float64 { return g.X0 + float64(i)*g.DX }
+
+// Y returns the y-coordinate of row j.
+func (g *Grid) Y(j int) float64 { return g.Y0 + float64(j)*g.DY }
+
+// Fill evaluates f over every lattice point.
+func (g *Grid) Fill(f func(x, y float64) float64) {
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			g.Set(i, j, f(g.X(i), g.Y(j)))
+		}
+	}
+}
+
+// MinMax returns the extreme values stored in the grid.
+func (g *Grid) MinMax() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range g.vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// ArgMax returns the cell with the largest value.
+func (g *Grid) ArgMax() (i, j int) {
+	best := math.Inf(-1)
+	for jj := 0; jj < g.NY; jj++ {
+		for ii := 0; ii < g.NX; ii++ {
+			if v := g.At(ii, jj); v > best {
+				best, i, j = v, ii, jj
+			}
+		}
+	}
+	return i, j
+}
+
+// Mean returns the average of all cells.
+func (g *Grid) Mean() float64 {
+	var sum float64
+	for _, v := range g.vals {
+		sum += v
+	}
+	return sum / float64(len(g.vals))
+}
+
+// WilsonInterval returns the 95% Wilson score confidence interval for a
+// binomial proportion observed as successes out of n trials. It is the
+// right interval for the "fraction of topologies with >20% gain" numbers
+// the evaluation reports: unlike the normal approximation it behaves at
+// proportions near 0 and 1.
+func WilsonInterval(successes, n int) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	const z = 1.959963984540054 // 97.5th percentile of the normal
+	p := float64(successes) / float64(n)
+	nn := float64(n)
+	denom := 1 + z*z/nn
+	center := (p + z*z/(2*nn)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nn+z*z/(4*nn*nn))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// FracAboveCI reports the fraction of the sample strictly above x together
+// with its 95% Wilson interval.
+func (e ECDF) FracAboveCI(x float64) (frac, lo, hi float64) {
+	frac = e.FracAbove(x)
+	successes := int(math.Round(frac * float64(e.N())))
+	lo, hi = WilsonInterval(successes, e.N())
+	return frac, lo, hi
+}

@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewECDFErrors(t *testing.T) {
+	if _, err := NewECDF(nil); err == nil {
+		t.Error("NewECDF(nil) should error")
+	}
+	if _, err := NewECDF([]float64{1, math.NaN()}); err == nil {
+		t.Error("NewECDF with NaN should error")
+	}
+}
+
+func TestECDFAt(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0},
+		{1, 0.25},
+		{1.5, 0.25},
+		{2, 0.75},
+		{3, 1},
+		{10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestECDFDoesNotAliasInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	e, _ := NewECDF(in)
+	in[0] = 99
+	if e.Max() == 99 {
+		t.Error("ECDF aliased its input slice")
+	}
+	if in[0] != 99 || in[1] != 1 {
+		t.Error("NewECDF mutated its input")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	e, _ := NewECDF([]float64{10, 20, 30, 40})
+	cases := []struct{ q, want float64 }{
+		{0, 10},
+		{0.25, 10},
+		{0.26, 20},
+		{0.5, 20},
+		{0.75, 30},
+		{1, 40},
+		{-1, 10},
+		{2, 40},
+	}
+	for _, c := range cases {
+		if got := e.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestFracAbove(t *testing.T) {
+	e, _ := NewECDF([]float64{1, 1.1, 1.2, 1.3, 1.5})
+	if got := e.FracAbove(1.2); got != 0.4 {
+		t.Errorf("FracAbove(1.2) = %v, want 0.4", got)
+	}
+	if got := e.FracAbove(0); got != 1 {
+		t.Errorf("FracAbove(0) = %v, want 1", got)
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sample := make([]float64, 500)
+	for i := range sample {
+		sample[i] = rng.NormFloat64() * 10
+	}
+	e, _ := NewECDF(sample)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return e.At(a) <= e.At(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e, _ := NewECDF([]float64{1, 2, 2, 3})
+	xs, ys := e.Points()
+	wantX := []float64{1, 2, 3}
+	wantY := []float64{0.25, 0.75, 1}
+	if len(xs) != len(wantX) {
+		t.Fatalf("Points() returned %d xs, want %d", len(xs), len(wantX))
+	}
+	for i := range xs {
+		if xs[i] != wantX[i] || ys[i] != wantY[i] {
+			t.Errorf("Points()[%d] = (%v, %v), want (%v, %v)", i, xs[i], ys[i], wantX[i], wantY[i])
+		}
+	}
+	// ys must be sorted and end at 1.
+	if !sort.Float64sAreSorted(ys) || ys[len(ys)-1] != 1 {
+		t.Error("Points() ys not monotone to 1")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	if math.Abs(s.Std-2) > 1e-12 {
+		t.Errorf("Std = %v, want 2", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.Median != 4 {
+		t.Errorf("Median = %v, want 4", s.Median)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("Summarize(nil) should error")
+	}
+}
+
+func TestSummarizeConstantSample(t *testing.T) {
+	s, err := Summarize([]float64{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Std != 0 {
+		t.Errorf("Std of constant sample = %v, want 0", s.Std)
+	}
+}
+
+func TestGridBasics(t *testing.T) {
+	g := NewGrid(0, 10, 1, 2, 4, 3)
+	if g.X(2) != 2 || g.Y(2) != 14 {
+		t.Errorf("coordinates wrong: X(2)=%v Y(2)=%v", g.X(2), g.Y(2))
+	}
+	g.Set(3, 2, 42)
+	if g.At(3, 2) != 42 {
+		t.Error("Set/At round trip failed")
+	}
+}
+
+func TestGridFillAndExtremes(t *testing.T) {
+	g := NewGrid(0, 0, 1, 1, 11, 11)
+	g.Fill(func(x, y float64) float64 { return -(x-5)*(x-5) - (y-7)*(y-7) })
+	i, j := g.ArgMax()
+	if i != 5 || j != 7 {
+		t.Errorf("ArgMax = (%d, %d), want (5, 7)", i, j)
+	}
+	lo, hi := g.MinMax()
+	if hi != 0 {
+		t.Errorf("max = %v, want 0", hi)
+	}
+	if lo >= hi {
+		t.Errorf("min %v not below max %v", lo, hi)
+	}
+}
+
+func TestGridMean(t *testing.T) {
+	g := NewGrid(0, 0, 1, 1, 2, 2)
+	g.Set(0, 0, 1)
+	g.Set(1, 0, 2)
+	g.Set(0, 1, 3)
+	g.Set(1, 1, 4)
+	if got := g.Mean(); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestNewGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGrid(0 dims) did not panic")
+		}
+	}()
+	NewGrid(0, 0, 1, 1, 0, 5)
+}
+
+func TestWilsonInterval(t *testing.T) {
+	// Known value: 8/10 successes → approximately (0.49, 0.94).
+	lo, hi := WilsonInterval(8, 10)
+	if lo < 0.44 || lo > 0.54 || hi < 0.90 || hi > 0.98 {
+		t.Errorf("WilsonInterval(8,10) = (%v, %v), want ≈(0.49, 0.94)", lo, hi)
+	}
+	// Degenerate inputs.
+	if lo, hi := WilsonInterval(0, 0); lo != 0 || hi != 1 {
+		t.Errorf("n=0 should give (0,1), got (%v, %v)", lo, hi)
+	}
+	// Extremes stay in [0,1] and exclude nothing silly.
+	lo, hi = WilsonInterval(0, 50)
+	if lo != 0 || hi < 0.01 || hi > 0.2 {
+		t.Errorf("WilsonInterval(0,50) = (%v, %v)", lo, hi)
+	}
+	lo, hi = WilsonInterval(50, 50)
+	if hi != 1 || lo > 0.99 || lo < 0.8 {
+		t.Errorf("WilsonInterval(50,50) = (%v, %v)", lo, hi)
+	}
+	// Interval shrinks with n.
+	lo1, hi1 := WilsonInterval(20, 100)
+	lo2, hi2 := WilsonInterval(200, 1000)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Errorf("interval did not shrink with n: %v vs %v", hi2-lo2, hi1-lo1)
+	}
+}
+
+func TestFracAboveCI(t *testing.T) {
+	sample := make([]float64, 100)
+	for i := range sample {
+		sample[i] = float64(i) // 0..99
+	}
+	e, err := NewECDF(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac, lo, hi := e.FracAboveCI(79) // 20 values above 79
+	if math.Abs(frac-0.2) > 1e-12 {
+		t.Errorf("frac = %v, want 0.2", frac)
+	}
+	if !(lo < frac && frac < hi) {
+		t.Errorf("interval (%v, %v) does not bracket %v", lo, hi, frac)
+	}
+}

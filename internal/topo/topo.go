@@ -1,0 +1,102 @@
+// Package topo provides the planar geometry and random node placement used
+// by the paper's Monte-Carlo evaluations: transmitters separated by a fixed
+// range with receivers dropped uniformly inside each transmitter's range
+// (§3.2), grids of access points, and uniform client scatter.
+//
+// All randomised helpers take an explicit *rand.Rand so experiments are
+// reproducible run-to-run and safe to parallelise with per-goroutine RNGs.
+package topo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is a position in the plane, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y)
+}
+
+// Dist returns the Euclidean distance to q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point {
+	return Point{p.X + q.X, p.Y + q.Y}
+}
+
+// UniformInDisc returns a point uniformly distributed in the disc of the
+// given radius centred at c. It uses the inverse-CDF radius transform rather
+// than rejection, so it consumes exactly two uniform variates per call.
+func UniformInDisc(rng *rand.Rand, c Point, radius float64) Point {
+	r := radius * math.Sqrt(rng.Float64())
+	theta := 2 * math.Pi * rng.Float64()
+	return Point{c.X + r*math.Cos(theta), c.Y + r*math.Sin(theta)}
+}
+
+// UniformInRect returns a point uniformly distributed in the axis-aligned
+// rectangle [x0,x1]×[y0,y1].
+func UniformInRect(rng *rand.Rand, x0, y0, x1, y1 float64) Point {
+	return Point{x0 + rng.Float64()*(x1-x0), y0 + rng.Float64()*(y1-y0)}
+}
+
+// TwoLinkPlacement is the §3.2 Monte-Carlo construction: two transmitters a
+// fixed distance apart, each with a receiver placed uniformly at random
+// within its communication range.
+type TwoLinkPlacement struct {
+	T1, T2 Point
+	R1, R2 Point
+}
+
+// PlaceTwoLinks fixes T1 at the origin and T2 at (separation, 0), then drops
+// R1 and R2 uniformly inside the disc of the given range around their own
+// transmitters, exactly as described for the paper's Fig. 6 experiment.
+func PlaceTwoLinks(rng *rand.Rand, separation, txRange float64) TwoLinkPlacement {
+	t1 := Point{0, 0}
+	t2 := Point{separation, 0}
+	return TwoLinkPlacement{
+		T1: t1,
+		T2: t2,
+		R1: UniformInDisc(rng, t1, txRange),
+		R2: UniformInDisc(rng, t2, txRange),
+	}
+}
+
+// Grid lays out n points on a near-square grid with the given spacing,
+// starting at origin. Used for building-like AP deployments.
+func Grid(n int, spacing float64, origin Point) []Point {
+	if n <= 0 {
+		return nil
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		row, col := i/cols, i%cols
+		pts = append(pts, origin.Add(Point{float64(col) * spacing, float64(row) * spacing}))
+	}
+	return pts
+}
+
+// Nearest returns the index of the point in pts closest to p and the
+// distance to it. It panics on an empty slice, which is always a programming
+// error here.
+func Nearest(p Point, pts []Point) (int, float64) {
+	if len(pts) == 0 {
+		panic("topo: Nearest on empty point set")
+	}
+	best, bestD := 0, p.Dist(pts[0])
+	for i := 1; i < len(pts); i++ {
+		if d := p.Dist(pts[i]); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}

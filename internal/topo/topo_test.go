@@ -1,0 +1,147 @@
+package topo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPointDist(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-1, 0}, Point{1, 0}, 2},
+	}
+	for _, c := range cases {
+		if got := c.a.Dist(c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%v.Dist(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Dist(c.a); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Dist not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestPointAdd(t *testing.T) {
+	got := Point{1, 2}.Add(Point{3, -1})
+	if got != (Point{4, 1}) {
+		t.Errorf("Add = %v, want (4,1)", got)
+	}
+}
+
+func TestUniformInDiscBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := Point{5, -3}
+	const radius = 7.0
+	for i := 0; i < 10000; i++ {
+		p := UniformInDisc(rng, c, radius)
+		if d := p.Dist(c); d > radius+1e-9 {
+			t.Fatalf("point %v outside disc: dist %v > %v", p, d, radius)
+		}
+	}
+}
+
+func TestUniformInDiscIsUniform(t *testing.T) {
+	// For a uniform distribution on a disc, the fraction of points within
+	// r/2 of the centre is 1/4 and the mean distance is 2r/3.
+	rng := rand.New(rand.NewSource(2))
+	const n = 50000
+	const radius = 1.0
+	inside := 0
+	sumD := 0.0
+	for i := 0; i < n; i++ {
+		d := UniformInDisc(rng, Point{}, radius).Dist(Point{})
+		sumD += d
+		if d < radius/2 {
+			inside++
+		}
+	}
+	if frac := float64(inside) / n; math.Abs(frac-0.25) > 0.01 {
+		t.Errorf("fraction within r/2 = %v, want ≈0.25", frac)
+	}
+	if mean := sumD / n; math.Abs(mean-2.0/3.0) > 0.01 {
+		t.Errorf("mean distance = %v, want ≈2/3", mean)
+	}
+}
+
+func TestUniformInRect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		p := UniformInRect(rng, -1, 2, 4, 6)
+		if p.X < -1 || p.X > 4 || p.Y < 2 || p.Y > 6 {
+			t.Fatalf("point %v outside rect", p)
+		}
+	}
+}
+
+func TestPlaceTwoLinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		pl := PlaceTwoLinks(rng, 30, 10)
+		if pl.T1 != (Point{0, 0}) || pl.T2 != (Point{30, 0}) {
+			t.Fatalf("transmitters misplaced: %v %v", pl.T1, pl.T2)
+		}
+		if d := pl.R1.Dist(pl.T1); d > 10+1e-9 {
+			t.Fatalf("R1 outside T1 range: %v", d)
+		}
+		if d := pl.R2.Dist(pl.T2); d > 10+1e-9 {
+			t.Fatalf("R2 outside T2 range: %v", d)
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	pts := Grid(5, 10, Point{100, 200})
+	if len(pts) != 5 {
+		t.Fatalf("Grid(5) returned %d points", len(pts))
+	}
+	if pts[0] != (Point{100, 200}) {
+		t.Errorf("first point %v, want origin", pts[0])
+	}
+	// 5 points on a 3-wide grid: row 1 starts at index 3.
+	if pts[3] != (Point{100, 210}) {
+		t.Errorf("pts[3] = %v, want (100, 210)", pts[3])
+	}
+	if Grid(0, 1, Point{}) != nil {
+		t.Error("Grid(0) should be nil")
+	}
+	// All points distinct.
+	seen := map[Point]bool{}
+	for _, p := range Grid(17, 3, Point{}) {
+		if seen[p] {
+			t.Fatalf("duplicate grid point %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestNearest(t *testing.T) {
+	pts := []Point{{0, 0}, {10, 0}, {5, 5}}
+	idx, d := Nearest(Point{9, 1}, pts)
+	if idx != 1 {
+		t.Errorf("Nearest index = %d, want 1", idx)
+	}
+	if math.Abs(d-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("Nearest dist = %v, want √2", d)
+	}
+}
+
+func TestNearestPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Nearest on empty set did not panic")
+		}
+	}()
+	Nearest(Point{}, nil)
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	a := PlaceTwoLinks(rand.New(rand.NewSource(42)), 20, 8)
+	b := PlaceTwoLinks(rand.New(rand.NewSource(42)), 20, 8)
+	if a != b {
+		t.Errorf("same seed produced different placements: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadSnapshots hammers the JSONL parser: it must never panic, and any
+// accepted trace must round-trip through WriteSnapshots/ReadSnapshots.
+func FuzzReadSnapshots(f *testing.F) {
+	cfg := DefaultGenConfig(1)
+	cfg.Days = 1
+	if snaps, err := GenerateUpload(cfg); err == nil && len(snaps) > 3 {
+		var buf bytes.Buffer
+		if err := WriteSnapshots(&buf, snaps[:3]); err == nil {
+			f.Add(buf.String())
+		}
+	}
+	f.Add(`{"unix":0,"ap":"ap0","clients":[{"id":"a","snr_db":10}]}`)
+	f.Add(`garbage`)
+	f.Add(``)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		snaps, err := ReadSnapshots(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteSnapshots(&buf, snaps); err != nil {
+			t.Fatalf("accepted trace failed to serialise: %v", err)
+		}
+		back, err := ReadSnapshots(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back) != len(snaps) {
+			t.Fatalf("round trip changed count: %d vs %d", len(back), len(snaps))
+		}
+	})
+}

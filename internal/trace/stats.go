@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Stats summarises an upload trace: the sanity numbers one checks before
+// trusting a scheduling evaluation built on it.
+type Stats struct {
+	// Snapshots is the record count.
+	Snapshots int
+	// APs is the number of distinct access points.
+	APs int
+	// TotalClients counts client observations across snapshots.
+	TotalClients int
+	// ClientsPerSnapshot summarises the per-snapshot population.
+	ClientsPerSnapshot stats.Summary
+	// SNRdB summarises the observed RSSI distribution.
+	SNRdB stats.Summary
+	// PairableFraction is the fraction of snapshots with ≥2 clients — the
+	// ones the SIC scheduler can do anything with.
+	PairableFraction float64
+	// BusiestAP names the AP with the most client observations.
+	BusiestAP string
+}
+
+// Analyze computes Stats over a snapshot trace.
+func Analyze(snaps []Snapshot) (Stats, error) {
+	if len(snaps) == 0 {
+		return Stats{}, errors.New("trace: empty trace")
+	}
+	var (
+		perSnap  []float64
+		snrs     []float64
+		pairable int
+	)
+	apCounts := map[string]int{}
+	for _, s := range snaps {
+		perSnap = append(perSnap, float64(len(s.Clients)))
+		apCounts[s.AP] += len(s.Clients)
+		if len(s.Clients) >= 2 {
+			pairable++
+		}
+		for _, c := range s.Clients {
+			snrs = append(snrs, c.SNRdB)
+		}
+	}
+	cps, err := stats.Summarize(perSnap)
+	if err != nil {
+		return Stats{}, err
+	}
+	snr, err := stats.Summarize(snrs)
+	if err != nil {
+		return Stats{}, fmt.Errorf("trace: no client observations: %w", err)
+	}
+	busiest, best := "", -1
+	for ap, n := range apCounts {
+		if n > best || (n == best && ap < busiest) {
+			busiest, best = ap, n
+		}
+	}
+	return Stats{
+		Snapshots:          len(snaps),
+		APs:                len(apCounts),
+		TotalClients:       len(snrs),
+		ClientsPerSnapshot: cps,
+		SNRdB:              snr,
+		PairableFraction:   float64(pairable) / float64(len(snaps)),
+		BusiestAP:          busiest,
+	}, nil
+}
+
+// String renders the stats as a small report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "snapshots:            %d across %d APs\n", s.Snapshots, s.APs)
+	fmt.Fprintf(&b, "client observations:  %d (busiest AP: %s)\n", s.TotalClients, s.BusiestAP)
+	fmt.Fprintf(&b, "clients/snapshot:     mean %.2f, median %.0f, p90 %.0f, max %.0f\n",
+		s.ClientsPerSnapshot.Mean, s.ClientsPerSnapshot.Median, s.ClientsPerSnapshot.P90, s.ClientsPerSnapshot.Max)
+	fmt.Fprintf(&b, "RSSI (dB):            mean %.1f ± %.1f, range [%.1f, %.1f]\n",
+		s.SNRdB.Mean, s.SNRdB.Std, s.SNRdB.Min, s.SNRdB.Max)
+	fmt.Fprintf(&b, "pairable snapshots:   %.1f%% (≥2 clients)\n", 100*s.PairableFraction)
+	return b.String()
+}

@@ -1,0 +1,312 @@
+// Package trace supplies the trace substrate for the paper's §7 evaluation.
+//
+// The original study used two proprietary data sets collected at Duke
+// University: (a) two weeks of 802.11g per-client RSSI observations at
+// building APs, parsed into 15-minute topology snapshots, and (b) an SNR
+// survey of 100 client locations against 5 co-located Soekris APs. Neither
+// is public, so this package generates synthetic equivalents with the same
+// shape: per-snapshot sets of (client, RSSI-at-AP) for upload scheduling,
+// and per-location AP SNR vectors for the download study. Placement uses
+// log-distance path loss with log-normal shadowing and a diurnal occupancy
+// profile, which yields realistic RSSI spreads; see DESIGN.md
+// ("Substitutions") for why this preserves the evaluated behaviour.
+//
+// Traces serialise as JSON Lines so they can be inspected, filtered and
+// regenerated with ordinary tools.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/phy"
+	"repro/internal/topo"
+)
+
+// ClientObs is one client observed at an AP with its received signal
+// strength (as SNR in dB, noise-floor normalised).
+type ClientObs struct {
+	ID    string  `json:"id"`
+	SNRdB float64 `json:"snr_db"`
+}
+
+// Snapshot is the paper's unit of scheduling evaluation: the set of wireless
+// clients associated with one AP during one 15-minute window.
+type Snapshot struct {
+	// Unix is the window start in seconds since the epoch (simulated time).
+	Unix int64 `json:"unix"`
+	// AP names the access point.
+	AP string `json:"ap"`
+	// Clients are the associated clients and their RSSI at this AP.
+	Clients []ClientObs `json:"clients"`
+}
+
+// SurveyPoint is one client location of the download survey: its SNR in dB
+// from every AP that covers it.
+type SurveyPoint struct {
+	// Client names the surveyed location.
+	Client string `json:"client"`
+	// SNRdB maps AP name to the location's SNR from that AP.
+	SNRdB map[string]float64 `json:"snr_db"`
+}
+
+// WriteSnapshots streams snapshots as JSON Lines.
+func WriteSnapshots(w io.Writer, snaps []Snapshot) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range snaps {
+		if err := enc.Encode(&snaps[i]); err != nil {
+			return fmt.Errorf("trace: encoding snapshot %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshots parses a JSON Lines snapshot stream, validating each record.
+func ReadSnapshots(r io.Reader) ([]Snapshot, error) {
+	dec := json.NewDecoder(r)
+	var out []Snapshot
+	for {
+		var s Snapshot
+		if err := dec.Decode(&s); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: snapshot %d: %w", len(out), err)
+		}
+		if s.AP == "" {
+			return nil, fmt.Errorf("trace: snapshot %d: missing AP name", len(out))
+		}
+		for _, c := range s.Clients {
+			if c.ID == "" {
+				return nil, fmt.Errorf("trace: snapshot %d: client with empty ID", len(out))
+			}
+			if math.IsNaN(c.SNRdB) || math.IsInf(c.SNRdB, 0) {
+				return nil, fmt.Errorf("trace: snapshot %d: client %q has invalid SNR", len(out), c.ID)
+			}
+		}
+		out = append(out, s)
+	}
+}
+
+// WriteSurvey streams survey points as JSON Lines.
+func WriteSurvey(w io.Writer, pts []SurveyPoint) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range pts {
+		if err := enc.Encode(&pts[i]); err != nil {
+			return fmt.Errorf("trace: encoding survey point %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSurvey parses a JSON Lines survey stream.
+func ReadSurvey(r io.Reader) ([]SurveyPoint, error) {
+	dec := json.NewDecoder(r)
+	var out []SurveyPoint
+	for {
+		var p SurveyPoint
+		if err := dec.Decode(&p); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: survey point %d: %w", len(out), err)
+		}
+		if p.Client == "" {
+			return nil, fmt.Errorf("trace: survey point %d: missing client name", len(out))
+		}
+		if len(p.SNRdB) == 0 {
+			return nil, fmt.Errorf("trace: survey point %d: no AP observations", len(out))
+		}
+		out = append(out, p)
+	}
+}
+
+// GenConfig parameterises the synthetic trace generator.
+type GenConfig struct {
+	// Seed drives all randomness; identical configs generate identical traces.
+	Seed int64
+	// APs is the number of access points, laid out on a building-like grid.
+	APs int
+	// APSpacing is the grid spacing in meters (typical office: 25–40 m).
+	APSpacing float64
+	// Days of simulated collection (the paper: 14).
+	Days int
+	// SnapshotMinutes is the window length (the paper: 15).
+	SnapshotMinutes int
+	// PeakClients is the mean client count per AP during busy weekday hours.
+	PeakClients float64
+	// PathLoss maps distance to SNR.
+	PathLoss phy.PathLoss
+	// ShadowSigmaDB is the log-normal shadowing deviation (indoor: ~6 dB).
+	ShadowSigmaDB float64
+}
+
+// Validate reports the first problem with the configuration.
+func (c GenConfig) Validate() error {
+	switch {
+	case c.APs <= 0:
+		return errors.New("trace: APs must be positive")
+	case c.APSpacing <= 0:
+		return errors.New("trace: APSpacing must be positive")
+	case c.Days <= 0:
+		return errors.New("trace: Days must be positive")
+	case c.SnapshotMinutes <= 0:
+		return errors.New("trace: SnapshotMinutes must be positive")
+	case c.PeakClients <= 0:
+		return errors.New("trace: PeakClients must be positive")
+	case c.PathLoss.RefSNR <= 0:
+		return errors.New("trace: PathLoss is required")
+	}
+	return nil
+}
+
+// DefaultGenConfig mirrors the paper's collection: 2 weeks of 15-minute
+// snapshots in a busy multi-AP building.
+func DefaultGenConfig(seed int64) GenConfig {
+	pl, err := phy.NewPathLoss(3.5, 1, 55) // indoor α=3.5, 55 dB at 1 m
+	if err != nil {
+		panic(err) // constants above are valid by construction
+	}
+	return GenConfig{
+		Seed:            seed,
+		APs:             5,
+		APSpacing:       30,
+		Days:            14,
+		SnapshotMinutes: 15,
+		PeakClients:     8,
+		PathLoss:        pl,
+		ShadowSigmaDB:   6,
+	}
+}
+
+// occupancy returns the mean clients-per-AP multiplier for a given simulated
+// hour-of-week, modelling a busy university building: full during weekday
+// working hours, reduced evenings, near-empty nights and weekends.
+func occupancy(hourOfWeek int) float64 {
+	day := hourOfWeek / 24 // 0 = Monday
+	hour := hourOfWeek % 24
+	weekend := day >= 5
+	switch {
+	case weekend && hour >= 10 && hour < 18:
+		return 0.25
+	case weekend:
+		return 0.05
+	case hour >= 9 && hour < 18:
+		return 1.0
+	case hour >= 7 && hour < 9, hour >= 18 && hour < 22:
+		return 0.4
+	default:
+		return 0.05
+	}
+}
+
+// poisson draws a Poisson variate by inversion (mean < ~30 here, so the
+// naive product method is fine and allocation-free).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// GenerateUpload produces the upload-evaluation trace: one snapshot per AP
+// per window across the configured collection period. Clients scatter
+// uniformly over the building footprint each window, associate with their
+// nearest AP, and report shadowed RSSI.
+func GenerateUpload(cfg GenConfig) ([]Snapshot, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	aps := topo.Grid(cfg.APs, cfg.APSpacing, topo.Point{})
+	// Building footprint: the AP grid's bounding box plus one spacing of
+	// margin on each side.
+	maxX, maxY := 0.0, 0.0
+	for _, p := range aps {
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	margin := cfg.APSpacing / 2
+
+	windows := cfg.Days * 24 * 60 / cfg.SnapshotMinutes
+	var out []Snapshot
+	clientSeq := 0
+	for w := 0; w < windows; w++ {
+		minutes := w * cfg.SnapshotMinutes
+		hourOfWeek := (minutes / 60) % (7 * 24)
+		mean := cfg.PeakClients * occupancy(hourOfWeek)
+
+		perAP := make([][]ClientObs, len(aps))
+		total := poisson(rng, mean*float64(len(aps)))
+		for c := 0; c < total; c++ {
+			pos := topo.UniformInRect(rng, -margin, -margin, maxX+margin, maxY+margin)
+			apIdx, dist := topo.Nearest(pos, aps)
+			snr := cfg.PathLoss.Shadowed(dist, cfg.ShadowSigmaDB, rng)
+			clientSeq++
+			perAP[apIdx] = append(perAP[apIdx], ClientObs{
+				ID:    fmt.Sprintf("c%06d", clientSeq),
+				SNRdB: phy.DB(snr),
+			})
+		}
+		for i := range aps {
+			if len(perAP[i]) == 0 {
+				continue // the paper's snapshots only list active client sets
+			}
+			out = append(out, Snapshot{
+				Unix:    int64(minutes) * 60,
+				AP:      fmt.Sprintf("ap%d", i),
+				Clients: perAP[i],
+			})
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("trace: generated an empty trace; raise PeakClients or Days")
+	}
+	return out, nil
+}
+
+// GenerateSurvey produces the download-evaluation survey: nLocations client
+// positions scattered across the AP footprint, each recording its shadowed
+// SNR from every AP (the paper surveyed 100 locations against 5 APs).
+func GenerateSurvey(cfg GenConfig, nLocations int) ([]SurveyPoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nLocations <= 0 {
+		return nil, errors.New("trace: nLocations must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 0x5eed))
+	aps := topo.Grid(cfg.APs, cfg.APSpacing, topo.Point{})
+	maxX, maxY := 0.0, 0.0
+	for _, p := range aps {
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	margin := cfg.APSpacing / 2
+
+	out := make([]SurveyPoint, 0, nLocations)
+	for i := 0; i < nLocations; i++ {
+		pos := topo.UniformInRect(rng, -margin, -margin, maxX+margin, maxY+margin)
+		snrs := make(map[string]float64, len(aps))
+		for a, ap := range aps {
+			snr := cfg.PathLoss.Shadowed(pos.Dist(ap), cfg.ShadowSigmaDB, rng)
+			snrs[fmt.Sprintf("ap%d", a)] = phy.DB(snr)
+		}
+		out = append(out, SurveyPoint{Client: fmt.Sprintf("loc%03d", i), SNRdB: snrs})
+	}
+	return out, nil
+}

@@ -1,0 +1,315 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestGenConfigValidate(t *testing.T) {
+	good := DefaultGenConfig(1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*GenConfig){
+		func(c *GenConfig) { c.APs = 0 },
+		func(c *GenConfig) { c.APSpacing = 0 },
+		func(c *GenConfig) { c.Days = 0 },
+		func(c *GenConfig) { c.SnapshotMinutes = 0 },
+		func(c *GenConfig) { c.PeakClients = 0 },
+		func(c *GenConfig) { c.PathLoss.RefSNR = 0 },
+	}
+	for i, mutate := range mutations {
+		c := DefaultGenConfig(1)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateUploadShape(t *testing.T) {
+	cfg := DefaultGenConfig(7)
+	cfg.Days = 2 // keep the test fast
+	snaps, err := GenerateUpload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("empty trace")
+	}
+	apSeen := map[string]bool{}
+	maxClients := 0
+	for _, s := range snaps {
+		if s.AP == "" {
+			t.Fatal("snapshot with empty AP")
+		}
+		apSeen[s.AP] = true
+		if len(s.Clients) == 0 {
+			t.Fatal("snapshot with no clients should be omitted")
+		}
+		if len(s.Clients) > maxClients {
+			maxClients = len(s.Clients)
+		}
+		for _, c := range s.Clients {
+			if c.ID == "" || math.IsNaN(c.SNRdB) {
+				t.Fatalf("bad client observation %+v", c)
+			}
+		}
+	}
+	if len(apSeen) != cfg.APs {
+		t.Errorf("trace covers %d APs, want %d", len(apSeen), cfg.APs)
+	}
+	if maxClients < 2 {
+		t.Errorf("max clients per snapshot = %d; pairing needs at least 2 sometimes", maxClients)
+	}
+}
+
+func TestGenerateUploadDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig(42)
+	cfg.Days = 1
+	a, err := GenerateUpload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateUpload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].AP != b[i].AP || a[i].Unix != b[i].Unix || len(a[i].Clients) != len(b[i].Clients) {
+			t.Fatalf("snapshot %d differs", i)
+		}
+		for j := range a[i].Clients {
+			if a[i].Clients[j] != b[i].Clients[j] {
+				t.Fatalf("snapshot %d client %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateUploadDiurnalPattern(t *testing.T) {
+	cfg := DefaultGenConfig(3)
+	cfg.Days = 7
+	snaps, err := GenerateUpload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weekday working hours (Mon 9:00-18:00) must carry more clients than
+	// weekday nights (0:00-6:00) in aggregate.
+	var work, night int
+	for _, s := range snaps {
+		minutes := s.Unix / 60
+		hourOfWeek := int(minutes/60) % (7 * 24)
+		day, hour := hourOfWeek/24, hourOfWeek%24
+		if day < 5 && hour >= 9 && hour < 18 {
+			work += len(s.Clients)
+		}
+		if day < 5 && hour < 6 {
+			night += len(s.Clients)
+		}
+	}
+	if work <= night*3 {
+		t.Errorf("diurnal profile missing: work-hour clients %d vs night %d", work, night)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	cfg := DefaultGenConfig(9)
+	cfg.Days = 1
+	snaps, err := GenerateUpload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshots(&buf, snaps); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshots(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(snaps) {
+		t.Fatalf("round trip lost snapshots: %d vs %d", len(back), len(snaps))
+	}
+	for i := range snaps {
+		if snaps[i].AP != back[i].AP || snaps[i].Unix != back[i].Unix {
+			t.Fatalf("snapshot %d header mismatch", i)
+		}
+		for j := range snaps[i].Clients {
+			if snaps[i].Clients[j] != back[i].Clients[j] {
+				t.Fatalf("snapshot %d client %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReadSnapshotsRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{"unix":0,"ap":"","clients":[{"id":"a","snr_db":10}]}`,   // empty AP
+		`{"unix":0,"ap":"ap0","clients":[{"id":"","snr_db":10}]}`, // empty client
+		`not json at all`, // parse error
+	}
+	for i, c := range cases {
+		if _, err := ReadSnapshots(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadSnapshotsEmpty(t *testing.T) {
+	snaps, err := ReadSnapshots(strings.NewReader(""))
+	if err != nil || len(snaps) != 0 {
+		t.Errorf("empty stream: %v, %d snaps", err, len(snaps))
+	}
+}
+
+func TestGenerateSurveyShape(t *testing.T) {
+	cfg := DefaultGenConfig(11)
+	pts, err := GenerateSurvey(cfg, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 100 {
+		t.Fatalf("got %d points, want 100", len(pts))
+	}
+	names := map[string]bool{}
+	for _, p := range pts {
+		if names[p.Client] {
+			t.Fatalf("duplicate client name %q", p.Client)
+		}
+		names[p.Client] = true
+		if len(p.SNRdB) != cfg.APs {
+			t.Fatalf("point %q has %d AP observations, want %d", p.Client, len(p.SNRdB), cfg.APs)
+		}
+	}
+	if _, err := GenerateSurvey(cfg, 0); err == nil {
+		t.Error("zero locations accepted")
+	}
+}
+
+func TestSurveyRoundTrip(t *testing.T) {
+	cfg := DefaultGenConfig(13)
+	pts, err := GenerateSurvey(cfg, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSurvey(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSurvey(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(pts) {
+		t.Fatalf("round trip lost points: %d vs %d", len(back), len(pts))
+	}
+	for i := range pts {
+		if pts[i].Client != back[i].Client {
+			t.Fatalf("point %d name mismatch", i)
+		}
+		for ap, v := range pts[i].SNRdB {
+			if back[i].SNRdB[ap] != v {
+				t.Fatalf("point %d AP %s mismatch", i, ap)
+			}
+		}
+	}
+}
+
+func TestReadSurveyRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{"client":"","snr_db":{"ap0":10}}`, // empty client
+		`{"client":"x","snr_db":{}}`,        // no observations
+		`{{{`,                               // parse error
+	}
+	for i, c := range cases {
+		if _, err := ReadSurvey(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestOccupancyProfile(t *testing.T) {
+	// Monday 13:00 is peak; Monday 03:00 and Saturday 13:00 are not.
+	if occupancy(13) != 1.0 {
+		t.Errorf("Mon 13:00 occupancy = %v, want 1", occupancy(13))
+	}
+	if occupancy(3) >= 0.5 {
+		t.Errorf("Mon 03:00 occupancy = %v, want low", occupancy(3))
+	}
+	if occupancy(5*24+13) >= 0.5 {
+		t.Errorf("Sat 13:00 occupancy = %v, want reduced", occupancy(5*24+13))
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	cfg := DefaultGenConfig(5)
+	_ = cfg
+	// Check the helper directly through the generator's behaviour is hard;
+	// test the distribution here.
+	rng := newTestRand()
+	const mean = 6.0
+	const n = 20000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += poisson(rng, mean)
+	}
+	got := float64(sum) / n
+	if math.Abs(got-mean) > 0.15 {
+		t.Errorf("poisson mean = %v, want ≈%v", got, mean)
+	}
+	if poisson(rng, 0) != 0 {
+		t.Error("poisson(0) != 0")
+	}
+	if poisson(rng, -2) != 0 {
+		t.Error("poisson(negative) != 0")
+	}
+}
+
+// newTestRand returns a deterministic RNG for distribution tests.
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(12345)) }
+
+func TestAnalyze(t *testing.T) {
+	cfg := DefaultGenConfig(21)
+	cfg.Days = 2
+	snaps, err := GenerateUpload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Analyze(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Snapshots != len(snaps) {
+		t.Errorf("Snapshots = %d, want %d", st.Snapshots, len(snaps))
+	}
+	if st.APs != cfg.APs {
+		t.Errorf("APs = %d, want %d", st.APs, cfg.APs)
+	}
+	if st.TotalClients <= 0 {
+		t.Error("no client observations")
+	}
+	if st.PairableFraction <= 0 || st.PairableFraction > 1 {
+		t.Errorf("pairable fraction %v out of range", st.PairableFraction)
+	}
+	if st.ClientsPerSnapshot.Min < 1 {
+		t.Error("empty snapshots should never be emitted")
+	}
+	if st.BusiestAP == "" {
+		t.Error("no busiest AP")
+	}
+	// The report renders without issue.
+	if s := st.String(); len(s) < 50 {
+		t.Errorf("report too short: %q", s)
+	}
+	// Empty trace rejected.
+	if _, err := Analyze(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+}

@@ -1,0 +1,196 @@
+// Package wlan builds the wireless-architecture scenarios of the paper's §4
+// — enterprise WLANs, residential WLANs and multihop mesh networks — as
+// samplable topology generators. Each generator draws one random instance
+// of its scenario and reports the SIC gain available there, so the §4
+// qualitative table ("upload to a common AP: yes; everything else: barely")
+// can be reproduced as measured distributions (experiments.ExtArchitectures).
+package wlan
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/phy"
+	"repro/internal/topo"
+)
+
+// Deployment is a shared configuration for the §4 scenario samplers.
+type Deployment struct {
+	// Channel supplies bandwidth for all rate computations.
+	Channel phy.Channel
+	// PathLoss maps distance to SNR.
+	PathLoss phy.PathLoss
+	// PacketBits is the packet size used in completion-time formulas.
+	PacketBits float64
+	// APSpacing is the AP grid pitch (enterprise) or apartment width
+	// (residential) in meters.
+	APSpacing float64
+}
+
+// Validate reports the first problem with the deployment.
+func (d Deployment) Validate() error {
+	switch {
+	case d.Channel.BandwidthHz <= 0:
+		return errors.New("wlan: Channel is required")
+	case d.PathLoss.RefSNR <= 0:
+		return errors.New("wlan: PathLoss is required")
+	case d.PacketBits <= 0:
+		return errors.New("wlan: PacketBits must be positive")
+	case d.APSpacing <= 0:
+		return errors.New("wlan: APSpacing must be positive")
+	}
+	return nil
+}
+
+// DefaultDeployment is an indoor office: α=3.5, 55 dB at 1 m, 30 m AP pitch.
+func DefaultDeployment() Deployment {
+	pl, err := phy.NewPathLoss(3.5, 1, 55)
+	if err != nil {
+		panic(err) // constants are valid by construction
+	}
+	return Deployment{
+		Channel:    phy.Wifi20MHz,
+		PathLoss:   pl,
+		PacketBits: 12000,
+		APSpacing:  30,
+	}
+}
+
+// EnterpriseUpload samples §4.1's "two clients to one AP": both clients
+// uniform within the AP's cell, SIC pair gain with the serial fallback.
+func (d Deployment) EnterpriseUpload(rng *rand.Rand) float64 {
+	ap := topo.Point{}
+	radius := d.APSpacing / 2
+	c1 := topo.UniformInDisc(rng, ap, radius)
+	c2 := topo.UniformInDisc(rng, ap, radius)
+	p := core.Pair{
+		S1: d.PathLoss.SNRAt(ap.Dist(c1)),
+		S2: d.PathLoss.SNRAt(ap.Dist(c2)),
+	}
+	serial := p.SerialTime(d.Channel, d.PacketBits)
+	sic := math.Min(p.SICTime(d.Channel, d.PacketBits), serial)
+	return serial / sic
+}
+
+// EnterpriseDownload samples §4.1's "two APs to one client": the client is
+// uniform between two adjacent APs; the wired backbone lets the baseline
+// push both packets through the stronger AP (Eq. 10).
+func (d Deployment) EnterpriseDownload(rng *rand.Rand) float64 {
+	ap1 := topo.Point{}
+	ap2 := topo.Point{X: d.APSpacing}
+	c := topo.UniformInRect(rng, 0, -d.APSpacing/2, d.APSpacing, d.APSpacing/2)
+	dl := core.Download{
+		S1: d.PathLoss.SNRAt(ap1.Dist(c)),
+		S2: d.PathLoss.SNRAt(ap2.Dist(c)),
+	}
+	g := dl.Gain(d.Channel, d.PacketBits)
+	if g < 1 {
+		return 1 // the backbone MAC would just serialise via the stronger AP
+	}
+	return g
+}
+
+// EnterpriseCross samples §4.1's "two clients to two APs" with nearest-AP
+// association — the setting where the paper argues SIC is simply not
+// needed (each client's own signal dominates at its own AP).
+func (d Deployment) EnterpriseCross(rng *rand.Rand) float64 {
+	ap1 := topo.Point{}
+	ap2 := topo.Point{X: d.APSpacing}
+	// Each client anywhere in the two-cell area, then associated to the
+	// nearest AP; resample until the two clients pick different APs.
+	var c1, c2 topo.Point
+	for {
+		c1 = topo.UniformInRect(rng, -d.APSpacing/2, -d.APSpacing/2, 1.5*d.APSpacing, d.APSpacing/2)
+		c2 = topo.UniformInRect(rng, -d.APSpacing/2, -d.APSpacing/2, 1.5*d.APSpacing, d.APSpacing/2)
+		near1, _ := topo.Nearest(c1, []topo.Point{ap1, ap2})
+		near2, _ := topo.Nearest(c2, []topo.Point{ap1, ap2})
+		if near1 == 0 && near2 == 1 {
+			break
+		}
+		if near1 == 1 && near2 == 0 {
+			c1, c2 = c2, c1
+			break
+		}
+	}
+	// Uplink: client1 → AP1 while client2 → AP2.
+	var x core.Cross
+	x.S[0][0] = d.PathLoss.SNRAt(c1.Dist(ap1))
+	x.S[0][1] = d.PathLoss.SNRAt(c2.Dist(ap1))
+	x.S[1][0] = d.PathLoss.SNRAt(c1.Dist(ap2))
+	x.S[1][1] = d.PathLoss.SNRAt(c2.Dist(ap2))
+	return x.Gain(d.Channel, d.PacketBits)
+}
+
+// ResidentialDownload samples §4.2: two adjacent apartments, each client
+// locked to its own apartment's AP (no backbone, WPA boundaries). The
+// sampled concurrency is AP1→C1 alongside AP2→C2.
+func (d Deployment) ResidentialDownload(rng *rand.Rand) float64 {
+	w := d.APSpacing // apartment width
+	// AP1 in the left apartment, AP2 in the right; clients anywhere within
+	// their own apartment.
+	ap1 := topo.Point{X: w / 4}
+	ap2 := topo.Point{X: w + w/4}
+	c1 := topo.UniformInRect(rng, 0, -w/4, w, w/4)
+	c2 := topo.UniformInRect(rng, w, -w/4, 2*w, w/4)
+	var x core.Cross
+	x.S[0][0] = d.PathLoss.SNRAt(c1.Dist(ap1))
+	x.S[0][1] = d.PathLoss.SNRAt(c1.Dist(ap2))
+	x.S[1][0] = d.PathLoss.SNRAt(c2.Dist(ap1))
+	x.S[1][1] = d.PathLoss.SNRAt(c2.Dist(ap2))
+	return x.Gain(d.Channel, d.PacketBits)
+}
+
+// MeshRelay samples §4.3's self-interference pipeline A→C→D→E: hop lengths
+// are drawn around a long-short-long profile, and the gain is the pipeline
+// cycle-time ratio without/with SIC-enabled concurrency of A→C and D→E.
+func (d Deployment) MeshRelay(rng *rand.Rand) float64 {
+	long1 := d.APSpacing * (0.8 + 0.6*rng.Float64())
+	short := d.APSpacing * (0.1 + 0.2*rng.Float64())
+	long2 := d.APSpacing * (0.8 + 0.6*rng.Float64())
+
+	posA := 0.0
+	posC := posA + long1
+	posD := posC + short
+	posE := posD + long2
+
+	snrAC := d.PathLoss.SNRAt(posC - posA)
+	snrCD := d.PathLoss.SNRAt(posD - posC)
+	snrDE := d.PathLoss.SNRAt(posE - posD)
+
+	var x core.Cross
+	x.S[0][0] = snrAC
+	x.S[0][1] = d.PathLoss.SNRAt(posD - posC) // D heard at C
+	x.S[1][0] = d.PathLoss.SNRAt(posE - posA) // A heard at E
+	x.S[1][1] = snrDE
+
+	tAC := phy.TxTime(d.PacketBits, d.Channel.Capacity(snrAC))
+	tCD := phy.TxTime(d.PacketBits, d.Channel.Capacity(snrCD))
+	tDE := phy.TxTime(d.PacketBits, d.Channel.Capacity(snrDE))
+	serial := tAC + tCD + tDE
+	best := serial
+	if conc, ok := x.ConcurrentTime(d.Channel, d.PacketBits); ok && conc+tCD < best {
+		best = conc + tCD
+	}
+	return serial / best
+}
+
+// Scenario names one §4 architecture sampler.
+type Scenario struct {
+	// Name labels the scenario, e.g. "enterprise-upload".
+	Name string
+	// Sample draws one random instance and returns its SIC gain (≥ 1).
+	Sample func(rng *rand.Rand) float64
+}
+
+// Scenarios returns the §4 set in paper order.
+func (d Deployment) Scenarios() []Scenario {
+	return []Scenario{
+		{"enterprise-upload", d.EnterpriseUpload},
+		{"enterprise-download", d.EnterpriseDownload},
+		{"enterprise-cross", d.EnterpriseCross},
+		{"residential-download", d.ResidentialDownload},
+		{"mesh-relay", d.MeshRelay},
+	}
+}

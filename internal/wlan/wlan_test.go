@@ -1,0 +1,129 @@
+package wlan
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/stats"
+)
+
+func TestDeploymentValidate(t *testing.T) {
+	good := DefaultDeployment()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default deployment invalid: %v", err)
+	}
+	mutations := []func(*Deployment){
+		func(d *Deployment) { d.Channel = phy.Channel{} },
+		func(d *Deployment) { d.PathLoss = phy.PathLoss{} },
+		func(d *Deployment) { d.PacketBits = 0 },
+		func(d *Deployment) { d.APSpacing = 0 },
+	}
+	for i, m := range mutations {
+		d := DefaultDeployment()
+		m(&d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+// sampleMany draws n gains and returns their ECDF.
+func sampleMany(t *testing.T, f func(*rand.Rand) float64, n int) stats.ECDF {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	samples := make([]float64, n)
+	for i := range samples {
+		g := f(rng)
+		if g < 1-1e-9 {
+			t.Fatalf("gain %v below 1", g)
+		}
+		samples[i] = g
+	}
+	e, err := stats.NewECDF(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestScenariosListed(t *testing.T) {
+	d := DefaultDeployment()
+	sc := d.Scenarios()
+	if len(sc) != 5 {
+		t.Fatalf("Scenarios() = %d, want 5", len(sc))
+	}
+	seen := map[string]bool{}
+	for _, s := range sc {
+		if s.Name == "" || s.Sample == nil {
+			t.Errorf("bad scenario %+v", s)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate scenario %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+// The §4 qualitative table, as distribution assertions.
+func TestArchitectureOrdering(t *testing.T) {
+	d := DefaultDeployment()
+	const n = 3000
+
+	upload := sampleMany(t, d.EnterpriseUpload, n)
+	download := sampleMany(t, d.EnterpriseDownload, n)
+	cross := sampleMany(t, d.EnterpriseCross, n)
+	residential := sampleMany(t, d.ResidentialDownload, n)
+	mesh := sampleMany(t, d.MeshRelay, n)
+
+	// Upload to a common AP is the headline use case.
+	if up := upload.FracAbove(1.2); up < 0.15 {
+		t.Errorf("enterprise upload >20%% gain fraction %v too small", up)
+	}
+	// Two APs to one client barely benefits (the strong-AP baseline).
+	if dl := download.FracAbove(1.2); dl > 0.05 {
+		t.Errorf("enterprise download should be nearly gainless, got %v above 1.2", dl)
+	}
+	// Nearest-AP cross traffic: "SIC is not needed" — gain ≈ 1 nearly everywhere.
+	if cr := cross.FracAbove(1.01); cr > 0.10 {
+		t.Errorf("nearest-AP cross traffic should be ≈gainless, got %v above 1.01", cr)
+	}
+	// Residential download offers *some* opportunities (more than enterprise
+	// cross traffic) because clients cannot switch APs.
+	if res, cr := residential.FracAbove(1.05), cross.FracAbove(1.05); res <= cr {
+		t.Errorf("residential (%v) should beat nearest-AP enterprise cross (%v)", res, cr)
+	}
+	// The long-short-long mesh relay is a reliable SIC opportunity.
+	if m := mesh.FracAbove(1.1); m < 0.3 {
+		t.Errorf("mesh relay >10%% gain fraction %v too small", m)
+	}
+	// And upload dominates download everywhere on the CDF.
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if upload.Quantile(q) < download.Quantile(q) {
+			t.Errorf("upload q%v (%v) below download (%v)", q, upload.Quantile(q), download.Quantile(q))
+		}
+	}
+}
+
+func TestSamplersDeterministic(t *testing.T) {
+	d := DefaultDeployment()
+	for _, sc := range d.Scenarios() {
+		a := sc.Sample(rand.New(rand.NewSource(7)))
+		b := sc.Sample(rand.New(rand.NewSource(7)))
+		if a != b {
+			t.Errorf("%s: same seed, different gains: %v vs %v", sc.Name, a, b)
+		}
+	}
+}
+
+func TestEnterpriseCrossAssignsDistinctAPs(t *testing.T) {
+	// The sampler must terminate and produce finite gains even though it
+	// resamples until the clients pick different APs.
+	d := DefaultDeployment()
+	rng := rand.New(rand.NewSource(123))
+	for i := 0; i < 500; i++ {
+		if g := d.EnterpriseCross(rng); g < 1-1e-9 || g > 2+1e-9 {
+			t.Fatalf("suspicious cross gain %v", g)
+		}
+	}
+}

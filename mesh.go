@@ -1,0 +1,66 @@
+package sicmac
+
+// This file extends the public facade with the multihop mesh substrate
+// (internal/mesh) and the K-signal SIC generalisations (internal/core).
+
+import (
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/topo"
+)
+
+// MeshNetwork is a set of mesh routers over a propagation model, with
+// min-ETT routing and SIC-aware TDMA link scheduling (§4.3).
+type MeshNetwork = mesh.Network
+
+// MeshLink is a directed mesh transmission.
+type MeshLink = mesh.Link
+
+// FlowSchedule is the steady-state TDMA schedule of one flow.
+type FlowSchedule = mesh.FlowSchedule
+
+// Point is a planar position in meters.
+type Point = topo.Point
+
+// NewMeshNetwork builds a mesh over explicit router positions.
+func NewMeshNetwork(nodes []Point, pl PathLoss, ch Channel) (*MeshNetwork, error) {
+	return mesh.NewNetwork(nodes, pl, ch)
+}
+
+// NewMeshChain builds a linear mesh with the given hop lengths in meters.
+func NewMeshChain(hopLens []float64, pl PathLoss, ch Channel) (*MeshNetwork, error) {
+	return mesh.NewChain(hopLens, pl, ch)
+}
+
+// ---- K-signal SIC (the paper's future-work generalisations) -----------
+
+// ChainRates returns the K-stage SIC chain rates for concurrent
+// transmitters at a common receiver; their sum equals the K-user sum
+// capacity.
+func ChainRates(ch Channel, snrs []float64) ([]float64, error) {
+	return core.ChainRates(ch, snrs)
+}
+
+// ChainTime is the completion time of one packet from each of K concurrent
+// transmitters through the SIC chain.
+func ChainTime(ch Channel, bits float64, snrs []float64) (float64, error) {
+	return core.ChainTime(ch, bits, snrs)
+}
+
+// GenericPacking is a §5.4 generic packing slot: one slow anchor packet
+// plus parallel packet trains from other clients.
+type GenericPacking = core.GenericPacking
+
+// PackedTrain is one transmitter's train inside a generic packing slot.
+type PackedTrain = core.PackedTrain
+
+// PackGeneric builds a generic packing slot over K clients.
+func PackGeneric(ch Channel, bits float64, snrs []float64) (GenericPacking, error) {
+	return core.PackGeneric(ch, bits, snrs)
+}
+
+// GenericPackingGain compares the packed slot against serialising the same
+// bit volume.
+func GenericPackingGain(ch Channel, bits float64, snrs []float64) (float64, error) {
+	return core.GenericPackingGain(ch, bits, snrs)
+}
