@@ -1,16 +1,23 @@
 // Command sicsim drives the discrete-event MAC simulator: it drains a
 // configurable upload scenario under both the serial CSMA baseline and the
-// SIC-aware scheduled MAC, and reports the end-to-end comparison.
+// SIC-aware scheduled MAC, and reports the end-to-end comparison. With
+// -emu (implied by any fault flag) it additionally drains the same
+// scenario through the live goroutine emulator, optionally over a faulty
+// medium.
 //
 // Usage:
 //
 //	sicsim -stations 30,15,28,14 -backlog 8
 //	sicsim -stations 30,15 -residual 0.02 -power-control
+//	sicsim -stations 30,15,28,14 -emu -loss 0.05 -corrupt 0.02 -stall 0.1
 //
-// -stations takes per-station SNRs at the AP in dB.
+// -stations takes per-station SNRs at the AP in dB. -loss, -corrupt and
+// -stall are probabilities in [0,1]; faults are injected deterministically
+// from -seed, so a run is reproducible bit for bit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/capture"
+	"repro/internal/emu"
 	"repro/internal/mac"
 	"repro/internal/phy"
 	"repro/internal/sched"
@@ -30,8 +38,13 @@ func main() {
 		pktBits     = flag.Float64("packet-bits", 12000, "data frame size in bits")
 		residual    = flag.Float64("residual", 0, "fraction of cancelled power left as interference (imperfect SIC)")
 		powerCtl    = flag.Bool("power-control", false, "enable per-pair power reduction in the scheduler")
-		seed        = flag.Int64("seed", 1, "backoff randomness seed")
+		seed        = flag.Int64("seed", 1, "backoff and fault-injection randomness seed")
 		capturePath = flag.String("capture", "", "record the scheduled run's frames to this file (inspect with sicdump)")
+		emuRun      = flag.Bool("emu", false, "also drain the scenario through the live goroutine emulator")
+		loss        = flag.Float64("loss", 0, "emulator medium: per-frame loss probability (implies -emu)")
+		corrupt     = flag.Float64("corrupt", 0, "emulator medium: per-frame payload bit-flip probability (implies -emu)")
+		stall       = flag.Float64("stall", 0, "emulator stations: per-trigger stall probability (implies -emu)")
+		stallSlots  = flag.Int("stall-slots", 0, "emulator stations: frames ignored per stall (0 = default)")
 	)
 	flag.Parse()
 
@@ -96,12 +109,70 @@ func main() {
 		scheduled.Duration*1e3, scheduled.AirtimeData*1e3, scheduled.AirtimeOverhead*1e3, scheduled.Collisions, scheduled.DecodeFailures)
 	fmt.Printf("speedup: %.3f×  (rounds=%d, residual=%g)\n",
 		serial.Duration/scheduled.Duration, scheduled.Rounds, *residual)
+
+	// Every backlogged frame must be delivered — in aggregate and per
+	// station (a per-station check alone would miss a counter that leaks
+	// deliveries between stations; an aggregate check alone would miss a
+	// swap).
+	delivered := 0
 	for _, s := range stations {
+		delivered += scheduled.Delivered[s.ID]
 		if scheduled.Delivered[s.ID] != *backlog {
 			fatal(fmt.Errorf("station %d delivered %d/%d frames", s.ID, scheduled.Delivered[s.ID], *backlog))
 		}
 	}
-	_ = total
+	if delivered != total {
+		fatal(fmt.Errorf("scheduled MAC delivered %d/%d frames in aggregate", delivered, total))
+	}
+
+	// Any explicitly set fault flag implies -emu, including out-of-range
+	// values: the emulator's validation rejects them instead of the flag
+	// being silently ignored.
+	if *emuRun || *loss != 0 || *corrupt != 0 || *stall != 0 {
+		runEmulator(stations, cfg, opts, *loss, *corrupt, *stall, *stallSlots, total)
+	}
+}
+
+// runEmulator drains the scenario through the live goroutine emulator over
+// a (possibly faulty) medium and reports drain airtime plus the failure
+// counters.
+func runEmulator(stations []mac.Station, cfg mac.Config, opts sched.Options,
+	loss, corrupt, stall float64, stallSlots, total int) {
+
+	ecfg := emu.Config{
+		Channel:    cfg.Channel,
+		PacketBits: cfg.PacketBits,
+		Residual:   cfg.Residual,
+		Sched:      opts,
+		Seed:       cfg.Seed,
+		Faults: emu.FaultModel{
+			Loss:       loss,
+			Corrupt:    corrupt,
+			Stall:      stall,
+			StallSlots: stallSlots,
+		},
+	}
+	res, err := emu.Run(context.Background(), stations, ecfg)
+	if err != nil {
+		fatal(fmt.Errorf("live emulator: %w", err))
+	}
+	delivered := 0
+	for _, s := range stations {
+		delivered += res.Delivered[s.ID]
+	}
+	fmt.Printf("\nlive emulator (loss=%g corrupt=%g stall=%g seed=%d):\n", loss, corrupt, stall, cfg.Seed)
+	fmt.Printf("  drain %.3f ms  (data %.3f ms, overhead %.3f ms), %d rounds\n",
+		(res.AirtimeData+res.AirtimeOverhead)*1e3, res.AirtimeData*1e3, res.AirtimeOverhead*1e3, res.Rounds)
+	fmt.Printf("  delivered %d/%d frames, decode failures %d\n", delivered, total, res.DecodeFailures)
+	fmt.Printf("  faults: %d frames lost, %d CRC rejects, %d retries, %d timed-out slots, %d stalls\n",
+		res.Faults.FramesLost, res.Faults.CRCRejects, res.Faults.Retries,
+		res.Faults.TimedOutSlots, res.Faults.Stalls)
+	if !res.Drained {
+		fatal(fmt.Errorf("live emulator gave up before draining: %d/%d frames delivered", delivered, total))
+	}
+	if delivered != total {
+		fatal(fmt.Errorf("live emulator delivered %d/%d frames", delivered, total))
+	}
 }
 
 func fatal(err error) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"repro/internal/frame"
 	"repro/internal/mac"
@@ -12,7 +13,8 @@ import (
 )
 
 // plannedTx is one transmitter the AP solicits in a slot: the commanded
-// power scale and bitrate.
+// power scale and bitrate. The trigger frame carries the rate in its
+// DurationUS field, rounded to kbit/s — see execSlot.
 type plannedTx struct {
 	station uint32
 	scale   float64
@@ -21,14 +23,45 @@ type plannedTx struct {
 	sic     bool
 }
 
+// reportBits is the wire size of a 4-byte backlog report frame:
+// 24-byte header + 4-byte payload + 4-byte CRC.
+const reportBits = (24 + 4 + 4) * 8
+
+// encodeKbps encodes a commanded bitrate for a trigger frame's DurationUS
+// field, which poll/trigger frames overload to carry kbit/s instead of
+// microseconds. The rate is rounded to the nearest kbit/s, then stepped
+// down one unit if rounding overshot the planned rate — a commanded rate
+// above the link's achievable capacity would be undecodable by
+// construction. Returns 0 for rates too low to encode; callers must treat
+// that as an error, not command a zero rate.
+func encodeKbps(rate float64) uint32 {
+	kbps := uint32(math.Round(rate / 1e3))
+	if kbps > 0 && float64(kbps)*1e3 > rate {
+		kbps--
+	}
+	return kbps
+}
+
+// defaultMaxRetries bounds in-round slot re-solicitations when
+// Config.MaxRetries is zero.
+const defaultMaxRetries = 3
+
 // runAP drives the protocol round by round:
 //
 //  1. poll every station for its backlog (short report frames),
 //  2. compute the SIC-aware schedule over the stations that reported
 //     pending traffic,
 //  3. fire per-slot trigger frames, collect the medium's decode results,
-//  4. ACK delivered frames (stations decrement their queues only on ACK,
-//     so retries after failed SIC decodes are automatic).
+//  4. ACK delivered frames (stations decrement their queues only on the
+//     matching ACK, so retries after failed SIC decodes or lost ACKs are
+//     automatic and duplicates are suppressed by sequence number).
+//
+// Under fault injection the loop is hardened: slots that resolve with
+// missing transmitters charge the waited-out slot time to overhead and are
+// re-solicited with bounded, backed-off retries; unanswered backlog polls
+// fall back to the last known queue depth; and when the round budget is
+// exhausted the AP returns the partial Result (Drained == false) with its
+// failure counters instead of an opaque error.
 //
 // The loop ends when every station reports an empty queue.
 func runAP(ctx context.Context, stations []mac.Station, actors map[uint32]*stationActor,
@@ -37,20 +70,59 @@ func runAP(ctx context.Context, stations []mac.Station, actors map[uint32]*stati
 	res := Result{Delivered: map[uint32]int{}}
 	var order []uint32
 	snrOf := map[uint32]float64{}
+	// lastKnown starts from the admitted queue depths and is refreshed by
+	// every successful backlog report; it is the AP's fallback when a poll
+	// goes unanswered past the retry budget.
+	lastKnown := map[uint32]int{}
 	totalBacklog := 0
 	for _, st := range stations {
 		order = append(order, st.ID)
 		snrOf[st.ID] = st.SNR
+		lastKnown[st.ID] = st.Backlog
 		totalBacklog += st.Backlog
 	}
 	failed := map[uint32]bool{}
+	// nextFrame is the next expected data-frame sequence number per
+	// station; decoded frames below it are retransmissions whose ACK was
+	// lost — re-ACKed but not re-counted.
+	nextFrame := map[uint32]uint32{}
 	maxRounds := 4*totalBacklog + 16
+	if cfg.MaxRounds > 0 {
+		maxRounds = cfg.MaxRounds
+	}
+	maxRetries := cfg.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = defaultMaxRetries
+	}
 
-	slotSeq := func(round, slot int) uint32 { return uint32(round)<<16 | uint32(slot&0xffff) }
+	// Slots draw from a single flat 32-bit sequence space — one number per
+	// solicitation attempt, never reused — so sequence numbers cannot
+	// collide across rounds or retries. Exhaustion is guarded explicitly
+	// rather than silently wrapping.
+	slotSeq := uint32(0)
+	nextSlotSeq := func() (uint32, error) {
+		if slotSeq == math.MaxUint32 {
+			return 0, fmt.Errorf("emu: slot sequence space exhausted after %d slots", slotSeq)
+		}
+		slotSeq++
+		return slotSeq, nil
+	}
 
 	// deliver pushes a frame into a station's inbox without deadlocking on
-	// teardown.
-	deliver := func(id uint32, f *frame.Frame) error {
+	// teardown. The fault model may drop the frame in transit: a lost
+	// poll/trigger leaves its slot empty (the medium is told the station
+	// will not show), a lost ACK is simply gone — the station re-reports
+	// its backlog and retransmits, and duplicate suppression absorbs it.
+	// salt is the soliciting slot's sequence number, so a re-sent ACK for
+	// the same data frame re-rolls its fate.
+	deliver := func(id uint32, f *frame.Frame, salt uint32) error {
+		if med.faults != nil && med.faults.dropFrame(f.Type, id, salt) {
+			res.Faults.FramesLost++
+			if f.Type == frame.TypePoll {
+				return med.absent(slotKey(f.Seq), id)
+			}
+			return nil
+		}
 		select {
 		case actors[id].inbox <- f:
 			return nil
@@ -61,10 +133,31 @@ func runAP(ctx context.Context, stations []mac.Station, actors map[uint32]*stati
 		}
 	}
 
+	// plannedAirtime is how long the slot is scheduled to occupy the
+	// medium: the slowest planned transmitter's full frame. The AP charges
+	// this (minus whatever actually flew) when a slot times out.
+	plannedAirtime := func(txs []plannedTx, data bool) float64 {
+		bits := cfg.PacketBits
+		if !data {
+			bits = reportBits
+		}
+		longest := 0.0
+		for _, tx := range txs {
+			kbps := encodeKbps(tx.rate)
+			if kbps == 0 {
+				continue
+			}
+			if t := bits / (float64(kbps) * 1e3); t > longest {
+				longest = t
+			}
+		}
+		return longest
+	}
+
 	// execSlot triggers the planned transmitters and waits for the medium;
 	// data=false marks poll/report slots whose airtime is overhead.
-	execSlot := func(round, slot int, txs []plannedTx, data bool) (*slotResult, error) {
-		key := slotKey{round: round, slot: slot}
+	execSlot := func(seq uint32, txs []plannedTx, data bool) (*slotResult, error) {
+		key := slotKey(seq)
 		done := med.expect(key, len(txs))
 		for _, tx := range txs {
 			var payload []byte
@@ -80,13 +173,22 @@ func runAP(ctx context.Context, stations []mac.Station, actors map[uint32]*stati
 					return nil, fmt.Errorf("emu: trigger payload: %w", err)
 				}
 			}
+			// DurationUS is overloaded on trigger frames: it carries the
+			// commanded bitrate in kbit/s (see encodeKbps). A rate too low
+			// to encode is a scheduling bug, not a frame to silently
+			// command at zero.
+			kbps := encodeKbps(tx.rate)
+			if kbps == 0 {
+				return nil, fmt.Errorf("emu: commanded rate %g bit/s for station %d rounds to zero kbit/s on the wire",
+					tx.rate, tx.station)
+			}
 			trig := &frame.Frame{
 				Type: frame.TypePoll, Src: 0, Dst: tx.station,
-				Seq:        slotSeq(round, slot),
-				DurationUS: uint32(tx.rate / 1e3), // commanded rate, kbit/s
+				Seq:        seq,
+				DurationUS: kbps,
 				Payload:    payload,
 			}
-			if err := deliver(tx.station, trig); err != nil {
+			if err := deliver(tx.station, trig, seq); err != nil {
 				return nil, err
 			}
 		}
@@ -105,31 +207,104 @@ func runAP(ctx context.Context, stations []mac.Station, actors map[uint32]*stati
 		}
 	}
 
-	// ackDelivered confirms a decoded data frame to its sender and updates
-	// the delivery accounting.
-	ackDelivered := func(f *frame.Frame) error {
-		res.Delivered[f.Src]++
+	// runTxs solicits txs in one slot and re-solicits transmitters that
+	// went missing — lost trigger, lost uplink frame, stalled station —
+	// up to maxRetries times with a linear virtual-time backoff. Overhead
+	// slots also retry undecodable (corrupted) reports; data-slot decode
+	// failures are left to the round-level ARQ path instead, because
+	// re-running the same SIC slot at the same rates would fail again.
+	runTxs := func(txs []plannedTx, data bool, onDecoded func(*frame.Frame, uint32) error) error {
+		remaining := txs
+		for attempt := 0; ; attempt++ {
+			seq, err := nextSlotSeq()
+			if err != nil {
+				return err
+			}
+			r, err := execSlot(seq, remaining, data)
+			if err != nil {
+				return err
+			}
+			res.Faults.FramesLost += len(r.lost)
+			res.Faults.CRCRejects += r.crc
+			for _, f := range r.decoded {
+				if err := onDecoded(f, seq); err != nil {
+					return err
+				}
+			}
+			retry := map[uint32]bool{}
+			for _, id := range r.lost {
+				retry[id] = true
+			}
+			for _, id := range r.absent {
+				retry[id] = true
+			}
+			for _, id := range r.failed {
+				res.DecodeFailures++
+				if data {
+					failed[id] = true
+				} else {
+					retry[id] = true
+				}
+			}
+			if len(retry) == 0 {
+				return nil
+			}
+			// The AP waited out the slot's scheduled duration before
+			// declaring the timeout; charge the idle remainder.
+			res.Faults.TimedOutSlots++
+			if planned := plannedAirtime(remaining, data); planned > r.airtime {
+				res.AirtimeOverhead += planned - r.airtime
+			}
+			if attempt >= maxRetries {
+				return nil // give up; the next backlog poll tries again
+			}
+			var next []plannedTx
+			for _, tx := range remaining {
+				if retry[tx.station] {
+					next = append(next, tx)
+				}
+			}
+			remaining = next
+			res.Faults.Retries++
+			// Linear backoff in units of the retried slot's length.
+			res.AirtimeOverhead += plannedAirtime(remaining, data) * float64(attempt+1)
+		}
+	}
+
+	// dataDecoded confirms a decoded data frame to its sender and updates
+	// the delivery accounting, suppressing duplicates by sequence number.
+	dataDecoded := func(f *frame.Frame, slot uint32) error {
 		delete(failed, f.Src)
+		if f.Seq == nextFrame[f.Src] {
+			nextFrame[f.Src]++
+			res.Delivered[f.Src]++
+		}
 		ack := &frame.Frame{Type: frame.TypeAck, Src: 0, Dst: f.Src, Seq: f.Seq}
-		return deliver(f.Src, ack)
+		return deliver(f.Src, ack, slot)
 	}
 
 	// pollBacklogs queries every station (one report slot each) and returns
-	// the pending queue depths.
-	pollBacklogs := func(round int) (map[uint32]int, error) {
+	// the pending queue depths; a station that stays silent through the
+	// retry budget is assumed to hold its last reported backlog.
+	pollBacklogs := func() (map[uint32]int, error) {
 		backlog := map[uint32]int{}
-		slot := 10000 // poll slots live in their own index space per round
 		for _, id := range order {
 			tx := plannedTx{station: id, scale: 1, rate: cfg.Channel.Capacity(snrOf[id]), peer: frame.Broadcast}
-			r, err := execSlot(round, slot, []plannedTx{tx}, false)
+			depth := -1
+			err := runTxs([]plannedTx{tx}, false, func(f *frame.Frame, _ uint32) error {
+				if len(f.Payload) != 4 {
+					return fmt.Errorf("emu: bad backlog report from %d", id)
+				}
+				depth = int(binary.BigEndian.Uint32(f.Payload))
+				return nil
+			})
 			if err != nil {
 				return nil, err
 			}
-			slot++
-			if len(r.decoded) != 1 || len(r.decoded[0].Payload) != 4 {
-				return nil, fmt.Errorf("emu: bad backlog report from %d", id)
+			if depth >= 0 {
+				lastKnown[id] = depth
 			}
-			backlog[id] = int(binary.BigEndian.Uint32(r.decoded[0].Payload))
+			backlog[id] = lastKnown[id]
 		}
 		return backlog, nil
 	}
@@ -138,10 +313,13 @@ func runAP(ctx context.Context, stations []mac.Station, actors map[uint32]*stati
 	for {
 		round++
 		if round > maxRounds {
-			return Result{}, fmt.Errorf("emu: did not drain after %d rounds", maxRounds)
+			// Round budget exhausted: degrade gracefully. The partial
+			// Result carries the delivery and failure accounting so the
+			// caller can see what drained and why the rest did not.
+			return res, nil
 		}
 
-		backlog, err := pollBacklogs(round)
+		backlog, err := pollBacklogs()
 		if err != nil {
 			return Result{}, err
 		}
@@ -155,25 +333,10 @@ func runAP(ctx context.Context, stations []mac.Station, actors map[uint32]*stati
 			break
 		}
 		res.Rounds++
-		slot := 0
 
 		runSolo := func(id uint32) error {
 			tx := plannedTx{station: id, scale: 1, rate: cfg.Channel.Capacity(snrOf[id]), peer: frame.Broadcast}
-			r, err := execSlot(round, slot, []plannedTx{tx}, true)
-			if err != nil {
-				return err
-			}
-			slot++
-			for _, f := range r.decoded {
-				if err := ackDelivered(f); err != nil {
-					return err
-				}
-			}
-			for _, fid := range r.failed {
-				res.DecodeFailures++
-				failed[fid] = true
-			}
-			return nil
+			return runTxs([]plannedTx{tx}, true, dataDecoded)
 		}
 
 		// ARQ recovery: last round's failures transmit alone first.
@@ -229,22 +392,12 @@ func runAP(ctx context.Context, stations []mac.Station, actors map[uint32]*stati
 					{station: strong, scale: 1, rate: strongRate, peer: weak, sic: true},
 					{station: weak, scale: scaleQ, rate: weakRate, peer: strong, sic: true},
 				}
-				r, err := execSlot(round, slot, txs, true)
-				if err != nil {
+				if err := runTxs(txs, true, dataDecoded); err != nil {
 					return Result{}, err
-				}
-				slot++
-				for _, f := range r.decoded {
-					if err := ackDelivered(f); err != nil {
-						return Result{}, err
-					}
-				}
-				for _, fid := range r.failed {
-					res.DecodeFailures++
-					failed[fid] = true
 				}
 			}
 		}
 	}
+	res.Drained = true
 	return res, nil
 }

@@ -37,20 +37,49 @@ type Config struct {
 	// Sched configures the AP's scheduler. Channel/PacketBits are filled
 	// from this Config if zero.
 	Sched sched.Options
+	// Seed drives the fault model's deterministic randomness; runs with
+	// the same seed and topology reproduce byte for byte.
+	Seed int64
+	// Faults configures fault injection on the medium; the zero value is
+	// a perfect channel.
+	Faults FaultModel
+	// MaxRetries bounds how many times the AP re-solicits a slot whose
+	// expected transmissions went missing before giving up on the round;
+	// 0 means the default of 3.
+	MaxRetries int
+	// MaxRounds bounds the poll→schedule→trigger rounds; 0 means a
+	// backlog-proportional default. When exhausted, Run returns a partial
+	// Result with Drained == false rather than an error.
+	MaxRounds int
+
+	// faultObserver, if set, receives the fault model's own injection
+	// tally when the run ends — a test hook for cross-checking the
+	// Result counters against what was actually injected.
+	faultObserver func(mac.FaultCounters)
 }
 
 // Result summarises an emulation run.
 type Result struct {
-	// Delivered counts ACKed data frames per station.
+	// Delivered counts ACKed data frames per station, duplicates excluded.
 	Delivered map[uint32]int
 	// AirtimeData is the virtual time the medium carried data frames.
 	AirtimeData float64
-	// AirtimeOverhead is the virtual time spent on backlog polls/reports.
+	// AirtimeOverhead is the virtual time spent on backlog polls/reports,
+	// timed-out slot waits and retry backoff.
 	AirtimeOverhead float64
 	// Rounds is the number of poll→schedule→trigger rounds.
 	Rounds int
-	// DecodeFailures counts frames the AP could not decode.
+	// DecodeFailures counts frames the AP could not decode (SIC failures
+	// and CRC rejects alike).
 	DecodeFailures int
+	// Faults aggregates the AP's failure/recovery accounting: frames the
+	// medium lost, CRC rejects, retry slots, timed-out slots and station
+	// stalls observed during the run.
+	Faults mac.FaultCounters
+	// Drained reports whether every station's backlog emptied. False
+	// means the round budget ran out and the Result is partial — the
+	// counters above say why.
+	Drained bool
 }
 
 // transmission is one station's frame on the air, tagged with the slot that
@@ -58,26 +87,33 @@ type Result struct {
 type transmission struct {
 	slot    slotKey
 	station uint32
-	snr     float64 // received SNR after any commanded power scaling
+	typ     frame.Type // wire type, for per-type fault rolls
+	snr     float64    // received SNR after any commanded power scaling
 	rate    float64
 	wire    []byte
+	lost    bool // dropped by the fault model: occupies air, decodes nothing
 }
 
-// slotKey identifies a triggered slot.
-type slotKey struct {
-	round, slot int
-}
+// slotKey identifies a solicited slot by its global sequence number (the
+// Seq field of the trigger frame that opened it). A flat sequence space —
+// rather than packed round/slot halves — means retries and very long runs
+// can never collide across rounds; the AP guards exhaustion explicitly.
+type slotKey uint32
 
 // slotResult is what the medium hands back to the AP for one slot.
 type slotResult struct {
 	airtime float64
 	decoded []*frame.Frame
-	failed  []uint32
+	failed  []uint32 // transmitted but undecodable (SIC failure or CRC reject)
+	lost    []uint32 // uplink frames the fault model dropped in transit
+	absent  []uint32 // solicited stations that never transmitted
+	crc     int      // how many of failed were CRC rejects
 }
 
 // medium owns virtual time and superposes concurrent transmissions.
 type medium struct {
-	rx mac.SICReceiver
+	rx     mac.SICReceiver
+	faults *faultState // nil on a perfect channel
 
 	mu      sync.Mutex
 	clock   float64
@@ -87,11 +123,13 @@ type medium struct {
 type pendingSlot struct {
 	expected int
 	got      []transmission
+	absent   []uint32
 	done     chan slotResult
 }
 
 // expect registers a slot the AP is about to trigger; the returned channel
-// yields the slot's outcome once all expected transmissions arrive.
+// yields the slot's outcome once all expected transmissions arrive or are
+// reported absent.
 func (m *medium) expect(key slotKey, n int) <-chan slotResult {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -101,32 +139,77 @@ func (m *medium) expect(key slotKey, n int) <-chan slotResult {
 }
 
 // transmit delivers one station's frame into its slot; the completing
-// transmission triggers decoding and clock advance.
+// transmission triggers decoding and clock advance. The fault model may
+// mark the frame lost (a deep fade: the air is occupied but the AP hears
+// nothing) or flip a payload bit so the CRC check rejects it.
 func (m *medium) transmit(tx transmission) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ps, ok := m.pending[tx.slot]
 	if !ok {
-		return fmt.Errorf("emu: transmission for unknown slot %+v", tx.slot)
+		return fmt.Errorf("emu: transmission for unknown slot %d", tx.slot)
+	}
+	if m.faults != nil {
+		if m.faults.dropFrame(tx.typ, tx.station, uint32(tx.slot)) {
+			tx.lost = true
+		} else {
+			tx.wire = m.faults.corruptWire(tx.wire, tx.station, uint32(tx.slot))
+		}
 	}
 	ps.got = append(ps.got, tx)
-	if len(ps.got) < ps.expected {
-		return nil
-	}
-	delete(m.pending, tx.slot)
+	m.resolveLocked(tx.slot, ps)
+	return nil
+}
 
-	// All transmitters of the slot are on the air: superpose and decode.
-	arrivals := make([]mac.Arrival, len(ps.got))
+// absent records that a solicited station will never transmit in the slot
+// (its trigger was lost, or it is stalled); the slot resolves once every
+// expected transmitter has either arrived or been declared absent. This is
+// emulation machinery, not protocol: it stands in for the AP's carrier
+// sense timing out on an idle slot without blocking virtual time.
+func (m *medium) absent(key slotKey, station uint32) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ps, ok := m.pending[key]
+	if !ok {
+		return fmt.Errorf("emu: absence report for unknown slot %d", key)
+	}
+	ps.absent = append(ps.absent, station)
+	m.resolveLocked(key, ps)
+	return nil
+}
+
+// resolveLocked decodes and completes the slot once all expected
+// transmitters are accounted for. Callers hold m.mu.
+func (m *medium) resolveLocked(key slotKey, ps *pendingSlot) {
+	if len(ps.got)+len(ps.absent) < ps.expected {
+		return
+	}
+	delete(m.pending, key)
+
+	// Superpose the frames actually on the air. Lost frames occupy airtime
+	// (their transmitter cannot know the fade) but contribute no signal at
+	// the receiver.
+	var arrivals []mac.Arrival
+	var heard []transmission
 	airtime := 0.0
-	for i, g := range ps.got {
-		arrivals[i] = mac.Arrival{StationID: g.station, SNR: g.snr, RateBps: g.rate}
+	for _, g := range ps.got {
 		if t := txAirtime(g); t > airtime {
 			airtime = t
 		}
+		if g.lost {
+			continue
+		}
+		arrivals = append(arrivals, mac.Arrival{StationID: g.station, SNR: g.snr, RateBps: g.rate})
+		heard = append(heard, g)
 	}
 	ok2 := m.rx.Decode(arrivals)
-	res := slotResult{airtime: airtime}
-	for i, g := range ps.got {
+	res := slotResult{airtime: airtime, absent: ps.absent}
+	for _, g := range ps.got {
+		if g.lost {
+			res.lost = append(res.lost, g.station)
+		}
+	}
+	for i, g := range heard {
 		if !ok2[i] {
 			res.failed = append(res.failed, g.station)
 			continue
@@ -134,13 +217,15 @@ func (m *medium) transmit(tx transmission) error {
 		f, err := frame.Decode(g.wire)
 		if err != nil {
 			res.failed = append(res.failed, g.station)
+			if errors.Is(err, frame.ErrBadChecksum) {
+				res.crc++
+			}
 			continue
 		}
 		res.decoded = append(res.decoded, f)
 	}
 	m.clock += airtime
 	ps.done <- res
-	return nil
 }
 
 // txAirtime is the frame's airtime at its transmit rate.
@@ -163,7 +248,16 @@ type stationActor struct {
 	med   *medium
 	ch    phy.Channel
 	bits  float64
-	seq   uint32
+	// seq numbers the head-of-queue frame and advances only on its ACK, so
+	// a retransmission (after a failed decode or a lost ACK) reuses the
+	// same sequence number and the AP can suppress duplicates.
+	seq    uint32
+	faults *faultState
+	// stallLeft counts remaining frames this station ignores while frozen
+	// by an injected stall fault; stallCount totals the stall events, read
+	// by Run only after the actor goroutine exits.
+	stallLeft  int
+	stallCount int
 }
 
 // run processes triggers until the context ends or the inbox closes.
@@ -176,18 +270,7 @@ func (s *stationActor) run(ctx context.Context, errc chan<- error) {
 			if !ok {
 				return
 			}
-			if f.Type == frame.TypeAck {
-				// Delivery confirmed: the packet leaves the queue only now,
-				// so a failed SIC decode is retried automatically.
-				if s.backlog > 0 {
-					s.backlog--
-				}
-				continue
-			}
-			if f.Type != frame.TypePoll {
-				continue
-			}
-			if err := s.handleTrigger(f); err != nil {
+			if err := s.handleFrame(f); err != nil {
 				select {
 				case errc <- err:
 				default:
@@ -196,6 +279,40 @@ func (s *stationActor) run(ctx context.Context, errc chan<- error) {
 			}
 		}
 	}
+}
+
+// handleFrame dispatches one received frame, applying stall faults first: a
+// frozen station ignores everything, but must still tell the medium that
+// its solicited slots stay empty so virtual time can move on.
+func (s *stationActor) handleFrame(f *frame.Frame) error {
+	if s.stallLeft > 0 {
+		s.stallLeft--
+		if f.Type == frame.TypePoll {
+			return s.med.absent(slotKey(f.Seq), s.id)
+		}
+		return nil
+	}
+	switch f.Type {
+	case frame.TypeAck:
+		// Delivery confirmed: the packet leaves the queue only when the
+		// ACK names the head frame, so stale re-ACKs after a lost ACK (and
+		// retries after failed SIC decodes) are handled automatically.
+		if f.Seq == s.seq && s.backlog > 0 {
+			s.backlog--
+			s.seq++
+		}
+		return nil
+	case frame.TypePoll:
+		if s.faults != nil {
+			if n := s.faults.stallFor(s.id, f.Seq); n > 0 {
+				s.stallCount++
+				s.stallLeft = n - 1 // this trigger is the first missed frame
+				return s.med.absent(slotKey(f.Seq), s.id)
+			}
+		}
+		return s.handleTrigger(f)
+	}
+	return nil
 }
 
 // handleTrigger reacts to a per-slot trigger frame: the payload is one
@@ -218,7 +335,13 @@ func (s *stationActor) handleTrigger(f *frame.Frame) error {
 	if e.A != s.id {
 		return nil // trigger addressed to another station
 	}
-	key := slotKey{round: int(f.Seq >> 16), slot: int(f.Seq & 0xffff)}
+	key := slotKey(f.Seq)
+	if s.backlog == 0 {
+		// The AP triggered on a stale backlog estimate (its poll or our
+		// report was lost). Nothing is queued, so the slot stays empty
+		// rather than fabricating a frame past the queue's end.
+		return s.med.absent(key, s.id)
+	}
 
 	snr := s.snr * e.WeakScale()
 	rate := float64(f.DurationUS) * 1e3
@@ -236,9 +359,8 @@ func (s *stationActor) handleTrigger(f *frame.Frame) error {
 	if err != nil {
 		return fmt.Errorf("emu: station %d: %w", s.id, err)
 	}
-	s.seq++
 	return s.med.transmit(transmission{
-		slot: key, station: s.id, snr: snr, rate: rate, wire: wire,
+		slot: key, station: s.id, typ: frame.TypeData, snr: snr, rate: rate, wire: wire,
 	})
 }
 
@@ -246,7 +368,7 @@ func (s *stationActor) handleTrigger(f *frame.Frame) error {
 // 4-byte payload is the station's remaining queue depth, sent at the
 // station's clean rate.
 func (s *stationActor) sendBacklogReport(f *frame.Frame) error {
-	key := slotKey{round: int(f.Seq >> 16), slot: int(f.Seq & 0xffff)}
+	key := slotKey(f.Seq)
 	payload := []byte{
 		byte(s.backlog >> 24), byte(s.backlog >> 16),
 		byte(s.backlog >> 8), byte(s.backlog),
@@ -257,7 +379,7 @@ func (s *stationActor) sendBacklogReport(f *frame.Frame) error {
 		return fmt.Errorf("emu: station %d: report: %w", s.id, err)
 	}
 	return s.med.transmit(transmission{
-		slot: key, station: s.id, snr: s.snr, rate: s.ch.Capacity(s.snr), wire: wire,
+		slot: key, station: s.id, typ: frame.TypeAck, snr: s.snr, rate: s.ch.Capacity(s.snr), wire: wire,
 	})
 }
 
@@ -272,6 +394,15 @@ func Run(ctx context.Context, stations []mac.Station, cfg Config) (Result, error
 	if cfg.Residual < 0 || cfg.Residual > 1 {
 		return Result{}, errors.New("emu: Residual must be in [0,1]")
 	}
+	if err := cfg.Faults.validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.MaxRetries < 0 {
+		return Result{}, errors.New("emu: MaxRetries must be non-negative")
+	}
+	if cfg.MaxRounds < 0 {
+		return Result{}, errors.New("emu: MaxRounds must be non-negative")
+	}
 	opts := cfg.Sched
 	if opts.Channel.BandwidthHz <= 0 {
 		opts.Channel = cfg.Channel
@@ -280,8 +411,10 @@ func Run(ctx context.Context, stations []mac.Station, cfg Config) (Result, error
 		opts.PacketBits = cfg.PacketBits
 	}
 
+	faults := newFaultState(cfg.Faults, cfg.Seed)
 	med := &medium{
 		rx:      mac.SICReceiver{Channel: cfg.Channel, Residual: cfg.Residual},
+		faults:  faults,
 		pending: map[slotKey]*pendingSlot{},
 	}
 
@@ -302,6 +435,7 @@ func Run(ctx context.Context, stations []mac.Station, cfg Config) (Result, error
 			id: st.ID, snr: st.SNR, backlog: st.Backlog,
 			inbox: make(chan *frame.Frame, 8),
 			med:   med, ch: cfg.Channel, bits: cfg.PacketBits,
+			faults: faults,
 		}
 		actors[st.ID] = a
 		wg.Add(1)
@@ -316,8 +450,19 @@ func Run(ctx context.Context, stations []mac.Station, cfg Config) (Result, error
 	}()
 
 	res, err := runAP(ctx, stations, actors, med, opts, cfg, errc)
+	cancel()
+	wg.Wait()
 	if err != nil {
 		return Result{}, err
+	}
+	// Stalls are injected station-side and indistinguishable from lost
+	// triggers at the AP, so the actors' own counts fill that counter;
+	// safe to read now that every actor goroutine has exited.
+	for _, a := range actors {
+		res.Faults.Stalls += a.stallCount
+	}
+	if cfg.faultObserver != nil {
+		cfg.faultObserver(faults.injected())
 	}
 	return res, nil
 }

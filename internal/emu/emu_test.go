@@ -71,6 +71,9 @@ func TestEmuDrainsEverything(t *testing.T) {
 	if res.Rounds != 3 {
 		t.Errorf("rounds = %d, want 3", res.Rounds)
 	}
+	if !res.Drained {
+		t.Error("full drain not reported as Drained")
+	}
 }
 
 // The live concurrent emulation must reproduce the event-driven simulator's
@@ -223,9 +226,12 @@ func TestTxAirtimeZeroRate(t *testing.T) {
 
 func TestMediumRejectsUnknownSlot(t *testing.T) {
 	med := &medium{pending: map[slotKey]*pendingSlot{}}
-	err := med.transmit(transmission{slot: slotKey{1, 2}})
+	err := med.transmit(transmission{slot: slotKey(99)})
 	if err == nil {
 		t.Error("transmission into unregistered slot accepted")
+	}
+	if err := med.absent(slotKey(99), 1); err == nil {
+		t.Error("absence report for unregistered slot accepted")
 	}
 }
 

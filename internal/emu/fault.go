@@ -1,0 +1,200 @@
+package emu
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/frame"
+	"repro/internal/mac"
+)
+
+// FaultModel configures deterministic fault injection on the emulated radio
+// medium. The zero value injects nothing and leaves the medium perfect.
+//
+// Every fault decision is a pure function of (Config.Seed, frame identity,
+// slot sequence), never of goroutine scheduling or draw order, so a faulty
+// run is byte-for-byte reproducible for a fixed seed. Because the slot
+// sequence number participates in each roll, a retransmission of the same
+// frame in a later slot re-rolls its fate — a lossy medium delays frames,
+// it does not censor them forever.
+type FaultModel struct {
+	// Loss is the default probability in [0,1] that a frame is dropped in
+	// transit, in either direction.
+	Loss float64
+	// LossByType overrides Loss for specific frame types, e.g. dropping
+	// only ACKs to exercise the duplicate-suppression path. Station
+	// backlog reports travel as frame.TypeAck frames.
+	LossByType map[frame.Type]float64
+	// Corrupt is the probability in [0,1] that a surviving uplink frame
+	// has one payload bit flipped on the air, exercising the CRC-32
+	// rejection path in package frame.
+	Corrupt float64
+	// Stall is the per-trigger probability in [0,1] that a station
+	// freezes: it ignores the next StallSlots frames (triggers, polls and
+	// ACKs alike) before recovering.
+	Stall float64
+	// StallSlots is the length of a stall in received frames; 0 means the
+	// default of 3.
+	StallSlots int
+}
+
+// enabled reports whether any fault can ever fire.
+func (f FaultModel) enabled() bool {
+	if f.Loss > 0 || f.Corrupt > 0 || f.Stall > 0 {
+		return true
+	}
+	for _, p := range f.LossByType {
+		if p > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (f FaultModel) validate() error {
+	check := func(name string, p float64) error {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("emu: fault probability %s = %v outside [0,1]", name, p)
+		}
+		return nil
+	}
+	if err := check("Loss", f.Loss); err != nil {
+		return err
+	}
+	if err := check("Corrupt", f.Corrupt); err != nil {
+		return err
+	}
+	if err := check("Stall", f.Stall); err != nil {
+		return err
+	}
+	for t, p := range f.LossByType {
+		if err := check(fmt.Sprintf("LossByType[%v]", t), p); err != nil {
+			return err
+		}
+	}
+	if f.StallSlots < 0 {
+		return fmt.Errorf("emu: StallSlots must be non-negative, got %d", f.StallSlots)
+	}
+	return nil
+}
+
+// lossFor returns the drop probability for a frame type.
+func (f FaultModel) lossFor(t frame.Type) float64 {
+	if p, ok := f.LossByType[t]; ok {
+		return p
+	}
+	return f.Loss
+}
+
+// Roll domains keep the per-fault hash streams independent: the same frame
+// identity must not correlate its loss, corruption and stall fates.
+const (
+	rollLoss uint64 = iota + 1
+	rollCorrupt
+	rollCorruptBit
+	rollStall
+)
+
+// faultState binds a FaultModel to a run's seed and tallies every injected
+// fault. The tally is kept independently of the Result counters assembled
+// by the AP loop, so tests can cross-check the two accountings.
+type faultState struct {
+	model FaultModel
+	seed  uint64
+
+	mu    sync.Mutex
+	tally mac.FaultCounters
+}
+
+func newFaultState(model FaultModel, seed int64) *faultState {
+	if !model.enabled() {
+		return nil
+	}
+	return &faultState{model: model, seed: uint64(seed)}
+}
+
+// splitmix64 is the finalizer from Vigna's SplitMix64: a cheap, strong
+// bit mixer used to turn (seed, identity) tuples into uniform variates.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// raw hashes a fault domain plus a frame identity into 64 mixed bits.
+func (fs *faultState) raw(domain uint64, typ frame.Type, station, seq uint32) uint64 {
+	x := splitmix64(fs.seed ^ domain*0xA24BAED4963EE407)
+	x = splitmix64(x ^ uint64(typ)<<32 ^ uint64(station))
+	return splitmix64(x ^ uint64(seq))
+}
+
+// roll maps an identity to a uniform variate in [0,1).
+func (fs *faultState) roll(domain uint64, typ frame.Type, station, seq uint32) float64 {
+	return float64(fs.raw(domain, typ, station, seq)>>11) / (1 << 53)
+}
+
+// dropFrame decides whether a frame addressed to (or sent by) station is
+// lost in transit. seq is the slot sequence the frame belongs to — for
+// downlink polls/triggers that is the frame's own Seq, for ACKs and uplink
+// frames the caller passes the soliciting slot's sequence so retransmitted
+// frames re-roll.
+func (fs *faultState) dropFrame(typ frame.Type, station, seq uint32) bool {
+	p := fs.model.lossFor(typ)
+	if p <= 0 || fs.roll(rollLoss, typ, station, seq) >= p {
+		return false
+	}
+	fs.mu.Lock()
+	fs.tally.FramesLost++
+	fs.mu.Unlock()
+	return true
+}
+
+// corruptWire flips one payload bit of the marshalled frame with
+// probability Corrupt and returns the (possibly new) buffer. Only payload
+// bits are touched, so the damage is always caught by the frame trailer's
+// CRC-32 rather than mutating header fields into a differently-framed
+// parse error.
+func (fs *faultState) corruptWire(wire []byte, station, seq uint32) []byte {
+	const headerLen, trailerLen = 24, 4
+	payloadBits := (len(wire) - headerLen - trailerLen) * 8
+	if fs.model.Corrupt <= 0 || payloadBits <= 0 {
+		return wire
+	}
+	if fs.roll(rollCorrupt, frame.TypeData, station, seq) >= fs.model.Corrupt {
+		return wire
+	}
+	bit := int(fs.raw(rollCorruptBit, frame.TypeData, station, seq) % uint64(payloadBits))
+	out := make([]byte, len(wire))
+	copy(out, wire)
+	out[headerLen+bit/8] ^= 1 << (bit % 8)
+	fs.mu.Lock()
+	fs.tally.CRCRejects++
+	fs.mu.Unlock()
+	return out
+}
+
+// stallFor decides whether the trigger identified by seq freezes the
+// station, returning the stall length in frames (0 = no stall).
+func (fs *faultState) stallFor(station, seq uint32) int {
+	if fs.model.Stall <= 0 || fs.roll(rollStall, frame.TypePoll, station, seq) >= fs.model.Stall {
+		return 0
+	}
+	fs.mu.Lock()
+	fs.tally.Stalls++
+	fs.mu.Unlock()
+	if fs.model.StallSlots > 0 {
+		return fs.model.StallSlots
+	}
+	return 3
+}
+
+// injected snapshots the tally of faults the model has fired so far.
+func (fs *faultState) injected() mac.FaultCounters {
+	if fs == nil {
+		return mac.FaultCounters{}
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.tally
+}

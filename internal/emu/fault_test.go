@@ -1,0 +1,237 @@
+package emu
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/mac"
+)
+
+// runWithTally executes a run and also captures the fault model's own
+// injection tally, for cross-checking against the Result counters.
+func runWithTally(t *testing.T, sts []mac.Station, cfg Config) (Result, mac.FaultCounters) {
+	t.Helper()
+	var tally mac.FaultCounters
+	cfg.faultObserver = func(c mac.FaultCounters) { tally = c }
+	res, err := Run(context.Background(), sts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, tally
+}
+
+// TestFaultMatrix drains the same topology across a grid of moderate fault
+// rates and asserts the three core guarantees: every backlogged frame still
+// arrives exactly once, the run is reproducible bit for bit, and the
+// Result's failure counters agree with the fault model's own injection
+// tally (two independently maintained accountings).
+func TestFaultMatrix(t *testing.T) {
+	sts := emuStations(3, 30, 15, 28, 14)
+	for _, loss := range []float64{0, 0.02, 0.1} {
+		for _, corrupt := range []float64{0, 0.05} {
+			for _, stall := range []float64{0, 0.15} {
+				loss, corrupt, stall := loss, corrupt, stall
+				name := fmt.Sprintf("loss=%g/corrupt=%g/stall=%g", loss, corrupt, stall)
+				t.Run(name, func(t *testing.T) {
+					cfg := emuCfg()
+					cfg.Seed = 7
+					cfg.Faults = FaultModel{Loss: loss, Corrupt: corrupt, Stall: stall}
+					res, tally := runWithTally(t, sts, cfg)
+
+					if !res.Drained {
+						t.Fatalf("did not drain: %+v", res)
+					}
+					for _, s := range sts {
+						if res.Delivered[s.ID] != s.Backlog {
+							t.Errorf("station %d delivered %d, want %d (duplicates or losses leaked)",
+								s.ID, res.Delivered[s.ID], s.Backlog)
+						}
+					}
+					if res.Faults.FramesLost != tally.FramesLost {
+						t.Errorf("Result counts %d lost frames, fault model injected %d",
+							res.Faults.FramesLost, tally.FramesLost)
+					}
+					if res.Faults.CRCRejects != tally.CRCRejects {
+						t.Errorf("Result counts %d CRC rejects, fault model injected %d",
+							res.Faults.CRCRejects, tally.CRCRejects)
+					}
+					if res.Faults.Stalls != tally.Stalls {
+						t.Errorf("Result counts %d stalls, fault model injected %d",
+							res.Faults.Stalls, tally.Stalls)
+					}
+
+					// Byte-for-byte reproducibility for a fixed seed.
+					again, _ := runWithTally(t, sts, cfg)
+					if !reflect.DeepEqual(res, again) {
+						t.Errorf("identical faulty runs differ:\n  %+v\n  %+v", res, again)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFaultSeedChangesOutcome guards against the rolls ignoring the seed.
+func TestFaultSeedChangesOutcome(t *testing.T) {
+	sts := emuStations(3, 30, 15, 28, 14)
+	cfg := emuCfg()
+	cfg.Faults = FaultModel{Loss: 0.1, Corrupt: 0.05}
+	cfg.Seed = 1
+	a, ta := runWithTally(t, sts, cfg)
+	cfg.Seed = 2
+	b, tb := runWithTally(t, sts, cfg)
+	if reflect.DeepEqual(a, b) && reflect.DeepEqual(ta, tb) {
+		t.Error("different seeds produced identical fault patterns")
+	}
+}
+
+// TestFaultLostAcksDeduped drops a large fraction of ACK frames (and the
+// backlog reports, which travel as ACK-typed frames). The stations must
+// retransmit, the AP must suppress the duplicates, and the delivered count
+// must come out exact — not inflated by the retransmissions.
+func TestFaultLostAcksDeduped(t *testing.T) {
+	sts := emuStations(3, 30, 15, 26)
+	cfg := emuCfg()
+	cfg.Seed = 3
+	cfg.Faults = FaultModel{LossByType: map[frame.Type]float64{frame.TypeAck: 0.4}}
+	res, _ := runWithTally(t, sts, cfg)
+	if !res.Drained {
+		t.Fatalf("did not drain: %+v", res)
+	}
+	for _, s := range sts {
+		if res.Delivered[s.ID] != s.Backlog {
+			t.Errorf("station %d delivered %d, want exactly %d", s.ID, res.Delivered[s.ID], s.Backlog)
+		}
+	}
+	if res.Faults.FramesLost == 0 {
+		t.Error("no ACKs were lost despite 40% ACK loss")
+	}
+}
+
+// TestFaultTotalLossPartialResult starves the protocol completely: every
+// frame is dropped. The AP must give up gracefully — a partial Result with
+// Drained == false and populated failure counters, not an error and not a
+// hang.
+func TestFaultTotalLossPartialResult(t *testing.T) {
+	sts := emuStations(2, 30, 15)
+	cfg := emuCfg()
+	cfg.Faults = FaultModel{Loss: 1}
+	cfg.MaxRounds = 4
+	res, err := Run(context.Background(), sts, cfg)
+	if err != nil {
+		t.Fatalf("total loss should degrade, not error: %v", err)
+	}
+	if res.Drained {
+		t.Error("Drained = true on a dead medium")
+	}
+	for id, n := range res.Delivered {
+		if n != 0 {
+			t.Errorf("station %d delivered %d frames over a dead medium", id, n)
+		}
+	}
+	if res.Faults.FramesLost == 0 || res.Faults.TimedOutSlots == 0 || res.Faults.Retries == 0 {
+		t.Errorf("failure counters not populated: %+v", res.Faults)
+	}
+}
+
+// TestZeroFaultCountersStayZero pins the perfect-medium path: no fault
+// machinery may fire, and the run must report a full drain.
+func TestZeroFaultCountersStayZero(t *testing.T) {
+	res, tally := runWithTally(t, emuStations(2, 30, 15, 28), emuCfg())
+	if !res.Drained {
+		t.Error("perfect-medium run did not drain")
+	}
+	if res.Faults != (mac.FaultCounters{}) {
+		t.Errorf("perfect medium produced fault counters: %+v", res.Faults)
+	}
+	if tally != (mac.FaultCounters{}) {
+		t.Errorf("fault model injected on a perfect medium: %+v", tally)
+	}
+}
+
+// TestFaultModelValidation rejects out-of-range probabilities up front.
+func TestFaultModelValidation(t *testing.T) {
+	sts := emuStations(1, 20)
+	for _, bad := range []FaultModel{
+		{Loss: -0.1},
+		{Loss: 1.5},
+		{Corrupt: 2},
+		{Stall: -1},
+		{StallSlots: -3},
+		{LossByType: map[frame.Type]float64{frame.TypeAck: 7}},
+	} {
+		cfg := emuCfg()
+		cfg.Faults = bad
+		if _, err := Run(context.Background(), sts, cfg); err == nil {
+			t.Errorf("fault model %+v accepted", bad)
+		}
+	}
+	bad := emuCfg()
+	bad.MaxRetries = -1
+	if _, err := Run(context.Background(), sts, bad); err == nil {
+		t.Error("negative MaxRetries accepted")
+	}
+	bad = emuCfg()
+	bad.MaxRounds = -1
+	if _, err := Run(context.Background(), sts, bad); err == nil {
+		t.Error("negative MaxRounds accepted")
+	}
+}
+
+// TestEncodeKbps pins the trigger-frame rate encoding: nearest-kbit/s
+// rounding that never overshoots the achievable rate, with sub-encodable
+// rates reported as 0 for the caller to reject.
+func TestEncodeKbps(t *testing.T) {
+	cases := []struct {
+		rate float64
+		want uint32
+	}{
+		{0, 0},
+		{499, 0},         // rounds to 0: un-encodable
+		{999, 0},         // rounds to 1 but 1000 > 999 would be undecodable
+		{1000, 1},        // exact
+		{1500, 1},        // rounds to 2 but 2000 > 1500 would be undecodable
+		{2400, 2},        // plain round-down
+		{6e6, 6000},      // exact multiple
+		{5.9996e6, 5999}, // rounds up past the rate: stepped back
+	}
+	for _, c := range cases {
+		if got := encodeKbps(c.rate); got != c.want {
+			t.Errorf("encodeKbps(%g) = %d, want %d", c.rate, got, c.want)
+		}
+	}
+}
+
+// TestCommandedRateTooLowErrors: a station so weak its capacity rounds to
+// zero kbit/s must surface a scheduling error, not a zero-rate trigger.
+func TestCommandedRateTooLowErrors(t *testing.T) {
+	sts := []mac.Station{{ID: 1, SNR: 1e-6, Backlog: 1}} // capacity ≈ 29 bit/s
+	_, err := Run(context.Background(), sts, emuCfg())
+	if err == nil {
+		t.Fatal("sub-kbit/s commanded rate accepted")
+	}
+}
+
+// TestFaultRunStaysConsistentWithRetryKnobs exercises non-default retry
+// and round budgets under faults.
+func TestFaultRunStaysConsistentWithRetryKnobs(t *testing.T) {
+	sts := emuStations(2, 30, 15, 24)
+	cfg := emuCfg()
+	cfg.Seed = 11
+	cfg.Faults = FaultModel{Loss: 0.08, Stall: 0.1, StallSlots: 2}
+	cfg.MaxRetries = 5
+	res, _ := runWithTally(t, sts, cfg)
+	if !res.Drained {
+		t.Fatalf("did not drain with MaxRetries=5: %+v", res)
+	}
+	total := 0
+	for _, s := range sts {
+		total += res.Delivered[s.ID]
+	}
+	if total != 6 {
+		t.Errorf("delivered %d frames in aggregate, want 6", total)
+	}
+}

@@ -82,6 +82,12 @@ type Frame struct {
 	Src, Dst uint32
 	Seq      uint32
 	// DurationUS is the airtime the frame occupies, in microseconds.
+	//
+	// The field is overloaded on TypePoll trigger frames: there it carries
+	// the commanded uplink bitrate in kbit/s instead (the station cannot
+	// compute its SIC rate itself, so the AP commands it, as an 802.11ax
+	// trigger frame would — see internal/emu). The wire layout is
+	// identical; only the interpretation differs by frame type.
 	DurationUS uint32
 	Payload    []byte
 }

@@ -135,6 +135,11 @@ type Result struct {
 	Rounds int
 	// Events is the number of discrete events processed.
 	Events int
+	// Faults aggregates failure/recovery accounting in the shared counter
+	// type; the serial baseline records post-collision retries here, and
+	// the live emulator (package emu) reuses the same type for its
+	// fault-injection tallies.
+	Faults FaultCounters
 }
 
 func validStations(stations []Station) error {

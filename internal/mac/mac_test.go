@@ -628,3 +628,39 @@ func TestRunDownloadOddBacklog(t *testing.T) {
 		t.Errorf("pairing should help on the ridge: %v vs %v", res.SICDuration, res.SerialDuration)
 	}
 }
+
+func TestFaultCountersAddTotal(t *testing.T) {
+	a := FaultCounters{FramesLost: 1, CRCRejects: 2, Retries: 3, TimedOutSlots: 4, Stalls: 5}
+	b := FaultCounters{FramesLost: 10, Retries: 1}
+	a.Add(b)
+	want := FaultCounters{FramesLost: 11, CRCRejects: 2, Retries: 4, TimedOutSlots: 4, Stalls: 5}
+	if a != want {
+		t.Errorf("Add: got %+v, want %+v", a, want)
+	}
+	if got := a.Total(); got != 11+2+4+4+5 {
+		t.Errorf("Total = %d", got)
+	}
+}
+
+func TestSerialCollisionsCountedAsRetries(t *testing.T) {
+	// Many equal stations with small contention windows collide often;
+	// each collision re-contends every collider, so the shared retry
+	// counter must grow at least twice as fast as the collision counter.
+	cfg := DefaultConfig(phy.Wifi20MHz)
+	cfg.CWMin = 2
+	cfg.Seed = 4
+	sts := make([]Station, 6)
+	for i := range sts {
+		sts[i] = Station{ID: uint32(i + 1), SNR: phy.FromDB(20), Backlog: 3}
+	}
+	res, err := RunSerial(sts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collisions == 0 {
+		t.Skip("no collisions with this seed; scenario needs retuning")
+	}
+	if res.Faults.Retries < 2*res.Collisions {
+		t.Errorf("Retries = %d, want >= 2×Collisions (%d)", res.Faults.Retries, res.Collisions)
+	}
+}

@@ -73,6 +73,7 @@ func RunSerial(stations []Station, cfg Config) (Result, error) {
 			// Collision: the medium is busy for the longest colliding frame,
 			// nobody delivers, colliders double their windows.
 			res.Collisions++
+			res.Faults.Retries += len(winners) // every collider re-contends
 			longest := 0.0
 			for _, s := range winners {
 				t := phy.TxTime(cfg.PacketBits, cfg.Channel.Capacity(s.SNR))

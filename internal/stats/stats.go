@@ -41,12 +41,10 @@ func (e ECDF) N() int { return len(e.sorted) }
 
 // At returns F(x): the fraction of the sample ≤ x.
 func (e ECDF) At(x float64) float64 {
-	i := sort.SearchFloat64s(e.sorted, x)
-	// SearchFloat64s finds the first index with sorted[i] >= x; advance over
-	// the run of values equal to x so we count "≤ x".
-	for i < len(e.sorted) && e.sorted[i] == x {
-		i++
-	}
+	// Upper bound via binary search: the first index with sorted[i] > x is
+	// exactly the count of values ≤ x, with no linear walk over runs of
+	// equal values (constant-heavy samples would degrade to O(n) per call).
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
 	return float64(i) / float64(len(e.sorted))
 }
 

@@ -244,3 +244,47 @@ func TestFracAboveCI(t *testing.T) {
 		t.Errorf("interval (%v, %v) does not bracket %v", lo, hi, frac)
 	}
 }
+
+func TestECDFAtConstantHeavySample(t *testing.T) {
+	// A sample dominated by one repeated value: At must count the whole
+	// run of equal values (upper bound), and do so via binary search
+	// rather than a linear walk.
+	sample := make([]float64, 10000)
+	for i := range sample {
+		sample[i] = 5
+	}
+	sample[0], sample[1] = 1, 9
+	e, err := NewECDF(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.At(5); math.Abs(got-0.9999) > 1e-12 {
+		t.Errorf("At(5) = %v, want 0.9999", got)
+	}
+	if got := e.At(4.9); math.Abs(got-0.0001) > 1e-12 {
+		t.Errorf("At(4.9) = %v, want 0.0001", got)
+	}
+	if got := e.At(9); got != 1 {
+		t.Errorf("At(9) = %v, want 1", got)
+	}
+	if got := e.At(0); got != 0 {
+		t.Errorf("At(0) = %v, want 0", got)
+	}
+}
+
+func BenchmarkECDFAtConstantHeavy(b *testing.B) {
+	sample := make([]float64, 1<<16)
+	for i := range sample {
+		sample[i] = 42
+	}
+	e, err := NewECDF(sample)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e.At(42) != 1 {
+			b.Fatal("wrong ECDF value")
+		}
+	}
+}

@@ -249,6 +249,15 @@ type EmuConfig = emu.Config
 // EmuResult summarises an emulation run.
 type EmuResult = emu.Result
 
+// FaultModel configures deterministic fault injection on the emulated
+// radio medium: per-frame-type loss, payload corruption and station
+// stalls, all derived from EmuConfig.Seed so runs reproduce exactly.
+type FaultModel = emu.FaultModel
+
+// FaultCounters aggregates failure/recovery accounting shared by the
+// discrete-event MACs and the live emulator.
+type FaultCounters = mac.FaultCounters
+
 // RunEmulation executes the SIC-aware upload MAC as a live concurrent
 // system: the AP and every station are goroutines exchanging marshalled
 // frames (trigger-based uplink) over a simulated medium. Deterministic for
