@@ -11,6 +11,7 @@ package sicmac_test
 // `go run ./cmd/sicfig -all`.
 
 import (
+	"context"
 	"testing"
 
 	sicmac "repro"
@@ -24,12 +25,12 @@ func benchParams() experiments.Params {
 }
 
 // runFigure drives one experiment per iteration and surfaces a metric.
-func runFigure(b *testing.B, run func(experiments.Params) (experiments.Result, error), metric string) {
+func runFigure(b *testing.B, run func(context.Context, experiments.Params) (experiments.Result, error), metric string) {
 	b.Helper()
 	p := benchParams()
 	var last experiments.Result
 	for i := 0; i < b.N; i++ {
-		r, err := run(p)
+		r, err := run(context.Background(), p)
 		if err != nil {
 			b.Fatal(err)
 		}

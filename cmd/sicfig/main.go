@@ -1,4 +1,8 @@
-// Command sicfig regenerates the paper's evaluation figures.
+// Command sicfig regenerates the paper's evaluation figures under a
+// supervised suite runner: every figure runs with panic isolation, a
+// per-figure deadline and transient-failure retries, and each completed
+// figure is checkpointed atomically so an interrupted suite resumes
+// without recomputing finished work.
 //
 // Usage:
 //
@@ -7,53 +11,33 @@
 //	sicfig -ablations               # the DESIGN.md ablations
 //	sicfig -quick -all              # reduced workload (CI-sized)
 //	sicfig -out results             # where CSVs are written (default "results")
+//	sicfig -all -timeout 10m        # bound the whole suite
+//	sicfig -all -fig-timeout 2m     # bound each figure
+//	sicfig -all -resume             # skip figures checkpointed by a previous run
 //
 // Each figure prints its ASCII rendering and headline metrics to stdout and
-// writes machine-readable CSVs into the output directory.
+// writes machine-readable CSVs into the output directory. The suite always
+// ends with a per-figure status report (ok / failed / timed-out /
+// skipped-cached / skipped); the exit code is nonzero only when a figure
+// actually failed or timed out. Ctrl-C cancels cleanly — rerun with
+// -resume to continue where the suite left off.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
+	"repro/internal/atomicio"
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
-
-// spreadMetrics re-runs a figure across extra seeds and annotates each
-// metric with its min/max across seeds, so seed sensitivity is visible at a
-// glance in metrics.json.
-func spreadMetrics(r experiments.Runner, params experiments.Params, seeds int, res *experiments.Result) {
-	mins := map[string]float64{}
-	maxs := map[string]float64{}
-	for k, v := range res.Metrics {
-		mins[k], maxs[k] = v, v
-	}
-	for s := 1; s < seeds; s++ {
-		p := params
-		p.Seed = params.Seed + int64(s)
-		other, err := r.Run(p)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sicfig: %s seed %d: %v\n", r.ID, p.Seed, err)
-			os.Exit(1)
-		}
-		for k, v := range other.Metrics {
-			if v < mins[k] {
-				mins[k] = v
-			}
-			if v > maxs[k] {
-				maxs[k] = v
-			}
-		}
-	}
-	for k := range mins {
-		res.Metrics[k+"_seed_min"] = mins[k]
-		res.Metrics[k+"_seed_max"] = maxs[k]
-	}
-}
 
 type figList []string
 
@@ -65,16 +49,26 @@ func (f *figList) Set(v string) error {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		figs      figList
-		all       = flag.Bool("all", false, "run every paper figure")
-		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
-		quick     = flag.Bool("quick", false, "reduced workload (fewer trials, coarser grids)")
-		out       = flag.String("out", "results", "directory for CSV outputs")
-		trials    = flag.Int("trials", 0, "override Monte-Carlo trial count")
-		seed      = flag.Int64("seed", 1, "random seed")
-		seeds     = flag.Int("seeds", 1, "run each figure across this many seeds and report the metric spread")
-		list      = flag.Bool("list", false, "list available figures and exit")
+		figs        figList
+		all         = flag.Bool("all", false, "run every paper figure")
+		ablations   = flag.Bool("ablations", false, "run the design-choice ablations")
+		quick       = flag.Bool("quick", false, "reduced workload (fewer trials, coarser grids)")
+		out         = flag.String("out", "results", "directory for CSV outputs")
+		trials      = flag.Int("trials", 0, "override Monte-Carlo trial count")
+		seed        = flag.Int64("seed", 1, "random seed")
+		seeds       = flag.Int("seeds", 1, "run each figure across this many seeds and report the metric spread")
+		list        = flag.Bool("list", false, "list available figures and exit")
+		timeout     = flag.Duration("timeout", 0, "deadline for the whole suite (0 = none)")
+		figTimeout  = flag.Duration("fig-timeout", 0, "deadline per figure (0 = none)")
+		resume      = flag.Bool("resume", false, "serve figures from valid checkpoints instead of recomputing")
+		keepGoing   = flag.Bool("keep-going", true, "continue past failed figures (set =false to stop at the first failure)")
+		retries     = flag.Int("retries", 1, "retries per transiently failing figure")
+		injectPanic = flag.Bool("inject-panic", false, "append an always-panicking figure (testing aid for the supervisor)")
 	)
 	flag.Var(&figs, "fig", "figure id to run (repeatable), e.g. -fig fig6")
 	flag.Parse()
@@ -86,7 +80,7 @@ func main() {
 		for _, r := range experiments.Ablations() {
 			fmt.Printf("%-8s %s\n", r.ID, r.Title)
 		}
-		return
+		return 0
 	}
 
 	params := experiments.DefaultParams()
@@ -119,56 +113,75 @@ func main() {
 			}
 			if !ok {
 				fmt.Fprintf(os.Stderr, "sicfig: unknown figure %q (try -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			runners = append(runners, r)
 		}
+	case *injectPanic:
+		// Allow a panic-only suite for exercising the supervisor.
 	default:
 		fmt.Fprintln(os.Stderr, "sicfig: nothing to do; pass -all, -ablations or -fig <id> (see -list)")
-		os.Exit(2)
+		return 2
+	}
+	if *injectPanic {
+		runners = append(runners, experiments.Runner{
+			ID:    "panicdemo",
+			Title: "injected always-panicking figure (testing aid)",
+			Run: func(context.Context, experiments.Params) (experiments.Result, error) {
+				panic("injected panic (-inject-panic)")
+			},
+		})
 	}
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fmt.Fprintf(os.Stderr, "sicfig: %v\n", err)
-		os.Exit(1)
+	// Ctrl-C / SIGTERM cancels the suite; completed figures stay
+	// checkpointed for -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
-	if *seeds < 1 {
-		*seeds = 1
-	}
-	allMetrics := map[string]map[string]float64{}
-	for _, r := range runners {
-		res, err := r.Run(params)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sicfig: %s: %v\n", r.ID, err)
-			os.Exit(1)
-		}
-		if *seeds > 1 {
-			spreadMetrics(r, params, *seeds, &res)
-		}
-		allMetrics[res.ID] = res.Metrics
-		fmt.Printf("==== %s — %s ====\n%s\n", res.ID, res.Title, res.Text)
-		for name, content := range res.Files {
-			path := filepath.Join(*out, name)
-			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "sicfig: writing %s: %v\n", path, err)
-				os.Exit(1)
+	rep, err := runner.Run(ctx, runners, runner.Options{
+		Params:     params,
+		Seeds:      *seeds,
+		OutDir:     *out,
+		FigTimeout: *figTimeout,
+		Retries:    *retries,
+		KeepGoing:  *keepGoing,
+		Resume:     *resume,
+		Log:        os.Stderr,
+		OnResult: func(res experiments.Result, cached bool) {
+			if cached {
+				fmt.Printf("==== %s — %s ==== (from checkpoint)\n", res.ID, res.Title)
+				return
 			}
-			fmt.Printf("  wrote %s\n", path)
-		}
-		fmt.Println()
-	}
-
-	// Machine-readable metrics for EXPERIMENTS.md regeneration and CI diffs.
-	blob, err := json.MarshalIndent(allMetrics, "", "  ")
+			fmt.Printf("==== %s — %s ====\n%s\n", res.ID, res.Title, res.Text)
+		},
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sicfig: %v\n", err)
-		os.Exit(1)
+		return 1
+	}
+
+	// Machine-readable metrics for EXPERIMENTS.md regeneration and CI
+	// diffs, covering every ok or checkpointed figure of this invocation.
+	blob, err := json.MarshalIndent(rep.Metrics, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sicfig: %v\n", err)
+		return 1
 	}
 	metricsPath := filepath.Join(*out, "metrics.json")
-	if err := os.WriteFile(metricsPath, append(blob, '\n'), 0o644); err != nil {
+	if err := atomicio.WriteFile(metricsPath, append(blob, '\n'), 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "sicfig: writing %s: %v\n", metricsPath, err)
-		os.Exit(1)
+		return 1
 	}
-	fmt.Printf("wrote %s\n", metricsPath)
+	fmt.Printf("wrote %s\n\n", metricsPath)
+
+	fmt.Print(rep.Render())
+	if rep.Failed() > 0 {
+		return 1
+	}
+	return 0
 }

@@ -24,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/atomicio"
 	"repro/internal/capture"
 	"repro/internal/emu"
 	"repro/internal/mac"
@@ -67,22 +68,23 @@ func main() {
 	cfg.Seed = *seed
 	opts := sched.Options{Channel: cfg.Channel, PacketBits: *pktBits, PowerControl: *powerCtl}
 
+	// The capture file is staged and only renamed into place once the
+	// scheduled run has completed and the writer flushed, so a crash or
+	// mid-run failure never leaves a truncated capture; Close errors
+	// surface through Commit instead of being dropped.
+	var captureFile *atomicio.File
+	var captureW *capture.Writer
 	if *capturePath != "" {
-		f, err := os.Create(*capturePath)
+		f, err := atomicio.Create(*capturePath)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		defer f.Abort() // no-op once committed
 		w, err := capture.NewWriter(f)
 		if err != nil {
 			fatal(err)
 		}
-		defer func() {
-			if err := w.Flush(); err != nil {
-				fatal(err)
-			}
-			fmt.Fprintf(os.Stderr, "sicsim: captured %d frame(s) to %s\n", w.Count(), *capturePath)
-		}()
+		captureFile, captureW = f, w
 		cfg.Capture = w
 	}
 
@@ -95,6 +97,15 @@ func main() {
 	scheduled, err := mac.RunScheduled(stations, cfg, opts)
 	if err != nil {
 		fatal(fmt.Errorf("scheduled MAC: %w", err))
+	}
+	if captureFile != nil {
+		if err := captureW.Flush(); err != nil {
+			fatal(fmt.Errorf("flushing capture: %w", err))
+		}
+		if err := captureFile.Commit(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sicsim: captured %d frame(s) to %s\n", captureW.Count(), *capturePath)
 	}
 
 	total := 0

@@ -14,8 +14,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"repro/internal/atomicio"
 	"repro/internal/trace"
 )
 
@@ -39,18 +41,18 @@ func main() {
 	cfg.APSpacing = *spacing
 	cfg.PeakClients = *peak
 
-	w := os.Stdout
+	// File output is staged and renamed into place only after the whole
+	// trace is written, so an interrupted run never leaves a truncated
+	// file under the output name.
+	var w io.Writer = os.Stdout
+	var staged *atomicio.File
 	if *out != "-" {
-		f, err := os.Create(*out)
+		f, err := atomicio.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-		}()
-		w = f
+		defer f.Abort() // no-op once committed
+		staged, w = f, f
 	}
 
 	switch *kind {
@@ -81,6 +83,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tracegen: %d surveyed locations against %d APs\n", len(pts), cfg.APs)
 	default:
 		fatal(fmt.Errorf("unknown -kind %q", *kind))
+	}
+
+	if staged != nil {
+		if err := staged.Commit(); err != nil {
+			fatal(err)
+		}
 	}
 }
 

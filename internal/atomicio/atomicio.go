@@ -1,0 +1,112 @@
+// Package atomicio provides crash-safe file writes. Data is staged in a
+// temporary file in the destination directory, flushed to stable storage
+// with fsync, and renamed over the destination, so readers observe either
+// the old contents or the complete new contents — never a torn write. The
+// containing directory is fsynced after the rename so the new directory
+// entry itself survives a crash.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data. It is the drop-in
+// crash-safe counterpart of os.WriteFile.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	f, err := Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Abort()
+		return err
+	}
+	if err := f.Chmod(perm); err != nil {
+		f.Abort()
+		return err
+	}
+	return f.Commit()
+}
+
+// File is an in-progress atomic write. Write the contents, then call
+// Commit to publish them under the destination name, or Abort to discard
+// them. Until Commit returns, the destination is untouched.
+type File struct {
+	dest string
+	tmp  *os.File
+	done bool
+}
+
+// Create starts an atomic write targeting path. The temporary file lives
+// in path's directory so the final rename stays within one filesystem.
+func Create(path string) (*File, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, fmt.Errorf("atomicio: staging %s: %w", path, err)
+	}
+	return &File{dest: path, tmp: tmp}, nil
+}
+
+// Name returns the destination path the file will be committed to.
+func (f *File) Name() string { return f.dest }
+
+// Write implements io.Writer on the staged temporary file.
+func (f *File) Write(p []byte) (int, error) { return f.tmp.Write(p) }
+
+// Chmod sets the permissions the committed file will carry.
+func (f *File) Chmod(perm os.FileMode) error { return f.tmp.Chmod(perm) }
+
+// Commit fsyncs the staged contents, closes the temporary file and renames
+// it over the destination, then fsyncs the directory. Every error on that
+// path — including Close, whose failure can mean lost writes — is
+// propagated; on error the temporary file is removed and the destination
+// keeps its previous contents.
+func (f *File) Commit() error {
+	if f.done {
+		return fmt.Errorf("atomicio: %s already committed or aborted", f.dest)
+	}
+	f.done = true
+	name := f.tmp.Name()
+	if err := f.tmp.Sync(); err != nil {
+		f.tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("atomicio: syncing %s: %w", f.dest, err)
+	}
+	if err := f.tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("atomicio: closing %s: %w", f.dest, err)
+	}
+	if err := os.Rename(name, f.dest); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("atomicio: publishing %s: %w", f.dest, err)
+	}
+	return syncDir(filepath.Dir(f.dest))
+}
+
+// Abort discards the staged contents. It is a no-op after Commit or a
+// previous Abort, so it is safe to defer unconditionally.
+func (f *File) Abort() {
+	if f.done {
+		return
+	}
+	f.done = true
+	name := f.tmp.Name()
+	f.tmp.Close()
+	os.Remove(name)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Some
+// filesystems refuse to fsync directories; that is not worth failing a
+// completed write over, so only open errors are reported.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("atomicio: opening directory %s: %w", dir, err)
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}

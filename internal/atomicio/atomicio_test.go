@@ -1,0 +1,110 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tempLeft reports whether any staging files linger in dir.
+func tempLeft(t *testing.T, dir string) bool {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			return true
+		}
+	}
+	return false
+}
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteFile(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("content = %q, want %q", got, "hello")
+	}
+	if tempLeft(t, dir) {
+		t.Error("staging file left behind")
+	}
+
+	// Overwrite replaces the old contents completely.
+	if err := WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "x" {
+		t.Errorf("after overwrite content = %q, want %q", got, "x")
+	}
+}
+
+func TestAbortLeavesDestinationAlone(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("new-but-abandoned")); err != nil {
+		t.Fatal(err)
+	}
+	f.Abort()
+	f.Abort() // idempotent
+
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "old" {
+		t.Errorf("content = %q, want untouched %q", got, "old")
+	}
+	if tempLeft(t, dir) {
+		t.Error("staging file left behind after Abort")
+	}
+}
+
+func TestCommitThenAbortIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	f.Abort() // must not delete the committed file
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "kept" {
+		t.Errorf("content = %q, want %q", got, "kept")
+	}
+	if err := f.Commit(); err == nil {
+		t.Error("second Commit should fail")
+	}
+}
+
+func TestCreateInMissingDirFails(t *testing.T) {
+	if _, err := Create(filepath.Join(t.TempDir(), "no", "such", "dir", "f")); err == nil {
+		t.Error("Create in a missing directory should fail")
+	}
+}

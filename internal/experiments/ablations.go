@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -18,7 +19,7 @@ import (
 // AblationAlpha re-runs the Fig. 6 Monte-Carlo under different path-loss
 // exponents. The paper (§3.2): "gains from lower path-loss exponents ... are
 // even lower".
-func AblationAlpha(p Params) (Result, error) {
+func AblationAlpha(ctx context.Context, p Params) (Result, error) {
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
@@ -37,7 +38,7 @@ func AblationAlpha(p Params) (Result, error) {
 			Separation: 20, Range: 20,
 			PathLoss: pl, Channel: p.Channel, PacketBits: p.PacketBits,
 		}
-		gains, err := mc.TwoReceiverGains(cfg)
+		gains, err := mc.TwoReceiverGains(ctx, cfg)
 		if err != nil {
 			return Result{}, err
 		}
@@ -69,7 +70,7 @@ func AblationAlpha(p Params) (Result, error) {
 // MAC's advantage: end-to-end drain time of the discrete-event simulator as
 // the residual-interference fraction grows. The paper's §8 (citing its
 // reference [13]) predicts a sharp cut in SIC's usefulness.
-func AblationResidual(p Params) (Result, error) {
+func AblationResidual(ctx context.Context, p Params) (Result, error) {
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
@@ -96,6 +97,9 @@ func AblationResidual(p Params) (Result, error) {
 	fmt.Fprintf(&text, "  serial CSMA baseline: %.4g ms\n", serial.Duration*1e3)
 	var prev float64
 	for _, beta := range []float64{0, 0.005, 0.02, 0.05} {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		c := cfg
 		c.Residual = beta
 		res, err := mac.RunScheduled(stations, c, opts)
@@ -124,7 +128,7 @@ func AblationResidual(p Params) (Result, error) {
 
 // AblationGreedy quantifies what optimal matching buys over best-pair-first
 // greedy selection across real(istic) trace snapshots.
-func AblationGreedy(p Params) (Result, error) {
+func AblationGreedy(ctx context.Context, p Params) (Result, error) {
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
@@ -138,6 +142,9 @@ func AblationGreedy(p Params) (Result, error) {
 
 	var ratios []float64
 	for _, snap := range snaps {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		if len(snap.Clients) < 4 {
 			continue // greedy == optimal for n ≤ 3 almost always; focus on real pools
 		}

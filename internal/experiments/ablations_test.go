@@ -1,9 +1,12 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestAblationAlpha(t *testing.T) {
-	r, err := AblationAlpha(quick(t))
+	r, err := AblationAlpha(context.Background(), quick(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -18,7 +21,7 @@ func TestAblationAlpha(t *testing.T) {
 }
 
 func TestAblationResidual(t *testing.T) {
-	r, err := AblationResidual(quick(t))
+	r, err := AblationResidual(context.Background(), quick(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +49,7 @@ func TestAblationResidual(t *testing.T) {
 func TestAblationGreedy(t *testing.T) {
 	p := quick(t)
 	p.TraceDays = 2 // need enough ≥4-client snapshots
-	r, err := AblationGreedy(p)
+	r, err := AblationGreedy(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -99,11 +100,14 @@ func (r Result) MetricsBlock() string {
 	return out
 }
 
-// Runner is a figure driver.
+// Runner is a figure driver. Run observes ctx between expensive phases —
+// grid rows, trial batches, trace snapshots — and returns ctx's error when
+// cancelled, so suite-level deadlines propagate into long sweeps without
+// affecting the deterministic per-trial seeding.
 type Runner struct {
 	ID    string
 	Title string
-	Run   func(Params) (Result, error)
+	Run   func(ctx context.Context, p Params) (Result, error)
 }
 
 // All lists every figure driver in paper order.

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -46,7 +48,7 @@ func TestParamsValidation(t *testing.T) {
 		func() Params { p := QuickParams(); p.PacketBits = 0; return p }(),
 	}
 	for i, p := range bad {
-		if _, err := Fig3(p); err == nil {
+		if _, err := Fig3(context.Background(), p); err == nil {
 			t.Errorf("bad params %d accepted", i)
 		}
 	}
@@ -74,7 +76,7 @@ func TestAllAndByID(t *testing.T) {
 }
 
 func TestFig2(t *testing.T) {
-	r, err := Fig2(quick(t))
+	r, err := Fig2(context.Background(), quick(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +90,7 @@ func TestFig2(t *testing.T) {
 }
 
 func TestFig3(t *testing.T) {
-	r, err := Fig3(quick(t))
+	r, err := Fig3(context.Background(), quick(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +113,7 @@ func TestFig3(t *testing.T) {
 }
 
 func TestFig4(t *testing.T) {
-	r, err := Fig4(quick(t))
+	r, err := Fig4(context.Background(), quick(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +128,7 @@ func TestFig4(t *testing.T) {
 }
 
 func TestFig6(t *testing.T) {
-	r, err := Fig6(quick(t))
+	r, err := Fig6(context.Background(), quick(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +142,7 @@ func TestFig6(t *testing.T) {
 }
 
 func TestFig8(t *testing.T) {
-	r, err := Fig8(quick(t))
+	r, err := Fig8(context.Background(), quick(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +161,7 @@ func TestFig8(t *testing.T) {
 }
 
 func TestFig10(t *testing.T) {
-	r, err := Fig10(quick(t))
+	r, err := Fig10(context.Background(), quick(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +193,7 @@ func TestFig10(t *testing.T) {
 }
 
 func TestFig11(t *testing.T) {
-	r, err := Fig11(quick(t))
+	r, err := Fig11(context.Background(), quick(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +212,7 @@ func TestFig11(t *testing.T) {
 }
 
 func TestFig12(t *testing.T) {
-	r, err := Fig12(quick(t))
+	r, err := Fig12(context.Background(), quick(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +226,7 @@ func TestFig12(t *testing.T) {
 }
 
 func TestFig13(t *testing.T) {
-	r, err := Fig13(quick(t))
+	r, err := Fig13(context.Background(), quick(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +246,7 @@ func TestFig13(t *testing.T) {
 }
 
 func TestFig14(t *testing.T) {
-	r, err := Fig14(quick(t))
+	r, err := Fig14(context.Background(), quick(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,11 +271,11 @@ func TestFig14(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	p := quick(t)
-	a, err := Fig6(p)
+	a, err := Fig6(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Fig6(p)
+	b, err := Fig6(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,11 +295,11 @@ func TestAllDriversDeterministic(t *testing.T) {
 	for _, r := range append(All(), Ablations()...) {
 		r := r
 		t.Run(r.ID, func(t *testing.T) {
-			a, err := r.Run(p)
+			a, err := r.Run(context.Background(), p)
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, err := r.Run(p)
+			b, err := r.Run(context.Background(), p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -326,11 +328,11 @@ func TestSeedsChangeRandomisedResults(t *testing.T) {
 	p1.Trials = 600
 	p2 := p1
 	p2.Seed = 999
-	a, err := Fig6(p1)
+	a, err := Fig6(context.Background(), p1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Fig6(p2)
+	b, err := Fig6(context.Background(), p2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,5 +344,22 @@ func TestSeedsChangeRandomisedResults(t *testing.T) {
 	}
 	if same {
 		t.Error("different seeds produced identical Fig6 metrics")
+	}
+}
+
+// Cancellation propagates into every driver: a pre-cancelled context must
+// abort each run path — grid rows, Monte-Carlo pools, trace loops — with
+// context.Canceled rather than computing a result.
+func TestCancelledContextStopsEveryDriver(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := quick(t)
+	for _, r := range append(All(), Ablations()...) {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			if _, err := r.Run(ctx, p); !errors.Is(err, context.Canceled) {
+				t.Errorf("err = %v, want context.Canceled", err)
+			}
+		})
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -25,8 +26,11 @@ import (
 // adaptation quality and table granularity: crude adapters and coarse
 // tables leave slack for SIC, the oracle on a fine table leaves almost
 // none.
-func ExtAdaptation(p Params) (Result, error) {
+func ExtAdaptation(ctx context.Context, p Params) (Result, error) {
 	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	rounds := p.Trials

@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func keysOf(m map[string]float64) []string {
 	out := make([]string, 0, len(m))
@@ -13,7 +16,7 @@ func keysOf(m map[string]float64) []string {
 func TestExtAdaptation(t *testing.T) {
 	p := quick(t)
 	p.Trials = 4000
-	r, err := ExtAdaptation(p)
+	r, err := ExtAdaptation(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,11 +66,11 @@ func TestExtAdaptation(t *testing.T) {
 func TestExtAdaptationDeterministic(t *testing.T) {
 	p := quick(t)
 	p.Trials = 1000
-	a, err := ExtAdaptation(p)
+	a, err := ExtAdaptation(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := ExtAdaptation(p)
+	b, err := ExtAdaptation(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +84,7 @@ func TestExtAdaptationDeterministic(t *testing.T) {
 func TestExtArchitectures(t *testing.T) {
 	p := quick(t)
 	p.Trials = 2000
-	r, err := ExtArchitectures(p)
+	r, err := ExtArchitectures(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +102,7 @@ func TestExtArchitectures(t *testing.T) {
 }
 
 func TestExtLoad(t *testing.T) {
-	r, err := ExtLoad(quick(t))
+	r, err := ExtLoad(context.Background(), quick(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +123,7 @@ func TestExtLoad(t *testing.T) {
 func TestExtPHY(t *testing.T) {
 	p := quick(t)
 	p.Trials = 3000
-	r, err := ExtPHY(p)
+	r, err := ExtPHY(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +149,7 @@ func TestExtPHY(t *testing.T) {
 }
 
 func TestExtMesh(t *testing.T) {
-	r, err := ExtMesh(quick(t))
+	r, err := ExtMesh(context.Background(), quick(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +166,7 @@ func TestExtMesh(t *testing.T) {
 }
 
 func TestExtRegion(t *testing.T) {
-	r, err := ExtRegion(quick(t))
+	r, err := ExtRegion(context.Background(), quick(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +183,7 @@ func TestExtRegion(t *testing.T) {
 func TestExtTriples(t *testing.T) {
 	p := quick(t)
 	p.TraceDays = 2
-	r, err := ExtTriples(p)
+	r, err := ExtTriples(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

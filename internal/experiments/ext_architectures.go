@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -15,8 +16,11 @@ import (
 // distributions — enterprise upload/download/cross traffic, residential
 // download, and the multihop mesh relay — so the "where is SIC worth it"
 // conclusion is reproducible as numbers rather than prose.
-func ExtArchitectures(p Params) (Result, error) {
+func ExtArchitectures(ctx context.Context, p Params) (Result, error) {
 	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	d := wlan.DefaultDeployment()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -16,8 +17,11 @@ import (
 // before queueing delay diverges. The sweep runs the same Poisson arrival
 // processes through the serial CSMA baseline and the SIC-aware scheduler
 // and reports mean/p95 sojourn times per load point.
-func ExtLoad(p Params) (Result, error) {
+func ExtLoad(ctx context.Context, p Params) (Result, error) {
 	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	stations := []mac.Station{

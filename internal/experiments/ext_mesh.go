@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -14,8 +15,11 @@ import (
 // recipe for SIC", uniformly short hops break the decode condition — and a
 // long uniform chain where plain spatial reuse already helps and SIC adds
 // on top.
-func ExtMesh(p Params) (Result, error) {
+func ExtMesh(ctx context.Context, p Params) (Result, error) {
 	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	pl, err := phy.NewPathLoss(3.2, 1, 58)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -24,8 +25,11 @@ import (
 //  3. …and feeds each measured β into the discrete-event MAC, reporting the
 //     end-to-end drain time. This closes the loop the paper's §8 gestures
 //     at: how many pilots buy how much MAC-layer gain.
-func ExtPHY(p Params) (Result, error) {
+func ExtPHY(ctx context.Context, p Params) (Result, error) {
 	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	symbols := p.Trials * 10

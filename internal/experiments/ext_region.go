@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -14,8 +15,11 @@ import (
 // pentagon boundary, the two SIC corner points where the sum capacity is
 // achieved, and the conventional (treat-interference-as-noise) operating
 // point strictly inside. It is the geometric picture behind Fig. 2.
-func ExtRegion(p Params) (Result, error) {
+func ExtRegion(ctx context.Context, p Params) (Result, error) {
 	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	pair := core.Pair{S1: phy.FromDB(20), S2: phy.FromDB(10)}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -15,8 +16,11 @@ import (
 // clients decoded by a 3-stage SIC chain (the K-signal generalisation the
 // paper leaves as future work) and measures what that buys over optimal
 // pairwise matching on realistic trace snapshots.
-func ExtTriples(p Params) (Result, error) {
+func ExtTriples(ctx context.Context, p Params) (Result, error) {
 	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	cfg := trace.DefaultGenConfig(p.Seed)

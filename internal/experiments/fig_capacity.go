@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -13,7 +14,7 @@ import (
 // Fig2 regenerates the paper's Fig. 2: aggregate capacity of two concurrent
 // transmitters under SIC versus the two individual capacities, swept over
 // the stronger signal's SNR with the weaker fixed 6 dB below it.
-func Fig2(p Params) (Result, error) {
+func Fig2(ctx context.Context, p Params) (Result, error) {
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
@@ -27,6 +28,9 @@ func Fig2(p Params) (Result, error) {
 		identityErr    float64
 	)
 	for s1dB := 0.0; s1dB <= 50; s1dB += 0.5 {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		s1 := phy.FromDB(s1dB)
 		s2 := phy.FromDB(s1dB - gapDB)
 		pair := core.Pair{S1: s1, S2: s2}
@@ -69,13 +73,16 @@ exceeds both individual capacities.
 // Fig3 regenerates the capacity-gain heatmap: C₊SIC/C₋SIC over the
 // (S1, S2) plane in dB. The paper's observations: gain is always ≥ 1, is
 // largest when the two RSSs are small and similar, and is bounded by 2.
-func Fig3(p Params) (Result, error) {
+func Fig3(ctx context.Context, p Params) (Result, error) {
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
-	g := capacityGrid(p, func(pair core.Pair) float64 {
+	g, err := capacityGrid(ctx, p, func(pair core.Pair) float64 {
 		return pair.CapacityGain(p.Channel)
 	})
+	if err != nil {
+		return Result{}, err
+	}
 	lo, hi := g.MinMax()
 	i, j := g.ArgMax()
 
@@ -110,13 +117,16 @@ func Fig3(p Params) (Result, error) {
 // Fig4 regenerates the same-receiver completion-time gain heatmap:
 // Z₋SIC/Z₊SIC over the (S1, S2) plane. The ridge of maximum gain follows
 // S1 ≈ 2·S2 in dB (equal feasible rates for both transmitters).
-func Fig4(p Params) (Result, error) {
+func Fig4(ctx context.Context, p Params) (Result, error) {
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
-	g := capacityGrid(p, func(pair core.Pair) float64 {
+	g, err := capacityGrid(ctx, p, func(pair core.Pair) float64 {
 		return pair.Gain(p.Channel, p.PacketBits)
 	})
+	if err != nil {
+		return Result{}, err
+	}
 	lo, hi := g.MinMax()
 
 	// Locate the ridge: for several weak-SNR rows, the argmax strong SNR
@@ -164,16 +174,19 @@ func Fig4(p Params) (Result, error) {
 
 // Fig8 regenerates the download heatmap: two APs to one client, gain
 // Eq. (10)/Eq. (6). The paper: "very little benefit from SIC".
-func Fig8(p Params) (Result, error) {
+func Fig8(ctx context.Context, p Params) (Result, error) {
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
 	// The raw Eq. (10)/Eq. (6) ratio is plotted, exactly as the paper does;
 	// it dips below 1 where forcing concurrency would be a loss (a real MAC
 	// would serialise there).
-	g := capacityGrid(p, func(pair core.Pair) float64 {
+	g, err := capacityGrid(ctx, p, func(pair core.Pair) float64 {
 		return core.Download{S1: pair.S1, S2: pair.S2}.Gain(p.Channel, p.PacketBits)
 	})
+	if err != nil {
+		return Result{}, err
+	}
 	lo, hi := g.MinMax()
 	above1 := 0
 	for j := 0; j < g.NY; j++ {
@@ -205,15 +218,21 @@ func Fig8(p Params) (Result, error) {
 }
 
 // capacityGrid evaluates f over the (S1,S2) dB lattice used by the heatmap
-// figures.
-func capacityGrid(p Params, f func(core.Pair) float64) *stats.Grid {
+// figures, checking ctx between rows so heatmap figures cancel promptly.
+func capacityGrid(ctx context.Context, p Params, f func(core.Pair) float64) (*stats.Grid, error) {
 	const loDB, hiDB = 0.5, 50.0
 	step := (hiDB - loDB) / float64(p.GridN-1)
 	g := stats.NewGrid(loDB, loDB, step, step, p.GridN, p.GridN)
-	g.Fill(func(s1dB, s2dB float64) float64 {
-		return f(core.Pair{S1: phy.FromDB(s1dB), S2: phy.FromDB(s2dB)})
-	})
-	return g
+	for j := 0; j < p.GridN; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s2dB := g.Y(j)
+		for i := 0; i < p.GridN; i++ {
+			g.Set(i, j, f(core.Pair{S1: phy.FromDB(g.X(i)), S2: phy.FromDB(s2dB)}))
+		}
+	}
+	return g, nil
 }
 
 func abs(x float64) float64 {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -19,8 +20,11 @@ import (
 // The paper stresses its unit numbers are "not precise and meant for
 // illustration only"; this driver derives everything from the model and
 // verifies the qualitative ordering the paper draws from the picture.
-func Fig10(p Params) (Result, error) {
+func Fig10(ctx context.Context, p Params) (Result, error) {
 	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	// Choose SNRs whose solo spectral efficiencies are 8,4,2,1 bit/s/Hz so

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -30,7 +31,7 @@ func mcConfig(p Params, separation, txRange float64) (mc.Config, error) {
 
 // Fig6 regenerates the two-receiver Monte-Carlo CDFs for several ranges.
 // The paper's conclusion: no gain from SIC in ≈90% of the cases.
-func Fig6(p Params) (Result, error) {
+func Fig6(ctx context.Context, p Params) (Result, error) {
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
@@ -42,7 +43,7 @@ func Fig6(p Params) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		gains, err := mc.TwoReceiverGains(cfg)
+		gains, err := mc.TwoReceiverGains(ctx, cfg)
 		if err != nil {
 			return Result{}, err
 		}
@@ -80,7 +81,7 @@ func Fig6(p Params) (Result, error) {
 // SIC, SIC+power control, SIC+multirate packetization and SIC+packet
 // packing in the one-receiver scenario, plus plain SIC and packing in the
 // two-receiver scenario.
-func Fig11(p Params) (Result, error) {
+func Fig11(ctx context.Context, p Params) (Result, error) {
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
@@ -94,7 +95,7 @@ func Fig11(p Params) (Result, error) {
 	metrics := map[string]float64{}
 	var oneSeries []plot.Series
 	for _, tech := range []mc.Technique{mc.TechSIC, mc.TechPowerControl, mc.TechMultirate, mc.TechPacking} {
-		gains, err := mc.SameReceiverGains(oneRx, tech)
+		gains, err := mc.SameReceiverGains(ctx, oneRx, tech)
 		if err != nil {
 			return Result{}, err
 		}
@@ -109,7 +110,7 @@ func Fig11(p Params) (Result, error) {
 
 	var twoSeries []plot.Series
 	for _, tech := range []mc.Technique{mc.TechSIC, mc.TechPacking} {
-		gains, err := mc.TwoReceiverTechniqueGains(oneRx, tech)
+		gains, err := mc.TwoReceiverTechniqueGains(ctx, oneRx, tech)
 		if err != nil {
 			return Result{}, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -14,8 +15,11 @@ import (
 // minimum-weight perfect matching: on random client populations, the
 // scheduler's matching-based total must equal an exhaustive enumeration of
 // all pairings, and the greedy heuristic is quantified as the ablation.
-func Fig12(p Params) (Result, error) {
+func Fig12(ctx context.Context, p Params) (Result, error) {
 	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	rng := rand.New(rand.NewSource(p.Seed))

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,7 +20,7 @@ import (
 // scheduler and record the gain over serial upload — plain, with power
 // control, and with multirate packetization. The trace is synthetic (see
 // package trace and DESIGN.md "Substitutions").
-func Fig13(p Params) (Result, error) {
+func Fig13(ctx context.Context, p Params) (Result, error) {
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
@@ -42,6 +43,9 @@ func Fig13(p Params) (Result, error) {
 	gains := make([][]float64, len(variants))
 	usable := 0
 	for _, snap := range snaps {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		if len(snap.Clients) < 2 {
 			continue
 		}
@@ -105,7 +109,7 @@ func Fig13(p Params) (Result, error) {
 // links drawn from the synthetic SNR survey, evaluated (a) at ideal
 // arbitrary bitrates and (b) at the discrete 802.11g rates, each with and
 // without packet packing.
-func Fig14(p Params) (Result, error) {
+func Fig14(ctx context.Context, p Params) (Result, error) {
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
@@ -157,7 +161,12 @@ func Fig14(p Params) (Result, error) {
 		}},
 	}
 	samples := make([][]float64, len(kinds))
-	for _, x := range crosses {
+	for xi, x := range crosses {
+		if xi%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		for ki, k := range kinds {
 			samples[ki] = append(samples[ki], k.gain(x))
 		}

@@ -7,9 +7,12 @@
 package mc
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/core"
@@ -59,49 +62,89 @@ func (c Config) validate() error {
 // runParallel evaluates f once per trial index across a worker pool,
 // collecting one sample per trial in order. Each trial gets its own RNG
 // seeded from Config.Seed and the trial index, making the result
-// independent of scheduling.
-func runParallel(cfg Config, f func(rng *rand.Rand) float64) []float64 {
+// independent of scheduling — and of cancellation: ctx only decides how
+// many trials run, never which seed a trial gets. When ctx is cancelled
+// the pool stops dispatching, drains, and ctx.Err() is returned. A panic
+// in any trial is recovered, annotated with its stack, and surfaced as an
+// error instead of taking down the process.
+func runParallel(parent context.Context, cfg Config, f func(rng *rand.Rand) float64) ([]float64, error) {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
 	out := make([]float64, cfg.Trials)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > cfg.Trials {
 		workers = cfg.Trials
 	}
-	var wg sync.WaitGroup
 	next := make(chan int)
 	go func() {
+		defer close(next)
 		for i := 0; i < cfg.Trials; i++ {
-			next <- i
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
 		}
-		close(next)
 	}()
+
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicErr error
+	)
+	trial := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("mc: trial %d panicked: %v\n%s", i, r, debug.Stack())
+			}
+		}()
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*0x9e3779b9))
+		out[i] = f(rng)
+		return nil
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*0x9e3779b9))
-				out[i] = f(rng)
+				if err := trial(i); err != nil {
+					panicMu.Lock()
+					if panicErr == nil {
+						panicErr = err
+					}
+					panicMu.Unlock()
+					cancel() // stop dispatching further trials
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	return out
+
+	if panicErr != nil {
+		return nil, panicErr
+	}
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // TwoReceiverGains reproduces the Fig. 6 experiment: random two-link
 // topologies, SIC gain Z₋SIC/Z₊SIC per topology (1 when SIC is infeasible
-// or unneeded).
-func TwoReceiverGains(cfg Config) ([]float64, error) {
+// or unneeded). Cancelling ctx aborts the sweep with ctx's error.
+func TwoReceiverGains(ctx context.Context, cfg Config) ([]float64, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	if cfg.Separation <= 0 {
 		return nil, errors.New("mc: Separation must be positive for two-receiver experiments")
 	}
-	return runParallel(cfg, func(rng *rand.Rand) float64 {
+	return runParallel(ctx, cfg, func(rng *rand.Rand) float64 {
 		x := crossSample(cfg, rng)
 		return x.Gain(cfg.Channel, cfg.PacketBits)
-	}), nil
+	})
 }
 
 // crossSample draws one §3.2 topology and evaluates its RSS matrix.
@@ -149,11 +192,11 @@ func (t Technique) String() string {
 // Range of the receiver) and the gain of the chosen technique over the
 // serial baseline. The serial fallback is always available, so samples are
 // ≥ 1.
-func SameReceiverGains(cfg Config, tech Technique) ([]float64, error) {
+func SameReceiverGains(ctx context.Context, cfg Config, tech Technique) ([]float64, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return runParallel(cfg, func(rng *rand.Rand) float64 {
+	return runParallel(ctx, cfg, func(rng *rand.Rand) float64 {
 		rx := topo.Point{}
 		t1 := topo.UniformInDisc(rng, rx, cfg.Range)
 		t2 := topo.UniformInDisc(rng, rx, cfg.Range)
@@ -181,7 +224,7 @@ func SameReceiverGains(cfg Config, tech Technique) ([]float64, error) {
 			return 1
 		}
 		return serial / t
-	}), nil
+	})
 }
 
 // TwoReceiverTechniqueGains reproduces the two-receiver half of Fig. 11:
@@ -189,14 +232,14 @@ func SameReceiverGains(cfg Config, tech Technique) ([]float64, error) {
 // packetization is impossible in this scenario — the paper's §5.5 — and
 // power control has no lever because each transmission already runs at its
 // receiver-limited rate.)
-func TwoReceiverTechniqueGains(cfg Config, tech Technique) ([]float64, error) {
+func TwoReceiverTechniqueGains(ctx context.Context, cfg Config, tech Technique) ([]float64, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	if cfg.Separation <= 0 {
 		return nil, errors.New("mc: Separation must be positive for two-receiver experiments")
 	}
-	return runParallel(cfg, func(rng *rand.Rand) float64 {
+	return runParallel(ctx, cfg, func(rng *rand.Rand) float64 {
 		x := crossSample(cfg, rng)
 		switch tech {
 		case TechPacking:
@@ -208,5 +251,5 @@ func TwoReceiverTechniqueGains(cfg Config, tech Technique) ([]float64, error) {
 		default:
 			return x.Gain(cfg.Channel, cfg.PacketBits)
 		}
-	}), nil
+	})
 }

@@ -1,6 +1,10 @@
 package mc
 
 import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/phy"
@@ -29,32 +33,32 @@ func TestConfigValidation(t *testing.T) {
 	base := testConfig(10)
 	bad := base
 	bad.Trials = 0
-	if _, err := TwoReceiverGains(bad); err == nil {
+	if _, err := TwoReceiverGains(context.Background(), bad); err == nil {
 		t.Error("zero trials accepted")
 	}
 	bad = base
 	bad.Range = 0
-	if _, err := TwoReceiverGains(bad); err == nil {
+	if _, err := TwoReceiverGains(context.Background(), bad); err == nil {
 		t.Error("zero range accepted")
 	}
 	bad = base
 	bad.Separation = 0
-	if _, err := TwoReceiverGains(bad); err == nil {
+	if _, err := TwoReceiverGains(context.Background(), bad); err == nil {
 		t.Error("zero separation accepted for two-receiver")
 	}
 	bad = base
 	bad.PacketBits = 0
-	if _, err := SameReceiverGains(bad, TechSIC); err == nil {
+	if _, err := SameReceiverGains(context.Background(), bad, TechSIC); err == nil {
 		t.Error("zero packet bits accepted")
 	}
 	bad = base
 	bad.Channel = phy.Channel{}
-	if _, err := SameReceiverGains(bad, TechSIC); err == nil {
+	if _, err := SameReceiverGains(context.Background(), bad, TechSIC); err == nil {
 		t.Error("zero channel accepted")
 	}
 	bad = base
 	bad.PathLoss = phy.PathLoss{}
-	if _, err := SameReceiverGains(bad, TechSIC); err == nil {
+	if _, err := SameReceiverGains(context.Background(), bad, TechSIC); err == nil {
 		t.Error("zero path loss accepted")
 	}
 }
@@ -62,7 +66,7 @@ func TestConfigValidation(t *testing.T) {
 func TestTwoReceiverGainsMatchPaperShape(t *testing.T) {
 	// Fig. 6's headline: no gain from SIC in ~90% of random two-receiver
 	// topologies. Allow a generous band around the paper's number.
-	gains, err := TwoReceiverGains(testConfig(5000))
+	gains, err := TwoReceiverGains(context.Background(), testConfig(5000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,11 +86,11 @@ func TestTwoReceiverGainsMatchPaperShape(t *testing.T) {
 }
 
 func TestTwoReceiverGainsDeterministic(t *testing.T) {
-	a, err := TwoReceiverGains(testConfig(500))
+	a, err := TwoReceiverGains(context.Background(), testConfig(500))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := TwoReceiverGains(testConfig(500))
+	b, err := TwoReceiverGains(context.Background(), testConfig(500))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,12 +105,12 @@ func TestSameReceiverTechniqueOrdering(t *testing.T) {
 	// Fig. 11a: every technique dominates plain SIC in distribution, and
 	// plain SIC itself yields gains ≥ 1.
 	cfg := testConfig(4000)
-	sic, err := SameReceiverGains(cfg, TechSIC)
+	sic, err := SameReceiverGains(context.Background(), cfg, TechSIC)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, tech := range []Technique{TechPowerControl, TechMultirate, TechPacking} {
-		withTech, err := SameReceiverGains(cfg, tech)
+		withTech, err := SameReceiverGains(context.Background(), cfg, tech)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,7 +131,7 @@ func TestSameReceiverTechniqueOrdering(t *testing.T) {
 func TestSameReceiverSICGainBand(t *testing.T) {
 	// Fig. 11a: plain SIC gains over 20% in roughly 20% of topologies —
 	// modest but real. Accept a broad band.
-	gains, err := SameReceiverGains(testConfig(5000), TechSIC)
+	gains, err := SameReceiverGains(context.Background(), testConfig(5000), TechSIC)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,8 +146,8 @@ func TestTechniquesBeatPlainSICInAggregate(t *testing.T) {
 	// Fig. 11a: with a mechanism, >20% gain in ~40% of topologies — roughly
 	// double plain SIC's fraction. Check the aggregate ordering.
 	cfg := testConfig(5000)
-	sic, _ := SameReceiverGains(cfg, TechSIC)
-	pc, _ := SameReceiverGains(cfg, TechPowerControl)
+	sic, _ := SameReceiverGains(context.Background(), cfg, TechSIC)
+	pc, _ := SameReceiverGains(context.Background(), cfg, TechPowerControl)
 	eSIC, _ := stats.NewECDF(sic)
 	ePC, _ := stats.NewECDF(pc)
 	if ePC.FracAbove(1.2) <= eSIC.FracAbove(1.2) {
@@ -154,11 +158,11 @@ func TestTechniquesBeatPlainSICInAggregate(t *testing.T) {
 
 func TestTwoReceiverTechniqueGains(t *testing.T) {
 	cfg := testConfig(4000)
-	plain, err := TwoReceiverTechniqueGains(cfg, TechSIC)
+	plain, err := TwoReceiverTechniqueGains(context.Background(), cfg, TechSIC)
 	if err != nil {
 		t.Fatal(err)
 	}
-	packed, err := TwoReceiverTechniqueGains(cfg, TechPacking)
+	packed, err := TwoReceiverTechniqueGains(context.Background(), cfg, TechPacking)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,5 +190,51 @@ func TestTechniqueString(t *testing.T) {
 		if tech.String() != s {
 			t.Errorf("%d.String() = %q, want %q", int(tech), tech.String(), s)
 		}
+	}
+}
+
+func TestCancelledContextAbortsSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TwoReceiverGains(ctx, testConfig(100000)); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCancellationDoesNotPerturbSeeding(t *testing.T) {
+	// Cancellation must only decide how many trials run, never which seed a
+	// trial index gets: a full run after a cancelled run is still identical
+	// to a fresh full run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _ = TwoReceiverGains(ctx, testConfig(500))
+	a, err := TwoReceiverGains(context.Background(), testConfig(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TwoReceiverGains(context.Background(), testConfig(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d differs after a cancelled run: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTrialPanicSurfacesAsError(t *testing.T) {
+	cfg := testConfig(64)
+	_, err := runParallel(context.Background(), cfg, func(_ *rand.Rand) float64 {
+		panic("boom")
+	})
+	if err == nil {
+		t.Fatal("panicking trial returned nil error")
+	}
+	if !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("panic error %q missing value or marker", err)
+	}
+	if !strings.Contains(err.Error(), "runParallel") && !strings.Contains(err.Error(), "goroutine") {
+		t.Errorf("panic error should carry a stack trace, got %q", err)
 	}
 }
