@@ -43,10 +43,6 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	snaps, err := trace.ReadSnapshots(f)
-	if err != nil {
-		fatal(err)
-	}
 
 	opts := sched.Options{
 		Channel:      phy.Wifi20MHz,
@@ -55,9 +51,13 @@ func main() {
 		Multirate:    *multirate,
 	}
 
+	// Stream the trace one snapshot at a time: a multi-day trace never has
+	// to fit in memory, and a corrupt line skips one record, not the run.
+	sc := trace.NewSnapshotScanner(f)
 	var gains []float64
 	printed := 0
-	for _, snap := range snaps {
+	for sc.Scan() {
+		snap := sc.Snapshot()
 		if len(snap.Clients) < 2 {
 			continue
 		}
@@ -93,6 +93,12 @@ func main() {
 		}
 	}
 
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if n := sc.Malformed(); n > 0 {
+		fmt.Fprintf(os.Stderr, "sicsched: skipped %d malformed trace line(s)\n", n)
+	}
 	if len(gains) == 0 {
 		fmt.Fprintln(os.Stderr, "sicsched: no schedulable snapshots in trace")
 		os.Exit(1)

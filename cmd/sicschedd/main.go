@@ -1,0 +1,84 @@
+// Command sicschedd runs the live SIC scheduling daemon: stations stream
+// SNR reports in over UDP, access points query schedules out over TCP.
+//
+// Usage:
+//
+//	sicschedd -udp 127.0.0.1:5600 -tcp 127.0.0.1:5601
+//
+// Query protocol (newline-delimited over TCP, one-line JSON replies):
+//
+//	SCHED <apID>   schedule for the AP's fresh clients
+//	HEALTH         uptime, table occupancy and serving counters
+//	QUIT           close the connection
+//
+// Every schedule reply records the degradation-ladder rung that produced it
+// ("blossom", "greedy" or "serial"); under load the daemon degrades rather
+// than stalls. On SIGINT/SIGTERM the daemon drains in-flight queries and
+// prints the final counter flush before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/phy"
+	"repro/internal/sched"
+	"repro/internal/schedd"
+)
+
+func main() {
+	var (
+		udpAddr  = flag.String("udp", "127.0.0.1:5600", "UDP address for report ingest")
+		tcpAddr  = flag.String("tcp", "127.0.0.1:5601", "TCP address for schedule/health queries")
+		pktBits  = flag.Float64("packet-bits", 12000, "uplink packet size in bits")
+		powerCtl = flag.Bool("power-control", false, "enable §5.2 per-pair power reduction")
+		ttl      = flag.Duration("ttl", 30*time.Second, "client report staleness bound")
+		maxCli   = flag.Int("max-clients", 64, "per-AP client table bound")
+		blossomB = flag.Duration("blossom-budget", 50*time.Millisecond, "optimal-matching time budget")
+		greedyB  = flag.Duration("greedy-budget", 10*time.Millisecond, "greedy-matching time budget")
+		deadline = flag.Duration("query-deadline", 250*time.Millisecond, "overall per-query deadline")
+		inflight = flag.Int("max-inflight", 32, "concurrent query bound before overload shedding")
+		drain    = flag.Duration("drain", 5*time.Second, "graceful shutdown drain budget")
+	)
+	flag.Parse()
+
+	s, err := schedd.Start(schedd.Config{
+		UDPAddr: *udpAddr,
+		TCPAddr: *tcpAddr,
+		Sched: sched.Options{
+			Channel:      phy.Wifi20MHz,
+			PacketBits:   *pktBits,
+			PowerControl: *powerCtl,
+		},
+		TTL:           *ttl,
+		MaxClients:    *maxCli,
+		Budgets:       schedd.Budgets{Blossom: *blossomB, Greedy: *greedyB},
+		QueryDeadline: *deadline,
+		MaxInflight:   *inflight,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sicschedd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sicschedd: reports on udp %s, queries on tcp %s\n", s.UDPAddr(), s.TCPAddr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "sicschedd: %v, draining for up to %v\n", got, *drain)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	code := 0
+	if err := s.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "sicschedd: %v\n", err)
+		code = 1
+	}
+	fmt.Printf("sicschedd: final counters: %s\n", s.Counters())
+	os.Exit(code)
+}

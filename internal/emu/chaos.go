@@ -1,0 +1,74 @@
+package emu
+
+import (
+	"repro/internal/frame"
+	"repro/internal/mac"
+)
+
+// WireChaos applies the emulator's deterministic fault model to raw
+// datagrams instead of MAC frames. It is the bridge between the fault
+// machinery of this package and network-facing components (the live
+// scheduling daemon's chaos harness): every decision is a pure function of
+// (seed, station, sequence), so a chaotic run against a live server
+// reproduces byte for byte for a fixed seed, regardless of goroutine or
+// packet timing.
+//
+// Only the Loss, Corrupt, Stall and StallSlots fields of the FaultModel are
+// consulted; LossByType does not apply to untyped datagrams.
+type WireChaos struct {
+	fs *faultState // nil when the model injects nothing
+}
+
+// NewWireChaos validates the model and binds it to a seed.
+func NewWireChaos(model FaultModel, seed int64) (*WireChaos, error) {
+	if err := model.validate(); err != nil {
+		return nil, err
+	}
+	return &WireChaos{fs: newFaultState(model, seed)}, nil
+}
+
+// Drop reports whether the datagram identified by (station, seq) is lost in
+// transit, tallying the loss.
+func (c *WireChaos) Drop(station, seq uint32) bool {
+	if c.fs == nil {
+		return false
+	}
+	return c.fs.dropFrame(frame.TypeData, station, seq)
+}
+
+// Corrupt flips one bit of the datagram with the model's Corrupt
+// probability and returns the (possibly new) buffer; the input is never
+// mutated. Unlike the MAC-frame path there is no header to protect — any
+// bit may flip, which is exactly what a UDP receiver must survive.
+func (c *WireChaos) Corrupt(buf []byte, station, seq uint32) []byte {
+	if c.fs == nil || len(buf) == 0 {
+		return buf
+	}
+	if c.fs.model.Corrupt <= 0 || c.fs.roll(rollCorrupt, frame.TypeData, station, seq) >= c.fs.model.Corrupt {
+		return buf
+	}
+	bit := int(c.fs.raw(rollCorruptBit, frame.TypeData, station, seq) % uint64(len(buf)*8))
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	out[bit/8] ^= 1 << (bit % 8)
+	c.fs.mu.Lock()
+	c.fs.tally.CRCRejects++
+	c.fs.mu.Unlock()
+	return out
+}
+
+// Stall reports how many consecutive datagrams (starting with this one) the
+// station suppresses because it froze, 0 meaning no stall. The caller is
+// responsible for actually skipping that many sends.
+func (c *WireChaos) Stall(station, seq uint32) int {
+	if c.fs == nil {
+		return 0
+	}
+	return c.fs.stallFor(station, seq)
+}
+
+// Injected snapshots the tally of faults fired so far: FramesLost counts
+// dropped datagrams, CRCRejects corrupted ones, Stalls freeze events.
+func (c *WireChaos) Injected() mac.FaultCounters {
+	return c.fs.injected()
+}

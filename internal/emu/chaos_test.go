@@ -1,0 +1,105 @@
+package emu
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestWireChaosDeterminism: two chaos instances with the same seed must
+// agree on every decision; a different seed must diverge somewhere.
+func TestWireChaosDeterminism(t *testing.T) {
+	model := FaultModel{Loss: 0.2, Corrupt: 0.2, Stall: 0.1}
+	a, err := NewWireChaos(model, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWireChaos(model, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewWireChaos(model, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := bytes.Repeat([]byte{0xA5}, 28)
+	diverged := false
+	for station := uint32(1); station <= 20; station++ {
+		for seq := uint32(0); seq < 50; seq++ {
+			da, db, dc := a.Drop(station, seq), b.Drop(station, seq), c.Drop(station, seq)
+			if da != db {
+				t.Fatalf("same-seed Drop diverged at (%d,%d)", station, seq)
+			}
+			ca := a.Corrupt(buf, station, seq)
+			cb := b.Corrupt(buf, station, seq)
+			if !bytes.Equal(ca, cb) {
+				t.Fatalf("same-seed Corrupt diverged at (%d,%d)", station, seq)
+			}
+			if sa, sb := a.Stall(station, seq), b.Stall(station, seq); sa != sb {
+				t.Fatalf("same-seed Stall diverged at (%d,%d)", station, seq)
+			}
+			if da != dc {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds never diverged; rolls look seed-independent")
+	}
+	ia, ib := a.Injected(), b.Injected()
+	if ia != ib {
+		t.Fatalf("same-seed tallies differ: %+v vs %+v", ia, ib)
+	}
+	if ia.FramesLost == 0 || ia.CRCRejects == 0 {
+		t.Fatalf("expected some injected faults, got %+v", ia)
+	}
+}
+
+// TestWireChaosZeroModel: a zero model is a transparent pass-through.
+func TestWireChaosZeroModel(t *testing.T) {
+	c, err := NewWireChaos(FaultModel{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte{1, 2, 3}
+	for seq := uint32(0); seq < 100; seq++ {
+		if c.Drop(1, seq) {
+			t.Fatal("zero model dropped a datagram")
+		}
+		if got := c.Corrupt(buf, 1, seq); !bytes.Equal(got, buf) {
+			t.Fatal("zero model corrupted a datagram")
+		}
+		if c.Stall(1, seq) != 0 {
+			t.Fatal("zero model stalled")
+		}
+	}
+	if tally := c.Injected(); tally.Total() != 0 {
+		t.Fatalf("zero model tallied faults: %+v", tally)
+	}
+}
+
+// TestWireChaosCorruptNeverMutatesInput: corruption must copy-on-write.
+func TestWireChaosCorruptNeverMutatesInput(t *testing.T) {
+	c, err := NewWireChaos(FaultModel{Corrupt: 1}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := bytes.Repeat([]byte{0x5A}, 16)
+	buf := append([]byte(nil), orig...)
+	out := c.Corrupt(buf, 3, 7)
+	if !bytes.Equal(buf, orig) {
+		t.Fatal("Corrupt mutated the caller's buffer")
+	}
+	if bytes.Equal(out, orig) {
+		t.Fatal("Corrupt with probability 1 did not flip a bit")
+	}
+}
+
+// TestWireChaosValidates: invalid probabilities are rejected.
+func TestWireChaosValidates(t *testing.T) {
+	if _, err := NewWireChaos(FaultModel{Loss: 1.5}, 0); err == nil {
+		t.Fatal("Loss=1.5 accepted")
+	}
+	if _, err := NewWireChaos(FaultModel{Stall: -0.1}, 0); err == nil {
+		t.Fatal("Stall=-0.1 accepted")
+	}
+}

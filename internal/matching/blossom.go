@@ -34,6 +34,35 @@ type blossomSolver struct {
 	flower     [][]int  // sub-blossom lists for contracted blossoms, [cap]
 	q          []int    // BFS queue of outer vertices
 	timer      int
+
+	// stop is an optional cooperative-cancellation probe (nil = never stop).
+	// It is polled at phase boundaries and every stopStride BFS pops, so a
+	// cancelled solve abandons the instance within a bounded amount of work
+	// instead of running O(n³) to completion.
+	stop     func() bool
+	stopTick int
+	aborted  bool
+}
+
+// stopStride bounds how much BFS work runs between cancellation probes.
+const stopStride = 64
+
+// cancelled polls the stop probe (rate-limited) and latches the result.
+func (s *blossomSolver) cancelled() bool {
+	if s.aborted {
+		return true
+	}
+	if s.stop == nil {
+		return false
+	}
+	s.stopTick++
+	if s.stopTick%stopStride != 0 {
+		return false
+	}
+	if s.stop() {
+		s.aborted = true
+	}
+	return s.aborted
 }
 
 const infWeight = int64(1) << 62
@@ -306,7 +335,13 @@ func (s *blossomSolver) matchingPhase() bool {
 		return false
 	}
 	for {
+		if s.aborted {
+			return false
+		}
 		for len(s.q) > 0 {
+			if s.cancelled() {
+				return false
+			}
 			u := s.q[0]
 			s.q = s.q[1:]
 			if s.state[s.st[u]] == 1 {

@@ -1,0 +1,127 @@
+package matching
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randCosts builds a random symmetric cost matrix on n vertices.
+func randCosts(rng *rand.Rand, n int, maxC int64) [][]int64 {
+	cost := make([][]int64, n)
+	for i := range cost {
+		cost[i] = make([]int64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c := rng.Int63n(maxC)
+			cost[i][j], cost[j][i] = c, c
+		}
+	}
+	return cost
+}
+
+// TestMinCostPerfectCtxMatchesUncancelled: with a background context the ctx
+// entry point must agree exactly with the plain one.
+func TestMinCostPerfectCtxMatchesUncancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 * (1 + rng.Intn(8))
+		cost := randCosts(rng, n, 1000)
+		m1, t1, err := MinCostPerfect(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, t2, err := MinCostPerfectCtx(context.Background(), cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if t1 != t2 {
+			t.Fatalf("totals differ: %d vs %d", t1, t2)
+		}
+		for i := range m1 {
+			if m1[i] != m2[i] {
+				t.Fatalf("mates differ at %d: %d vs %d", i, m1[i], m2[i])
+			}
+		}
+	}
+}
+
+// TestMinCostPerfectCtxCancelled: an already-cancelled context must surface
+// context.Canceled, not a matching.
+func TestMinCostPerfectCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(3))
+	_, _, err := MinCostPerfectCtx(ctx, randCosts(rng, 40, 1_000_000))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestMinCostPerfectCtxDeadline: a deadline far too tight for a large
+// instance must abort the solve promptly with DeadlineExceeded.
+func TestMinCostPerfectCtxDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cost := randCosts(rng, 200, 1_000_000_000)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := MinCostPerfectCtx(ctx, cost)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("cancelled solve took %v, want bounded abort", e)
+	}
+}
+
+// TestMaxWeightTooLarge: weights past the overflow-safe bound are rejected
+// at the API boundary instead of corrupting the duals.
+func TestMaxWeightTooLarge(t *testing.T) {
+	huge := int64(math.MaxInt64 / 2)
+	w := [][]int64{{0, huge}, {huge, 0}}
+	if _, _, err := MaxWeight(w); !errors.Is(err, ErrWeightTooLarge) {
+		t.Fatalf("got %v, want ErrWeightTooLarge", err)
+	}
+}
+
+// TestMinCostPerfectFloatValidation: NaN/Inf/negative float costs and bad
+// quanta are rejected; valid input agrees with the integer solver.
+func TestMinCostPerfectFloatValidation(t *testing.T) {
+	nan := [][]float64{{0, math.NaN()}, {math.NaN(), 0}}
+	if _, _, err := MinCostPerfectFloat(nan, 1e-9); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("NaN: got %v, want ErrNonFinite", err)
+	}
+	inf := [][]float64{{0, math.Inf(1)}, {math.Inf(1), 0}}
+	if _, _, err := MinCostPerfectFloat(inf, 1e-9); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("Inf: got %v, want ErrNonFinite", err)
+	}
+	neg := [][]float64{{0, -1}, {-1, 0}}
+	if _, _, err := MinCostPerfectFloat(neg, 1e-9); !errors.Is(err, ErrNegativeCost) {
+		t.Fatalf("negative: got %v, want ErrNegativeCost", err)
+	}
+	ragged := [][]float64{{0, 1}, {1}}
+	if _, _, err := MinCostPerfectFloat(ragged, 1e-9); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	ok := [][]float64{{0, 2.5, 9, 9}, {2.5, 0, 9, 9}, {9, 9, 0, 1.5}, {9, 9, 1.5, 0}}
+	for _, quantum := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, _, err := MinCostPerfectFloat(ok, quantum); err == nil {
+			t.Fatalf("quantum %v accepted", quantum)
+		}
+	}
+	mate, total, err := MinCostPerfectFloat(ok, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mate[0] != 1 || mate[2] != 3 {
+		t.Fatalf("unexpected matching %v", mate)
+	}
+	if math.Abs(total-4.0) > 1e-12 {
+		t.Fatalf("total = %v, want 4", total)
+	}
+}

@@ -11,6 +11,7 @@
 package matching
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -28,6 +29,14 @@ var ErrNegativeCost = errors.New("matching: costs must be non-negative")
 
 // ErrAsymmetric is returned for weight/cost matrices that are not symmetric.
 var ErrAsymmetric = errors.New("matching: weight matrix must be symmetric")
+
+// ErrWeightTooLarge is returned for weights so large the solver's integer
+// dual arithmetic could overflow. The bound depends on the vertex count; it
+// is astronomically beyond any airtime the scheduler produces.
+var ErrWeightTooLarge = errors.New("matching: weight too large for overflow-free duals")
+
+// ErrNonFinite is returned by the float boundary for NaN or infinite costs.
+var ErrNonFinite = errors.New("matching: cost is NaN or infinite")
 
 // validateSquareSymmetric checks the matrix shape shared by all entry points.
 func validateSquareSymmetric(w [][]int64) error {
@@ -47,22 +56,43 @@ func validateSquareSymmetric(w [][]int64) error {
 	return nil
 }
 
+// maxSafeWeight bounds individual edge weights so that dual variables —
+// which stay within a small multiple of the largest weight and are doubled
+// inside eDelta — can never overflow int64 during a solve on n vertices.
+func maxSafeWeight(n int) int64 {
+	return math.MaxInt64 / int64(4*(n+2))
+}
+
 // MaxWeight computes a maximum-weight matching (not necessarily perfect) of
 // the undirected graph given by the symmetric non-negative weight matrix w;
 // w[i][j] == 0 means "no edge". It returns the mate of every vertex
 // (Unmatched for exposed vertices) and the total weight of the matching.
 func MaxWeight(w [][]int64) (mate []int, total int64, err error) {
+	return MaxWeightCtx(context.Background(), w)
+}
+
+// MaxWeightCtx is MaxWeight with cooperative cancellation: when ctx is
+// cancelled or its deadline passes mid-solve, the solver abandons the
+// instance within a bounded amount of work and returns ctx.Err(). The
+// scheduling daemon's degradation ladder relies on this to bound the time a
+// pathological instance can hold the serving loop.
+func MaxWeightCtx(ctx context.Context, w [][]int64) (mate []int, total int64, err error) {
 	if err := validateSquareSymmetric(w); err != nil {
 		return nil, 0, err
 	}
+	n := len(w)
+	safe := maxSafeWeight(n)
 	for i := range w {
 		for j := range w[i] {
 			if w[i][j] < 0 {
 				return nil, 0, ErrNegativeCost
 			}
+			if w[i][j] > safe {
+				return nil, 0, fmt.Errorf("%w: w[%d][%d] = %d exceeds %d for %d vertices",
+					ErrWeightTooLarge, i, j, w[i][j], safe, n)
+			}
 		}
 	}
-	n := len(w)
 	mate = make([]int, n)
 	for i := range mate {
 		mate[i] = Unmatched
@@ -71,12 +101,18 @@ func MaxWeight(w [][]int64) (mate []int, total int64, err error) {
 		return mate, 0, nil
 	}
 	b := newBlossom(n)
+	if ctx.Done() != nil {
+		b.stop = func() bool { return ctx.Err() != nil }
+	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			b.setWeight(i+1, j+1, w[i][j])
 		}
 	}
 	total = b.solve()
+	if b.aborted {
+		return nil, 0, ctx.Err()
+	}
 	for u := 1; u <= n; u++ {
 		if b.match[u] != 0 {
 			mate[u-1] = b.match[u] - 1
@@ -91,6 +127,12 @@ func MaxWeight(w [][]int64) (mate []int, total int64, err error) {
 // are backlogged clients plus an optional dummy, edge costs are joint
 // transmission times.
 func MinCostPerfect(cost [][]int64) (mate []int, total int64, err error) {
+	return MinCostPerfectCtx(context.Background(), cost)
+}
+
+// MinCostPerfectCtx is MinCostPerfect with cooperative cancellation (see
+// MaxWeightCtx). A cancelled solve returns ctx.Err().
+func MinCostPerfectCtx(ctx context.Context, cost [][]int64) (mate []int, total int64, err error) {
 	if err := validateSquareSymmetric(cost); err != nil {
 		return nil, 0, err
 	}
@@ -119,10 +161,11 @@ func MinCostPerfect(cost [][]int64) (mate []int, total int64, err error) {
 	// that any perfect matching outweighs any non-perfect one:
 	// a matching with k < n/2 edges has weight ≤ k·big, while a perfect one
 	// has ≥ (n/2)(big − maxC); big > (n/2)·maxC guarantees dominance.
-	big := maxC*int64(n/2+1) + 1
-	if big > math.MaxInt64/int64(n+2) {
+	// Guard before multiplying so the product itself cannot wrap.
+	if maxC > (maxSafeWeight(n)-1)/int64(n/2+1) {
 		return nil, 0, fmt.Errorf("matching: costs too large (max %d) for %d vertices without overflow", maxC, n)
 	}
+	big := maxC*int64(n/2+1) + 1
 	w := make([][]int64, n)
 	for i := range w {
 		w[i] = make([]int64, n)
@@ -132,7 +175,7 @@ func MinCostPerfect(cost [][]int64) (mate []int, total int64, err error) {
 			}
 		}
 	}
-	mate, _, err = MaxWeight(w)
+	mate, _, err = MaxWeightCtx(ctx, w)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -140,6 +183,49 @@ func MinCostPerfect(cost [][]int64) (mate []int, total int64, err error) {
 		if m == Unmatched {
 			return nil, 0, fmt.Errorf("matching: internal error: vertex %d left unmatched on a complete graph", i)
 		}
+		if i < m {
+			total += cost[i][m]
+		}
+	}
+	return mate, total, nil
+}
+
+// MinCostPerfectFloat is the float-cost boundary of MinCostPerfect: every
+// entry is validated (finite via ErrNonFinite, non-negative via
+// ErrNegativeCost) and quantized to integer multiples of quantum before
+// solving, so callers handing the matcher raw float measurements cannot
+// silently obtain a bogus matching from NaN/Inf propagation. The returned
+// total is the sum of the original (unquantized) costs along the matching.
+func MinCostPerfectFloat(cost [][]float64, quantum float64) (mate []int, total float64, err error) {
+	if !(quantum > 0) || math.IsInf(quantum, 1) {
+		return nil, 0, fmt.Errorf("matching: quantum must be a positive finite number, got %v", quantum)
+	}
+	n := len(cost)
+	q := make([][]int64, n)
+	for i, row := range cost {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("matching: row %d has length %d, want %d", i, len(row), n)
+		}
+		q[i] = make([]int64, n)
+		for j, c := range row {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return nil, 0, fmt.Errorf("%w: cost[%d][%d] = %v", ErrNonFinite, i, j, c)
+			}
+			if c < 0 {
+				return nil, 0, fmt.Errorf("%w: cost[%d][%d] = %v", ErrNegativeCost, i, j, c)
+			}
+			scaled := math.Round(c / quantum)
+			if scaled > float64(maxSafeWeight(n)) {
+				return nil, 0, fmt.Errorf("%w: cost[%d][%d] = %v at quantum %v", ErrWeightTooLarge, i, j, c, quantum)
+			}
+			q[i][j] = int64(scaled)
+		}
+	}
+	mate, _, err = MinCostPerfect(q)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i, m := range mate {
 		if i < m {
 			total += cost[i][m]
 		}

@@ -11,6 +11,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -178,6 +179,27 @@ func pairCost(a, b Client, o Options) (t float64, mode Mode, weakScale float64) 
 	return serial, ModeSerial, 1
 }
 
+// validateInputs performs the shared boundary checks of every scheduler
+// entry point: non-empty client set, usable channel and packet size, and
+// finite positive SNRs.
+func validateInputs(clients []Client, o Options) error {
+	if len(clients) == 0 {
+		return ErrNoClients
+	}
+	if o.Channel.BandwidthHz <= 0 || o.Channel.NoiseW <= 0 {
+		return errors.New("sched: Options.Channel is required")
+	}
+	if o.PacketBits <= 0 {
+		return errors.New("sched: Options.PacketBits must be positive")
+	}
+	for i, c := range clients {
+		if !(c.SNR > 0) || math.IsInf(c.SNR, 1) || math.IsNaN(c.SNR) {
+			return fmt.Errorf("sched: client %d (%q) has invalid SNR %v", i, c.ID, c.SNR)
+		}
+	}
+	return nil
+}
+
 // New computes the optimal schedule for the given clients.
 //
 // It builds the complete graph of pairwise joint-transmission costs, adds a
@@ -185,19 +207,17 @@ func pairCost(a, b Client, o Options) (t float64, mode Mode, weakScale float64) 
 // airtime), solves minimum-weight perfect matching, and translates the
 // matching back into transmission slots.
 func New(clients []Client, o Options) (Schedule, error) {
-	if len(clients) == 0 {
-		return Schedule{}, ErrNoClients
-	}
-	if o.Channel.BandwidthHz <= 0 || o.Channel.NoiseW <= 0 {
-		return Schedule{}, errors.New("sched: Options.Channel is required")
-	}
-	if o.PacketBits <= 0 {
-		return Schedule{}, errors.New("sched: Options.PacketBits must be positive")
-	}
-	for i, c := range clients {
-		if !(c.SNR > 0) || math.IsInf(c.SNR, 1) || math.IsNaN(c.SNR) {
-			return Schedule{}, fmt.Errorf("sched: client %d (%q) has invalid SNR %v", i, c.ID, c.SNR)
-		}
+	return NewCtx(context.Background(), clients, o)
+}
+
+// NewCtx is New with cooperative cancellation: the O(n²) cost-matrix build
+// and the O(n³) blossom solve both abandon the instance promptly once ctx
+// is cancelled or its deadline passes, returning ctx's error. The live
+// scheduling daemon uses this to bound how long an optimal solve may hold
+// the serving loop before degrading to a cheaper algorithm.
+func NewCtx(ctx context.Context, clients []Client, o Options) (Schedule, error) {
+	if err := validateInputs(clients, o); err != nil {
+		return Schedule{}, err
 	}
 
 	n := len(clients)
@@ -235,6 +255,9 @@ func New(clients []Client, o Options) (Schedule, error) {
 	}
 	cache := make(map[[2]int]cacheEntry, n*n/2)
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return Schedule{}, err
+		}
 		for j := i + 1; j < n; j++ {
 			t, mode, scale := pairCost(clients[i], clients[j], o)
 			ns, err := costNanos(t)
@@ -256,7 +279,7 @@ func New(clients []Client, o Options) (Schedule, error) {
 		}
 	}
 
-	mate, _, err := matching.MinCostPerfect(cost)
+	mate, _, err := matching.MinCostPerfectCtx(ctx, cost)
 	if err != nil {
 		return Schedule{}, fmt.Errorf("sched: matching failed: %w", err)
 	}
@@ -283,17 +306,21 @@ func New(clients []Client, o Options) (Schedule, error) {
 
 // Greedy computes a schedule with best-pair-first greedy selection instead
 // of optimal matching. It exists as the ablation baseline quantifying what
-// Edmonds' algorithm buys (see DESIGN.md).
+// Edmonds' algorithm buys (see DESIGN.md), and as the middle rung of the
+// serving daemon's degradation ladder.
 func Greedy(clients []Client, o Options) (Schedule, error) {
-	if len(clients) == 0 {
-		return Schedule{}, ErrNoClients
+	return GreedyCtx(context.Background(), clients, o)
+}
+
+// GreedyCtx is Greedy with cooperative cancellation during the O(n²)
+// candidate build.
+func GreedyCtx(ctx context.Context, clients []Client, o Options) (Schedule, error) {
+	if err := validateInputs(clients, o); err != nil {
+		return Schedule{}, err
 	}
 	n := len(clients)
 	var baseline float64
-	for i, c := range clients {
-		if !(c.SNR > 0) || math.IsNaN(c.SNR) || math.IsInf(c.SNR, 1) {
-			return Schedule{}, fmt.Errorf("sched: client %d (%q) has invalid SNR %v", i, c.ID, c.SNR)
-		}
+	for _, c := range clients {
 		baseline += soloTime(c, o)
 	}
 
@@ -305,6 +332,9 @@ func Greedy(clients []Client, o Options) (Schedule, error) {
 	}
 	var cands []cand
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return Schedule{}, err
+		}
 		for j := i + 1; j < n; j++ {
 			t, mode, scale := pairCost(clients[i], clients[j], o)
 			cands = append(cands, cand{i, j, t, mode, scale})
@@ -331,4 +361,23 @@ func Greedy(clients []Client, o Options) (Schedule, error) {
 		}
 	}
 	return Schedule{Slots: slots, Total: total, SerialBaseline: baseline}, nil
+}
+
+// Serial computes the no-SIC schedule: every client transmits alone at its
+// best rate. It is the bottom rung of the serving daemon's degradation
+// ladder — O(n), allocation-light, and incapable of stalling — so a query
+// can always be answered even when both matching algorithms blow their
+// time budgets. Total equals SerialBaseline by construction (Gain is 1).
+func Serial(clients []Client, o Options) (Schedule, error) {
+	if err := validateInputs(clients, o); err != nil {
+		return Schedule{}, err
+	}
+	slots := make([]Slot, len(clients))
+	var total float64
+	for i, c := range clients {
+		t := soloTime(c, o)
+		slots[i] = Slot{A: i, B: -1, Mode: ModeSolo, WeakScale: 1, Time: t}
+		total += t
+	}
+	return Schedule{Slots: slots, Total: total, SerialBaseline: total}, nil
 }

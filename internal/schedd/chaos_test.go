@@ -1,0 +1,274 @@
+package schedd
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/emu"
+)
+
+// chaosModel is the fault mix used by the soak: enough loss and corruption
+// that every rejection path fires, plus occasional station stalls.
+var chaosModel = emu.FaultModel{Loss: 0.15, Corrupt: 0.10, Stall: 0.02, StallSlots: 3}
+
+// runChaosTraffic pushes `rounds` report rounds for stations 1..nStations
+// (10 stations per AP) through the wire-chaos model into the daemon's UDP
+// socket. Every chaos decision is keyed on (station, seq), so for a fixed
+// seed the byte stream that reaches the socket is identical across runs.
+// Every 7th surviving datagram is sent twice to exercise duplicate
+// suppression. Returns the number of datagrams actually transmitted.
+//
+// Sends are paced against the ingest_datagrams counter so the kernel socket
+// buffer can never overflow — loopback delivery is then lossless and the
+// decode-level counters are a pure function of the seed.
+func runChaosTraffic(t *testing.T, s *Server, chaos *emu.WireChaos, rounds, nStations int) int {
+	t.Helper()
+	conn, err := net.Dial("udp", s.UDPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	sent := 0
+	skip := make(map[uint32]int)
+	for round := 0; round < rounds; round++ {
+		seq := uint32(round + 1)
+		for st := uint32(1); st <= uint32(nStations); st++ {
+			if skip[st] > 0 { // station frozen mid-stall
+				skip[st]--
+				continue
+			}
+			if n := chaos.Stall(st, seq); n > 0 {
+				skip[st] = n - 1 // this datagram is the first suppressed one
+				continue
+			}
+			if chaos.Drop(st, seq) {
+				continue
+			}
+			r := Report{AP: 1 + (st-1)/10, Station: st, Seq: seq, SNRMilliDB: int32(5_000 + 700*int(st))}
+			buf, err := r.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf = chaos.Corrupt(buf, st, seq)
+			if _, err := conn.Write(buf); err != nil {
+				t.Fatal(err)
+			}
+			sent++
+			if (int(st)+round)%7 == 0 { // wire-level duplicate
+				if _, err := conn.Write(buf); err != nil {
+					t.Fatal(err)
+				}
+				sent++
+			}
+		}
+		waitCounter(t, s, "ingest_datagrams", int64(sent))
+	}
+	return sent
+}
+
+// deterministicCounters is the subset of daemon counters that is a pure
+// function of (seed, traffic schedule): everything decided per datagram.
+// Queue shedding and query counters depend on goroutine timing and are
+// excluded on purpose.
+func deterministicCounters(s *Server) map[string]int64 {
+	keep := append(dropReasons(),
+		"ingest_datagrams", "reports_ok", "drop_duplicate", "drop_aps_full")
+	snap := s.Counters().Snapshot()
+	out := make(map[string]int64, len(keep))
+	for _, k := range keep {
+		out[k] = snap[k]
+	}
+	return out
+}
+
+// chaosRun boots a daemon, plays the seeded traffic, shuts down cleanly and
+// returns the deterministic counter snapshot.
+func chaosRun(t *testing.T, seed int64, rounds, nStations int) map[string]int64 {
+	t.Helper()
+	chaos, err := emu.NewWireChaos(chaosModel, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Start(Config{TTL: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runChaosTraffic(t, s, chaos, rounds, nStations)
+	shutdown(t, s) // drains the queue, so the snapshot below is complete
+	return deterministicCounters(s)
+}
+
+// TestChaosDeterministicCounters: two runs with the same seed produce
+// identical drop counters; a different seed produces a different fault
+// pattern. This is the regression gate for the reproducibility promise.
+func TestChaosDeterministicCounters(t *testing.T) {
+	a := chaosRun(t, 42, 40, 40)
+	b := chaosRun(t, 42, 40, 40)
+	for k, av := range a {
+		if bv := b[k]; av != bv {
+			t.Errorf("counter %s: run A %d, run B %d (same seed must agree)", k, av, bv)
+		}
+	}
+	if a["reports_ok"] == 0 {
+		t.Fatal("chaos run delivered no valid reports")
+	}
+	if a["drop_crc"] == 0 {
+		t.Fatal("corruption never hit the CRC check")
+	}
+	if a["drop_duplicate"] == 0 {
+		t.Fatal("duplicates never exercised")
+	}
+
+	c := chaosRun(t, 43, 40, 40)
+	diverged := false
+	for k, av := range a {
+		if c[k] != av {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical counters; chaos is not seeded")
+	}
+}
+
+// queryLoop hammers SCHED/HEALTH queries until done closes. Errors are
+// tolerated (the daemon may be shutting down); service is asserted through
+// the daemon's own counters.
+func queryLoop(addr string, done <-chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		rd := bufio.NewReader(conn)
+		for ap := 1; ap <= 4; ap++ {
+			select {
+			case <-done:
+				conn.Close()
+				return
+			default:
+			}
+			if _, err := fmt.Fprintf(conn, "SCHED %d\n", ap); err != nil {
+				break
+			}
+			if _, err := rd.ReadBytes('\n'); err != nil {
+				break
+			}
+		}
+		fmt.Fprintf(conn, "HEALTH\n")
+		rd.ReadBytes('\n')
+		conn.Close()
+	}
+}
+
+// TestChaosSoak runs the full daemon under the seeded fault model with
+// concurrent schedule queries for a fixed wall-clock duration (default 2s;
+// CI sets SCHEDD_SOAK=30s). The daemon must keep serving, crash never,
+// shut down cleanly and leak no goroutines.
+func TestChaosSoak(t *testing.T) {
+	dur := 2 * time.Second
+	if v := os.Getenv("SCHEDD_SOAK"); v != "" {
+		parsed, err := time.ParseDuration(v)
+		if err != nil {
+			t.Fatalf("bad SCHEDD_SOAK %q: %v", v, err)
+		}
+		dur = parsed
+	}
+
+	baseline := runtime.NumGoroutine()
+	chaos, err := emu.NewWireChaos(chaosModel, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Start(Config{TTL: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			queryLoop(s.TCPAddr().String(), done)
+		}()
+	}
+
+	const nStations = 40
+	deadline := time.Now().Add(dur)
+	sent, round := 0, 0
+	skip := make(map[uint32]int)
+	conn, err := net.Dial("udp", s.UDPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for time.Now().Before(deadline) {
+		round++
+		seq := uint32(round)
+		for st := uint32(1); st <= nStations; st++ {
+			if skip[st] > 0 {
+				skip[st]--
+				continue
+			}
+			if n := chaos.Stall(st, seq); n > 0 {
+				skip[st] = n - 1
+				continue
+			}
+			if chaos.Drop(st, seq) {
+				continue
+			}
+			r := Report{AP: 1 + (st-1)/10, Station: st, Seq: seq, SNRMilliDB: int32(5_000 + 700*int(st))}
+			buf, mErr := r.Marshal()
+			if mErr != nil {
+				t.Fatal(mErr)
+			}
+			if _, err := conn.Write(chaos.Corrupt(buf, st, seq)); err != nil {
+				t.Fatal(err)
+			}
+			sent++
+		}
+		waitCounter(t, s, "ingest_datagrams", int64(sent))
+		time.Sleep(2 * time.Millisecond) // let queries interleave with ingest
+	}
+	close(done)
+	wg.Wait()
+
+	snap := s.Counters().Snapshot()
+	served := snap["served_blossom"] + snap["served_greedy"] + snap["served_serial"]
+	if served == 0 {
+		t.Fatalf("soak served no schedules; counters: %s", s.Counters())
+	}
+	if snap["reports_ok"] == 0 {
+		t.Fatalf("soak ingested no valid reports; counters: %s", s.Counters())
+	}
+	inj := chaos.Injected()
+	if inj.FramesLost == 0 || inj.CRCRejects == 0 {
+		t.Fatalf("fault model idle during soak: %+v", inj)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("soak shutdown: %v", err)
+	}
+	waitGoroutinesBack(t, baseline)
+	t.Logf("soak: %d rounds, %d datagrams, %d served, injected %+v; %s",
+		round, sent, served, inj, s.Counters())
+}

@@ -1,0 +1,99 @@
+package schedd
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// Level identifies the rung of the degradation ladder that produced a
+// schedule. Lower is better; every response records its level so operators
+// can see quality degrade before latency does.
+type Level int
+
+const (
+	// LevelBlossom: optimal minimum-weight perfect matching (sched.NewCtx).
+	LevelBlossom Level = iota
+	// LevelGreedy: best-pair-first greedy pairing (sched.GreedyCtx).
+	LevelGreedy
+	// LevelSerial: everyone transmits alone; O(n), cannot stall.
+	LevelSerial
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelBlossom:
+		return "blossom"
+	case LevelGreedy:
+		return "greedy"
+	case LevelSerial:
+		return "serial"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// Budgets carries the per-rung time budgets. The serial rung has none: it
+// is the floor that makes the ladder total.
+type Budgets struct {
+	Blossom time.Duration
+	Greedy  time.Duration
+}
+
+// ladderResult is a schedule plus its provenance.
+type ladderResult struct {
+	schedule sched.Schedule
+	level    Level
+}
+
+// runLadder answers one scheduling query within ctx by walking the
+// degradation ladder: each rung runs under min(its own budget, ctx's
+// remaining deadline); on timeout, cancellation or any solver error the
+// next rung is tried. The serial rung runs under ctx alone — if even that
+// is cancelled the query deadline as a whole has passed and the error is
+// returned. slow is an optional test hook invoked before each rung.
+func runLadder(ctx context.Context, clients []sched.Client, opts sched.Options, b Budgets, slow func(Level)) (ladderResult, error) {
+	type rung struct {
+		level  Level
+		budget time.Duration
+		run    func(context.Context) (sched.Schedule, error)
+	}
+	rungs := []rung{
+		{LevelBlossom, b.Blossom, func(c context.Context) (sched.Schedule, error) {
+			return sched.NewCtx(c, clients, opts)
+		}},
+		{LevelGreedy, b.Greedy, func(c context.Context) (sched.Schedule, error) {
+			return sched.GreedyCtx(c, clients, opts)
+		}},
+	}
+	for _, r := range rungs {
+		if ctx.Err() != nil {
+			break // overall deadline already gone; fall through to serial
+		}
+		rctx := ctx
+		var cancel context.CancelFunc
+		if r.budget > 0 {
+			rctx, cancel = context.WithTimeout(ctx, r.budget)
+		}
+		if slow != nil {
+			slow(r.level)
+		}
+		s, err := r.run(rctx)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return ladderResult{schedule: s, level: r.level}, nil
+		}
+	}
+	if slow != nil {
+		slow(LevelSerial)
+	}
+	s, err := sched.Serial(clients, opts)
+	if err != nil {
+		return ladderResult{}, err
+	}
+	return ladderResult{schedule: s, level: LevelSerial}, nil
+}

@@ -1,0 +1,124 @@
+package schedd
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/phy"
+	"repro/internal/sched"
+)
+
+func ladderClients(n int) []sched.Client {
+	rng := rand.New(rand.NewSource(99))
+	cs := make([]sched.Client, n)
+	for i := range cs {
+		cs[i] = sched.Client{ID: "c", SNR: phy.FromDB(5 + 30*rng.Float64())}
+	}
+	return cs
+}
+
+var ladderOpts = sched.Options{Channel: phy.Wifi20MHz, PacketBits: 12000}
+
+// TestLadderPrefersBlossom: with generous budgets the top rung answers.
+func TestLadderPrefersBlossom(t *testing.T) {
+	res, err := runLadder(context.Background(), ladderClients(12), ladderOpts,
+		Budgets{Blossom: 5 * time.Second, Greedy: 5 * time.Second}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.level != LevelBlossom {
+		t.Fatalf("level = %v, want blossom", res.level)
+	}
+	if len(res.schedule.Slots) == 0 {
+		t.Fatal("empty schedule")
+	}
+}
+
+// TestLadderDegradesUnderBudgets: a simulated slow solver (60 ms per rung)
+// under a 50 ms blossom budget and 10 ms greedy budget must degrade all the
+// way to serial — and still answer. This is the acceptance scenario: a
+// 40-client snapshot with an injected per-rung stall can never hold a query
+// past its deadline.
+func TestLadderDegradesUnderBudgets(t *testing.T) {
+	clients := ladderClients(40)
+	delays := map[Level]time.Duration{
+		LevelBlossom: 60 * time.Millisecond,
+		LevelGreedy:  60 * time.Millisecond,
+	}
+	var visited []Level
+	slow := func(l Level) {
+		visited = append(visited, l)
+		time.Sleep(delays[l])
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	start := time.Now()
+	res, err := runLadder(ctx, clients, ladderOpts,
+		Budgets{Blossom: 50 * time.Millisecond, Greedy: 10 * time.Millisecond}, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.level != LevelSerial {
+		t.Fatalf("level = %v, want serial", res.level)
+	}
+	if len(res.schedule.Slots) != len(clients) {
+		t.Fatalf("serial schedule has %d slots, want %d", len(res.schedule.Slots), len(clients))
+	}
+	if len(visited) != 3 || visited[0] != LevelBlossom || visited[1] != LevelGreedy || visited[2] != LevelSerial {
+		t.Fatalf("ladder order %v, want blossom, greedy, serial", visited)
+	}
+	if e := time.Since(start); e > 500*time.Millisecond {
+		t.Fatalf("degraded query took %v; budgets not enforced", e)
+	}
+}
+
+// TestLadderSkipsToSerialOnDeadQuery: when the overall query deadline is
+// already gone, the matching rungs are skipped entirely and serial still
+// answers (the daemon never returns nothing when it has clients).
+func TestLadderSkipsToSerialOnDeadQuery(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var visited []Level
+	res, err := runLadder(ctx, ladderClients(6), ladderOpts,
+		Budgets{Blossom: time.Second, Greedy: time.Second},
+		func(l Level) { visited = append(visited, l) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.level != LevelSerial {
+		t.Fatalf("level = %v, want serial", res.level)
+	}
+	if len(visited) != 1 || visited[0] != LevelSerial {
+		t.Fatalf("visited %v, want only serial", visited)
+	}
+}
+
+// TestLadderGreedyRung: blossom exhausted, greedy fits — the middle rung
+// answers and is recorded.
+func TestLadderGreedyRung(t *testing.T) {
+	slow := func(l Level) {
+		if l == LevelBlossom {
+			time.Sleep(30 * time.Millisecond)
+		}
+	}
+	res, err := runLadder(context.Background(), ladderClients(10), ladderOpts,
+		Budgets{Blossom: 5 * time.Millisecond, Greedy: 5 * time.Second}, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.level != LevelGreedy {
+		t.Fatalf("level = %v, want greedy", res.level)
+	}
+}
+
+// TestLevelString: every rung has a stable, non-placeholder name (they are
+// serialized into responses).
+func TestLevelString(t *testing.T) {
+	for l, want := range map[Level]string{LevelBlossom: "blossom", LevelGreedy: "greedy", LevelSerial: "serial"} {
+		if l.String() != want {
+			t.Fatalf("Level(%d).String() = %q, want %q", int(l), l.String(), want)
+		}
+	}
+}

@@ -1,0 +1,521 @@
+package schedd
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/phy"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Config parameterises the daemon. The zero value of every field gets a
+// sensible default from fillDefaults; addresses default to loopback with
+// kernel-assigned ports so tests can run many daemons concurrently.
+type Config struct {
+	// UDPAddr receives report datagrams.
+	UDPAddr string
+	// TCPAddr serves schedule and health queries.
+	TCPAddr string
+	// Sched configures cost computation; Channel and PacketBits are
+	// defaulted to Wifi20MHz / 12000 bits when zero.
+	Sched sched.Options
+	// TTL is the client staleness bound: reports older than this are
+	// evicted and never scheduled. Default 30s.
+	TTL time.Duration
+	// MaxClients bounds the per-AP client table. Default 64.
+	MaxClients int
+	// MaxAPs bounds how many APs the table tracks. Default 1024.
+	MaxAPs int
+	// QueueDepth bounds the ingest queue between the UDP reader and the
+	// decode worker; overflow sheds oldest-first. Default 1024.
+	QueueDepth int
+	// Budgets are the per-rung time budgets of the degradation ladder.
+	// Defaults: 50ms blossom, 10ms greedy.
+	Budgets Budgets
+	// QueryDeadline is the overall per-query budget; the ladder runs inside
+	// it. Default 250ms.
+	QueryDeadline time.Duration
+	// MaxInflight bounds concurrently-served schedule queries; excess
+	// queries are answered with an overload error and a retry-after hint
+	// instead of queueing. Default 32.
+	MaxInflight int
+	// RetryAfter is the hint returned with overload responses. Default
+	// 100ms.
+	RetryAfter time.Duration
+	// IdleTimeout closes query connections with no traffic. Default 60s.
+	IdleTimeout time.Duration
+
+	// now is a test hook for the table's staleness clock.
+	now func() time.Time
+	// slowLevel is a test hook invoked before each ladder rung runs; tests
+	// use it to simulate pathological solver latency.
+	slowLevel func(Level)
+	// holdIngest, when non-nil, blocks the decode worker until closed —
+	// a test hook to fill the ingest queue deterministically.
+	holdIngest chan struct{}
+}
+
+func (c Config) fillDefaults() Config {
+	if c.UDPAddr == "" {
+		c.UDPAddr = "127.0.0.1:0"
+	}
+	if c.TCPAddr == "" {
+		c.TCPAddr = "127.0.0.1:0"
+	}
+	if c.Sched.Channel.BandwidthHz <= 0 {
+		c.Sched.Channel = phy.Wifi20MHz
+	}
+	if c.Sched.PacketBits <= 0 {
+		c.Sched.PacketBits = 12000
+	}
+	if c.TTL <= 0 {
+		c.TTL = 30 * time.Second
+	}
+	if c.MaxClients <= 0 {
+		c.MaxClients = 64
+	}
+	if c.MaxAPs <= 0 {
+		c.MaxAPs = 1024
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.Budgets.Blossom <= 0 {
+		c.Budgets.Blossom = 50 * time.Millisecond
+	}
+	if c.Budgets.Greedy <= 0 {
+		c.Budgets.Greedy = 10 * time.Millisecond
+	}
+	if c.QueryDeadline <= 0 {
+		c.QueryDeadline = 250 * time.Millisecond
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 32
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 100 * time.Millisecond
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 60 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Server is the live scheduling daemon. Create with Start; stop with
+// Shutdown. Counters stay readable after shutdown so the final flush can be
+// reported.
+type Server struct {
+	cfg      Config
+	counters *stats.CounterSet
+	table    *clientTable
+	started  time.Time
+
+	udp *net.UDPConn
+	tcp net.Listener
+
+	queue    chan []byte
+	inflight atomic.Int64
+	closing  atomic.Bool
+	done     chan struct{}
+
+	wg     sync.WaitGroup // reader, worker, acceptor
+	connWG sync.WaitGroup // per-connection handlers
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// counterNames is every counter the daemon maintains.
+func counterNames() []string {
+	names := dropReasons()
+	names = append(names,
+		"ingest_datagrams", // datagrams read off the socket
+		"ingest_shed",      // datagrams shed by the bounded queue (oldest first)
+		"reports_ok",       // reports folded into the table
+		"drop_duplicate",   // reports rejected by sequence-number dedup
+		"drop_aps_full",    // reports for a new AP past the AP budget
+		"table_evictions",  // fresh clients displacing stale ones at a full AP
+		"queries",          // SCHED commands received
+		"served_blossom",   // queries answered at ladder level 0
+		"served_greedy",    // level 1
+		"served_serial",    // level 2
+		"served_empty",     // queries for APs with no fresh clients
+		"query_overload",   // queries shed with a retry-after hint
+		"query_bad",        // malformed query lines
+		"query_failed",     // ladder returned an error (validation failure)
+		"health_queries",   // HEALTH commands
+	)
+	return names
+}
+
+// Start binds the sockets and launches the serving goroutines.
+func Start(cfg Config) (*Server, error) {
+	cfg = cfg.fillDefaults()
+	uaddr, err := net.ResolveUDPAddr("udp", cfg.UDPAddr)
+	if err != nil {
+		return nil, fmt.Errorf("schedd: resolving UDP addr: %w", err)
+	}
+	udp, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return nil, fmt.Errorf("schedd: binding UDP: %w", err)
+	}
+	tcp, err := net.Listen("tcp", cfg.TCPAddr)
+	if err != nil {
+		udp.Close()
+		return nil, fmt.Errorf("schedd: binding TCP: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		counters: stats.NewCounterSet(counterNames()...),
+		table:    newClientTable(cfg.TTL, cfg.MaxClients, cfg.MaxAPs),
+		started:  time.Now(),
+		udp:      udp,
+		tcp:      tcp,
+		queue:    make(chan []byte, cfg.QueueDepth),
+		done:     make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(3)
+	go s.readLoop()
+	go s.decodeLoop()
+	go s.acceptLoop()
+	return s, nil
+}
+
+// UDPAddr returns the bound report-ingest address.
+func (s *Server) UDPAddr() net.Addr { return s.udp.LocalAddr() }
+
+// TCPAddr returns the bound query address.
+func (s *Server) TCPAddr() net.Addr { return s.tcp.Addr() }
+
+// Counters exposes the serving counters (live; also valid after Shutdown).
+func (s *Server) Counters() *stats.CounterSet { return s.counters }
+
+// readLoop pulls datagrams off the socket into the bounded ingest queue,
+// shedding oldest-first under pressure so a burst can never grow memory
+// without bound — fresher reports are worth strictly more than stale ones.
+func (s *Server) readLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, 512)
+	for {
+		n, _, err := s.udp.ReadFromUDP(buf)
+		if err != nil {
+			if s.closing.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.counters.Inc("ingest_datagrams")
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		select {
+		case s.queue <- pkt:
+		default:
+			// Queue full: drop the oldest queued datagram to admit the new
+			// one. Two non-blocking steps; if the worker races us and makes
+			// room, so much the better.
+			select {
+			case <-s.queue:
+				s.counters.Inc("ingest_shed")
+			default:
+			}
+			select {
+			case s.queue <- pkt:
+			default:
+				s.counters.Inc("ingest_shed")
+			}
+		}
+	}
+}
+
+// decodeLoop drains the ingest queue: decode, count the reject reason or
+// fold the report into the client table.
+func (s *Server) decodeLoop() {
+	defer s.wg.Done()
+	if s.cfg.holdIngest != nil {
+		<-s.cfg.holdIngest
+	}
+	for {
+		select {
+		case pkt := <-s.queue:
+			s.ingest(pkt)
+		case <-s.done:
+			// Drain whatever is already queued, then exit: shutdown flushes
+			// the pipeline rather than discarding it.
+			for {
+				select {
+				case pkt := <-s.queue:
+					s.ingest(pkt)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) ingest(pkt []byte) {
+	r, err := DecodeReport(pkt)
+	if err != nil {
+		s.counters.Inc(DropReason(err))
+		return
+	}
+	switch s.table.upsert(r, s.cfg.now()) {
+	case upsertOK:
+		s.counters.Inc("reports_ok")
+	case upsertDuplicate:
+		s.counters.Inc("drop_duplicate")
+	case upsertEvicted:
+		s.counters.Inc("reports_ok")
+		s.counters.Inc("table_evictions")
+	case upsertAPsFull:
+		s.counters.Inc("drop_aps_full")
+	}
+}
+
+// acceptLoop accepts query connections.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.tcp.Accept()
+		if err != nil {
+			if s.closing.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.mu.Lock()
+		if s.closing.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// armRead sets the idle read deadline for the next command, unless shutdown
+// has begun. Serialised with Shutdown's deadline nudge under mu so a handler
+// returning from an in-flight query can never overwrite the nudge and block
+// the drain on an idle read.
+func (s *Server) armRead(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing.Load() {
+		return false
+	}
+	conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	return true
+}
+
+// handleConn serves newline-delimited commands on one connection:
+//
+//	SCHED <apID>  -> one-line JSON schedule (or error) for the AP
+//	HEALTH        -> one-line JSON counters + table occupancy
+//	QUIT          -> close the connection
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.connWG.Done()
+	defer s.dropConn(conn)
+	enc := json.NewEncoder(conn)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 4096), 4096)
+	for {
+		if !s.armRead(conn) {
+			enc.Encode(errorResponse{Error: "shutting down"})
+			return
+		}
+		if !sc.Scan() {
+			return
+		}
+		if s.closing.Load() {
+			enc.Encode(errorResponse{Error: "shutting down"})
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch strings.ToUpper(fields[0]) {
+		case "QUIT":
+			return
+		case "HEALTH":
+			s.counters.Inc("health_queries")
+			aps, clients := s.table.occupancy()
+			enc.Encode(healthResponse{
+				UptimeMS: time.Since(s.started).Milliseconds(),
+				APs:      aps,
+				Clients:  clients,
+				Counters: s.counters.Snapshot(),
+			})
+		case "SCHED":
+			if len(fields) != 2 {
+				s.counters.Inc("query_bad")
+				enc.Encode(errorResponse{Error: "usage: SCHED <apID>"})
+				continue
+			}
+			ap, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				s.counters.Inc("query_bad")
+				enc.Encode(errorResponse{Error: "bad AP id: " + fields[1]})
+				continue
+			}
+			enc.Encode(s.serveSched(uint32(ap)))
+		default:
+			s.counters.Inc("query_bad")
+			enc.Encode(errorResponse{Error: "unknown command " + fields[0]})
+		}
+	}
+}
+
+// errorResponse is the error shape of every query reply; RetryAfterMS is
+// set only on overload shedding.
+type errorResponse struct {
+	Error        string `json:"error"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// slotResponse is one schedule slot in a query reply.
+type slotResponse struct {
+	Mode  string  `json:"mode"`
+	A     uint32  `json:"a"`
+	B     uint32  `json:"b,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+	MS    float64 `json:"ms"`
+}
+
+// schedResponse is a successful schedule reply. Level records the
+// degradation-ladder rung that answered.
+type schedResponse struct {
+	AP      uint32         `json:"ap"`
+	Level   string         `json:"level"`
+	Clients int            `json:"clients"`
+	TotalMS float64        `json:"total_ms"`
+	Gain    float64        `json:"gain"`
+	Slots   []slotResponse `json:"slots"`
+	ElapsMS float64        `json:"elapsed_ms"`
+}
+
+// healthResponse answers HEALTH.
+type healthResponse struct {
+	UptimeMS int64            `json:"uptime_ms"`
+	APs      int              `json:"aps"`
+	Clients  int              `json:"clients"`
+	Counters map[string]int64 `json:"counters"`
+}
+
+// serveSched answers one SCHED query under the daemon's admission control
+// and query deadline.
+func (s *Server) serveSched(ap uint32) any {
+	s.counters.Inc("queries")
+	if s.inflight.Add(1) > int64(s.cfg.MaxInflight) {
+		s.inflight.Add(-1)
+		s.counters.Inc("query_overload")
+		return errorResponse{
+			Error:        "overloaded",
+			RetryAfterMS: s.cfg.RetryAfter.Milliseconds(),
+		}
+	}
+	defer s.inflight.Add(-1)
+
+	start := time.Now()
+	clients, ids := s.table.snapshot(ap, s.cfg.now())
+	if len(clients) == 0 {
+		s.counters.Inc("served_empty")
+		return errorResponse{Error: fmt.Sprintf("no fresh reports for ap %d", ap)}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.QueryDeadline)
+	defer cancel()
+	res, err := runLadder(ctx, clients, s.cfg.Sched, s.cfg.Budgets, s.cfg.slowLevel)
+	if err != nil {
+		s.counters.Inc("query_failed")
+		return errorResponse{Error: err.Error()}
+	}
+	s.counters.Inc("served_" + res.level.String())
+
+	resp := schedResponse{
+		AP:      ap,
+		Level:   res.level.String(),
+		Clients: len(clients),
+		TotalMS: res.schedule.Total * 1e3,
+		Gain:    res.schedule.Gain(),
+		ElapsMS: float64(time.Since(start).Microseconds()) / 1e3,
+	}
+	for _, sl := range res.schedule.Slots {
+		out := slotResponse{
+			Mode: sl.Mode.String(),
+			A:    ids[sl.A],
+			MS:   sl.Time * 1e3,
+		}
+		if sl.B >= 0 {
+			out.B = ids[sl.B]
+			out.Scale = sl.WeakScale
+		}
+		resp.Slots = append(resp.Slots, out)
+	}
+	return resp
+}
+
+// Shutdown stops the daemon gracefully: ingest sockets close, the queued
+// datagrams already accepted are flushed into the table, in-flight queries
+// run to completion, and idle connections are released. If ctx expires
+// before the drain completes, remaining connections are force-closed. The
+// counters survive shutdown for a final flush.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.closing.Swap(true) {
+		return errors.New("schedd: already shut down")
+	}
+	s.udp.Close()
+	s.tcp.Close()
+	close(s.done)
+	s.wg.Wait()
+
+	// Nudge idle connection handlers out of their blocking reads; handlers
+	// mid-query are not reading and will finish their response first.
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-drained
+		return fmt.Errorf("schedd: drain cut short: %w", ctx.Err())
+	}
+}

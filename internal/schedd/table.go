@@ -1,0 +1,163 @@
+package schedd
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/phy"
+	"repro/internal/sched"
+)
+
+// upsertOutcome says what the table did with a decoded report; each maps to
+// one counter.
+type upsertOutcome int
+
+const (
+	upsertOK upsertOutcome = iota
+	upsertDuplicate
+	upsertEvicted // admitted, but displaced the stalest entry of a full AP
+	upsertAPsFull // rejected: AP budget exhausted and report is for a new AP
+)
+
+// clientEntry is the table's record of one station at one AP.
+type clientEntry struct {
+	snrMilliDB int32
+	seq        uint32
+	seen       time.Time
+}
+
+// clientTable is the daemon's bounded, staleness-evicting view of the
+// world: per AP, the most recent report per station. All methods are safe
+// for concurrent use.
+//
+// Bounds are hard: at most maxAPs AP entries, at most maxClients stations
+// per AP. When a new station arrives at a full AP the stalest entry is
+// displaced (the live network is the source of truth; holding a dead
+// client out of preference for it would be the wrong kind of fairness).
+// A new AP past the AP budget is rejected outright — AP identities come
+// from the untrusted wire, and letting them grow without bound is a memory
+// DoS.
+type clientTable struct {
+	ttl        time.Duration
+	maxClients int
+	maxAPs     int
+
+	mu  sync.Mutex
+	aps map[uint32]map[uint32]*clientEntry
+}
+
+func newClientTable(ttl time.Duration, maxClients, maxAPs int) *clientTable {
+	return &clientTable{
+		ttl:        ttl,
+		maxClients: maxClients,
+		maxAPs:     maxAPs,
+		aps:        make(map[uint32]map[uint32]*clientEntry),
+	}
+}
+
+// upsert folds one decoded report into the table.
+func (t *clientTable) upsert(r Report, now time.Time) upsertOutcome {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ap := t.aps[r.AP]
+	if ap == nil {
+		t.evictStaleAPsLocked(now)
+		if len(t.aps) >= t.maxAPs {
+			return upsertAPsFull
+		}
+		ap = make(map[uint32]*clientEntry)
+		t.aps[r.AP] = ap
+	}
+	if e := ap[r.Station]; e != nil {
+		// Duplicate suppression: sequence numbers must advance. A replayed
+		// or re-ordered datagram is dropped; an advanced one refreshes.
+		if r.Seq <= e.seq {
+			return upsertDuplicate
+		}
+		e.seq, e.snrMilliDB, e.seen = r.Seq, r.SNRMilliDB, now
+		return upsertOK
+	}
+	outcome := upsertOK
+	if len(ap) >= t.maxClients {
+		t.dropStaleLocked(ap, now)
+	}
+	if len(ap) >= t.maxClients {
+		// Still full after TTL eviction: displace the stalest entry.
+		var victim uint32
+		var oldest time.Time
+		first := true
+		for id, e := range ap {
+			if first || e.seen.Before(oldest) {
+				victim, oldest, first = id, e.seen, false
+			}
+		}
+		delete(ap, victim)
+		outcome = upsertEvicted
+	}
+	ap[r.Station] = &clientEntry{snrMilliDB: r.SNRMilliDB, seq: r.Seq, seen: now}
+	return outcome
+}
+
+// dropStaleLocked removes entries older than the TTL from one AP's map.
+func (t *clientTable) dropStaleLocked(ap map[uint32]*clientEntry, now time.Time) {
+	for id, e := range ap {
+		if now.Sub(e.seen) > t.ttl {
+			delete(ap, id)
+		}
+	}
+}
+
+// evictStaleAPsLocked removes APs whose every client has gone stale, making
+// room in the AP budget before rejecting a new AP.
+func (t *clientTable) evictStaleAPsLocked(now time.Time) {
+	for apID, ap := range t.aps {
+		t.dropStaleLocked(ap, now)
+		if len(ap) == 0 {
+			delete(t.aps, apID)
+		}
+	}
+}
+
+// snapshot returns the AP's fresh clients as scheduler inputs plus the
+// index-aligned station ids, evicting stale entries on the way. Station
+// order is deterministic (ascending id) so identical tables produce
+// identical schedules.
+func (t *clientTable) snapshot(apID uint32, now time.Time) ([]sched.Client, []uint32) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ap := t.aps[apID]
+	if ap == nil {
+		return nil, nil
+	}
+	t.dropStaleLocked(ap, now)
+	if len(ap) == 0 {
+		delete(t.aps, apID)
+		return nil, nil
+	}
+	ids := make([]uint32, 0, len(ap))
+	for id := range ap {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]sched.Client, len(ids))
+	for i, id := range ids {
+		out[i] = sched.Client{
+			ID:  fmt.Sprintf("sta%d", id),
+			SNR: phy.FromDB(float64(ap[id].snrMilliDB) / 1000),
+		}
+	}
+	return out, ids
+}
+
+// occupancy reports the table's current (apCount, clientCount) for health
+// queries; stale entries are counted as-is, eviction happens lazily.
+func (t *clientTable) occupancy() (aps, clients int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, ap := range t.aps {
+		clients += len(ap)
+	}
+	return len(t.aps), clients
+}

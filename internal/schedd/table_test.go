@@ -1,0 +1,96 @@
+package schedd
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+
+func TestTableUpsertAndSnapshot(t *testing.T) {
+	tb := newClientTable(30*time.Second, 8, 4)
+	if got := tb.upsert(Report{AP: 1, Station: 10, Seq: 1, SNRMilliDB: 30_000}, t0); got != upsertOK {
+		t.Fatalf("first upsert: %v", got)
+	}
+	if got := tb.upsert(Report{AP: 1, Station: 11, Seq: 1, SNRMilliDB: 15_000}, t0); got != upsertOK {
+		t.Fatalf("second upsert: %v", got)
+	}
+	clients, ids := tb.snapshot(1, t0)
+	if len(clients) != 2 || len(ids) != 2 {
+		t.Fatalf("snapshot: %d clients, %d ids", len(clients), len(ids))
+	}
+	if ids[0] != 10 || ids[1] != 11 {
+		t.Fatalf("ids not sorted: %v", ids)
+	}
+	if clients[0].SNR <= clients[1].SNR {
+		t.Fatalf("SNR ordering wrong: %v vs %v", clients[0].SNR, clients[1].SNR)
+	}
+}
+
+func TestTableDuplicateSuppression(t *testing.T) {
+	tb := newClientTable(30*time.Second, 8, 4)
+	tb.upsert(Report{AP: 1, Station: 10, Seq: 5, SNRMilliDB: 30_000}, t0)
+	if got := tb.upsert(Report{AP: 1, Station: 10, Seq: 5, SNRMilliDB: 30_000}, t0); got != upsertDuplicate {
+		t.Fatalf("replay: %v, want duplicate", got)
+	}
+	if got := tb.upsert(Report{AP: 1, Station: 10, Seq: 4, SNRMilliDB: 30_000}, t0); got != upsertDuplicate {
+		t.Fatalf("stale seq: %v, want duplicate", got)
+	}
+	if got := tb.upsert(Report{AP: 1, Station: 10, Seq: 6, SNRMilliDB: 31_000}, t0); got != upsertOK {
+		t.Fatalf("advancing seq: %v, want ok", got)
+	}
+	clients, _ := tb.snapshot(1, t0)
+	if len(clients) != 1 {
+		t.Fatalf("table grew on duplicates: %d clients", len(clients))
+	}
+}
+
+func TestTableStalenessEviction(t *testing.T) {
+	tb := newClientTable(10*time.Second, 8, 4)
+	tb.upsert(Report{AP: 1, Station: 10, Seq: 1, SNRMilliDB: 30_000}, t0)
+	tb.upsert(Report{AP: 1, Station: 11, Seq: 1, SNRMilliDB: 20_000}, t0.Add(8*time.Second))
+	clients, ids := tb.snapshot(1, t0.Add(15*time.Second))
+	if len(clients) != 1 || ids[0] != 11 {
+		t.Fatalf("staleness eviction failed: ids=%v", ids)
+	}
+	// Everything stale: the AP itself disappears.
+	if clients, _ := tb.snapshot(1, t0.Add(time.Hour)); clients != nil {
+		t.Fatalf("fully stale AP still schedulable: %v", clients)
+	}
+	if aps, _ := tb.occupancy(); aps != 0 {
+		t.Fatalf("stale AP still occupies the table: %d", aps)
+	}
+}
+
+func TestTableBoundedClients(t *testing.T) {
+	tb := newClientTable(time.Hour, 3, 4)
+	for i := uint32(0); i < 3; i++ {
+		tb.upsert(Report{AP: 1, Station: 10 + i, Seq: 1, SNRMilliDB: 30_000}, t0.Add(time.Duration(i)*time.Second))
+	}
+	// A fourth, fresher station displaces the stalest (station 10).
+	if got := tb.upsert(Report{AP: 1, Station: 99, Seq: 1, SNRMilliDB: 25_000}, t0.Add(time.Minute)); got != upsertEvicted {
+		t.Fatalf("full-AP upsert: %v, want evicted", got)
+	}
+	_, ids := tb.snapshot(1, t0.Add(time.Minute))
+	if len(ids) != 3 {
+		t.Fatalf("bound not enforced: %d clients", len(ids))
+	}
+	for _, id := range ids {
+		if id == 10 {
+			t.Fatal("stalest entry survived the displacement")
+		}
+	}
+}
+
+func TestTableBoundedAPs(t *testing.T) {
+	tb := newClientTable(time.Hour, 8, 2)
+	tb.upsert(Report{AP: 1, Station: 10, Seq: 1, SNRMilliDB: 30_000}, t0)
+	tb.upsert(Report{AP: 2, Station: 10, Seq: 1, SNRMilliDB: 30_000}, t0)
+	if got := tb.upsert(Report{AP: 3, Station: 10, Seq: 1, SNRMilliDB: 30_000}, t0); got != upsertAPsFull {
+		t.Fatalf("AP budget: %v, want apsFull", got)
+	}
+	// Once existing APs go stale they make room for new ones.
+	if got := tb.upsert(Report{AP: 3, Station: 10, Seq: 1, SNRMilliDB: 30_000}, t0.Add(2*time.Hour)); got != upsertOK {
+		t.Fatalf("post-staleness AP admit: %v, want ok", got)
+	}
+}

@@ -1,0 +1,157 @@
+package schedd
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+func mustMarshal(t *testing.T, r Report) []byte {
+	t.Helper()
+	buf, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	in := Report{AP: 7, Station: 42, Seq: 1234, SNRMilliDB: -12_345}
+	buf := mustMarshal(t, in)
+	if len(buf) != ReportLen {
+		t.Fatalf("marshalled length %d, want %d", len(buf), ReportLen)
+	}
+	out, err := DecodeReport(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestDecodeReportRejections(t *testing.T) {
+	good := mustMarshal(t, Report{AP: 1, Station: 2, Seq: 3, SNRMilliDB: 20_000})
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+		reason string
+	}{
+		{"short", func(b []byte) []byte { return b[:10] }, ErrReportShort, "drop_short"},
+		{"empty", func(b []byte) []byte { return nil }, ErrReportShort, "drop_short"},
+		{"oversize", func(b []byte) []byte { return append(b, 0) }, ErrReportOversize, "drop_oversize"},
+		{"magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, ErrReportMagic, "drop_magic"},
+		{"version", func(b []byte) []byte {
+			b[2] = 99
+			fixCRC(b)
+			return b
+		}, ErrReportVersion, "drop_version"},
+		{"type", func(b []byte) []byte {
+			b[3] = 77
+			fixCRC(b)
+			return b
+		}, ErrReportType, "drop_type"},
+		{"length", func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[4:8], 1000)
+			fixCRC(b)
+			return b
+		}, ErrReportLength, "drop_length"},
+		{"crc", func(b []byte) []byte { b[20] ^= 0x01; return b }, ErrReportCRC, "drop_crc"},
+		{"station-zero", func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[12:16], 0)
+			fixCRC(b)
+			return b
+		}, ErrReportStation, "drop_station"},
+		{"station-broadcast", func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[12:16], ^uint32(0))
+			fixCRC(b)
+			return b
+		}, ErrReportStation, "drop_station"},
+		{"snr-implausible", func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[20:24], uint32(int32(MaxSNRMilliDB+1)))
+			fixCRC(b)
+			return b
+		}, ErrReportSNR, "drop_snr"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := append([]byte(nil), good...)
+			buf = tc.mutate(buf)
+			_, err := DecodeReport(buf)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+			if got := DropReason(err); got != tc.reason {
+				t.Fatalf("DropReason = %q, want %q", got, tc.reason)
+			}
+		})
+	}
+}
+
+// fixCRC recomputes the trailer after a deliberate header mutation so the
+// test exercises the targeted check, not the CRC.
+func fixCRC(b []byte) {
+	binary.BigEndian.PutUint32(b[24:28], crc32.ChecksumIEEE(b[:24]))
+}
+
+func TestMarshalRejectsInvalid(t *testing.T) {
+	if _, err := (Report{Station: 0}).Marshal(); !errors.Is(err, ErrReportStation) {
+		t.Fatalf("station 0: %v", err)
+	}
+	if _, err := (Report{Station: ^uint32(0)}).Marshal(); !errors.Is(err, ErrReportStation) {
+		t.Fatalf("broadcast station: %v", err)
+	}
+	if _, err := (Report{Station: 1, SNRMilliDB: MaxSNRMilliDB + 1}).Marshal(); !errors.Is(err, ErrReportSNR) {
+		t.Fatalf("oversized SNR: %v", err)
+	}
+}
+
+// TestDropReasonsCoverAllErrors: every decode error maps to a distinct
+// counter that exists in the declared reason set.
+func TestDropReasonsCoverAllErrors(t *testing.T) {
+	declared := map[string]bool{}
+	for _, r := range dropReasons() {
+		declared[r] = true
+	}
+	for _, err := range []error{
+		ErrReportShort, ErrReportOversize, ErrReportMagic, ErrReportVersion,
+		ErrReportType, ErrReportLength, ErrReportCRC, ErrReportStation,
+		ErrReportSNR, errors.New("anything else"),
+	} {
+		if !declared[DropReason(err)] {
+			t.Fatalf("DropReason(%v) = %q not in dropReasons()", err, DropReason(err))
+		}
+	}
+}
+
+// FuzzDecodeReport: the codec must never panic, and every accepted datagram
+// must re-marshal to the identical wire bytes (no mushy parses).
+func FuzzDecodeReport(f *testing.F) {
+	good, err := Report{AP: 3, Station: 9, Seq: 77, SNRMilliDB: 15_000}.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, ReportLen))
+	f.Add(append(append([]byte(nil), good...), 0xFF))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeReport(data)
+		if err != nil {
+			if DropReason(err) == "drop_other" {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		re, err := r.Marshal()
+		if err != nil {
+			t.Fatalf("accepted report %+v fails to re-marshal: %v", r, err)
+		}
+		if string(re) != string(data) {
+			t.Fatalf("re-marshal mismatch:\n in  %x\n out %x", data, re)
+		}
+	})
+}

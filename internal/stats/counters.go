@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// CounterSet is a fixed set of named monotonic event counters with
+// lock-free increments, built for long-lived serving paths (the scheduling
+// daemon's drop/shed/served accounting). The name set is fixed at
+// construction so a typo in a hot path fails fast instead of silently
+// minting a new counter; snapshots are taken while the counters keep
+// moving.
+type CounterSet struct {
+	names []string // sorted, for deterministic reporting
+	vals  []atomic.Int64
+	index map[string]int
+}
+
+// NewCounterSet creates a CounterSet over the given names. Duplicate or
+// empty names panic: the name set is a compile-time-style contract, not
+// runtime input.
+func NewCounterSet(names ...string) *CounterSet {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	c := &CounterSet{
+		names: sorted,
+		vals:  make([]atomic.Int64, len(sorted)),
+		index: make(map[string]int, len(sorted)),
+	}
+	for i, n := range sorted {
+		if n == "" {
+			panic("stats: empty counter name")
+		}
+		if _, dup := c.index[n]; dup {
+			panic(fmt.Sprintf("stats: duplicate counter name %q", n))
+		}
+		c.index[n] = i
+	}
+	return c
+}
+
+// Inc adds 1 to the named counter.
+func (c *CounterSet) Inc(name string) { c.Add(name, 1) }
+
+// Add adds delta to the named counter. Unknown names panic.
+func (c *CounterSet) Add(name string, delta int64) {
+	i, ok := c.index[name]
+	if !ok {
+		panic(fmt.Sprintf("stats: unknown counter %q", name))
+	}
+	c.vals[i].Add(delta)
+}
+
+// Get returns the current value of the named counter. Unknown names panic.
+func (c *CounterSet) Get(name string) int64 {
+	i, ok := c.index[name]
+	if !ok {
+		panic(fmt.Sprintf("stats: unknown counter %q", name))
+	}
+	return c.vals[i].Load()
+}
+
+// Names returns the counter names in sorted order.
+func (c *CounterSet) Names() []string {
+	return append([]string(nil), c.names...)
+}
+
+// Snapshot returns a point-in-time copy of every counter.
+func (c *CounterSet) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(c.names))
+	for i, n := range c.names {
+		out[n] = c.vals[i].Load()
+	}
+	return out
+}
+
+// String renders the counters as "name=value" pairs in sorted name order —
+// a stable format for logs and for byte-identical comparison of
+// deterministic runs.
+func (c *CounterSet) String() string {
+	var b strings.Builder
+	for i, n := range c.names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, c.vals[i].Load())
+	}
+	return b.String()
+}

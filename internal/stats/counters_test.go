@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterSetBasics(t *testing.T) {
+	c := NewCounterSet("served", "dropped", "shed")
+	c.Inc("served")
+	c.Add("dropped", 3)
+	if got := c.Get("served"); got != 1 {
+		t.Fatalf("served = %d, want 1", got)
+	}
+	if got := c.Get("dropped"); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	snap := c.Snapshot()
+	if snap["shed"] != 0 || snap["dropped"] != 3 {
+		t.Fatalf("bad snapshot %v", snap)
+	}
+	if want := "dropped=3 served=1 shed=0"; c.String() != want {
+		t.Fatalf("String() = %q, want %q", c.String(), want)
+	}
+}
+
+func TestCounterSetUnknownNamePanics(t *testing.T) {
+	c := NewCounterSet("a")
+	for _, f := range []func(){
+		func() { c.Inc("b") },
+		func() { c.Get("b") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("unknown counter did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCounterSetDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate name did not panic")
+		}
+	}()
+	NewCounterSet("x", "x")
+}
+
+func TestCounterSetConcurrent(t *testing.T) {
+	c := NewCounterSet("n")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc("n")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("n"); got != 8000 {
+		t.Fatalf("n = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// maxSnapshotLine bounds one JSON Lines record; a busy AP snapshot is a few
+// kilobytes, so 16 MiB leaves three orders of magnitude of headroom while
+// still refusing to buffer a corrupt never-ending line.
+const maxSnapshotLine = 16 << 20
+
+// SnapshotScanner streams a JSON Lines snapshot trace one record at a time
+// without holding the trace in memory. Unlike ReadSnapshots it survives bad
+// input: lines that fail to parse or validate are skipped and counted
+// instead of aborting the stream, so one corrupt record cannot poison a
+// multi-day trace. Callers should report Malformed() when the scan ends.
+//
+//	sc := trace.NewSnapshotScanner(f)
+//	for sc.Scan() {
+//		use(sc.Snapshot())
+//	}
+//	if err := sc.Err(); err != nil { ... }      // I/O failure
+//	if n := sc.Malformed(); n > 0 { ... }       // skipped records
+type SnapshotScanner struct {
+	sc        *bufio.Scanner
+	cur       Snapshot
+	line      int
+	malformed int
+	err       error
+}
+
+// NewSnapshotScanner wraps r; the reader is consumed line by line.
+func NewSnapshotScanner(r io.Reader) *SnapshotScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxSnapshotLine)
+	return &SnapshotScanner{sc: sc}
+}
+
+// Scan advances to the next well-formed snapshot, skipping and counting
+// malformed lines. It returns false at end of input or on an I/O error
+// (distinguish with Err).
+func (s *SnapshotScanner) Scan() bool {
+	if s.err != nil {
+		return false
+	}
+	for s.sc.Scan() {
+		s.line++
+		raw := bytes.TrimSpace(s.sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			s.malformed++
+			continue
+		}
+		if err := snap.validate(); err != nil {
+			s.malformed++
+			continue
+		}
+		s.cur = snap
+		return true
+	}
+	if err := s.sc.Err(); err != nil {
+		s.err = fmt.Errorf("trace: line %d: %w", s.line+1, err)
+	}
+	return false
+}
+
+// Snapshot returns the record produced by the last successful Scan.
+func (s *SnapshotScanner) Snapshot() Snapshot { return s.cur }
+
+// Malformed counts the lines skipped so far because they failed to parse or
+// validate.
+func (s *SnapshotScanner) Malformed() int { return s.malformed }
+
+// Err returns the I/O error that stopped the scan, if any. Malformed lines
+// are not errors; they are counted instead.
+func (s *SnapshotScanner) Err() error { return s.err }

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func collect(t *testing.T, sc *SnapshotScanner) []Snapshot {
+	t.Helper()
+	var out []Snapshot
+	for sc.Scan() {
+		out = append(out, sc.Snapshot())
+	}
+	return out
+}
+
+func TestSnapshotScannerCleanStream(t *testing.T) {
+	in := `{"unix":0,"ap":"ap0","clients":[{"id":"a","snr_db":20}]}
+{"unix":900,"ap":"ap1","clients":[{"id":"b","snr_db":15}]}
+`
+	sc := NewSnapshotScanner(strings.NewReader(in))
+	got := collect(t, sc)
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if len(got) != 2 || got[0].AP != "ap0" || got[1].AP != "ap1" {
+		t.Fatalf("scanned %+v", got)
+	}
+	if sc.Malformed() != 0 {
+		t.Fatalf("clean stream counted %d malformed lines", sc.Malformed())
+	}
+}
+
+// TestSnapshotScannerSkipsMalformed: broken JSON, invalid records and blank
+// lines are skipped and counted; the good records still come through in
+// order.
+func TestSnapshotScannerSkipsMalformed(t *testing.T) {
+	in := strings.Join([]string{
+		`{"unix":0,"ap":"ap0","clients":[{"id":"a","snr_db":20}]}`,
+		`{"unix":1,"ap":"ap1","clien`,                            // truncated JSON
+		`not json at all`,                                        // garbage
+		`{"unix":2,"clients":[]}`,                                // validation: missing AP
+		`{"unix":3,"ap":"ap2","clients":[{"id":"","snr_db":9}]}`, // empty client ID
+		``, // blank: ignored, not malformed
+		`{"unix":4,"ap":"ap3","clients":[{"id":"c","snr_db":12}]}`,
+	}, "\n") + "\n"
+	sc := NewSnapshotScanner(strings.NewReader(in))
+	got := collect(t, sc)
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if len(got) != 2 || got[0].AP != "ap0" || got[1].AP != "ap3" {
+		t.Fatalf("scanned %+v, want ap0 and ap3", got)
+	}
+	if sc.Malformed() != 4 {
+		t.Fatalf("Malformed() = %d, want 4", sc.Malformed())
+	}
+}
+
+// TestSnapshotScannerAgreesWithReadSnapshots: on a well-formed stream the
+// two readers are interchangeable.
+func TestSnapshotScannerAgreesWithReadSnapshots(t *testing.T) {
+	snaps, err := GenerateUpload(DefaultGenConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteSnapshots(&buf, snaps); err != nil {
+		t.Fatal(err)
+	}
+	strict, err := ReadSnapshots(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewSnapshotScanner(strings.NewReader(buf.String()))
+	streamed := collect(t, sc)
+	if sc.Err() != nil || sc.Malformed() != 0 {
+		t.Fatalf("err %v, malformed %d", sc.Err(), sc.Malformed())
+	}
+	if len(streamed) != len(strict) {
+		t.Fatalf("streamed %d snapshots, strict reader %d", len(streamed), len(strict))
+	}
+	for i := range strict {
+		if streamed[i].AP != strict[i].AP || streamed[i].Unix != strict[i].Unix ||
+			len(streamed[i].Clients) != len(strict[i].Clients) {
+			t.Fatalf("snapshot %d diverges: %+v vs %+v", i, streamed[i], strict[i])
+		}
+	}
+}
+
+type failingReader struct{ err error }
+
+func (r failingReader) Read([]byte) (int, error) { return 0, r.err }
+
+func TestSnapshotScannerReportsIOError(t *testing.T) {
+	boom := errors.New("disk on fire")
+	sc := NewSnapshotScanner(failingReader{err: boom})
+	if sc.Scan() {
+		t.Fatal("Scan succeeded on a failing reader")
+	}
+	if !errors.Is(sc.Err(), boom) {
+		t.Fatalf("Err() = %v, want wrapped %v", sc.Err(), boom)
+	}
+	if sc.Scan() {
+		t.Fatal("Scan after error must keep returning false")
+	}
+}

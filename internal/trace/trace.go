@@ -67,7 +67,25 @@ func WriteSnapshots(w io.Writer, snaps []Snapshot) error {
 	return bw.Flush()
 }
 
+// validate reports the first structural problem with a decoded snapshot.
+func (s *Snapshot) validate() error {
+	if s.AP == "" {
+		return errors.New("missing AP name")
+	}
+	for _, c := range s.Clients {
+		if c.ID == "" {
+			return errors.New("client with empty ID")
+		}
+		if math.IsNaN(c.SNRdB) || math.IsInf(c.SNRdB, 0) {
+			return fmt.Errorf("client %q has invalid SNR", c.ID)
+		}
+	}
+	return nil
+}
+
 // ReadSnapshots parses a JSON Lines snapshot stream, validating each record.
+// It fails on the first malformed record; use SnapshotScanner to stream past
+// bad lines instead.
 func ReadSnapshots(r io.Reader) ([]Snapshot, error) {
 	dec := json.NewDecoder(r)
 	var out []Snapshot
@@ -78,16 +96,8 @@ func ReadSnapshots(r io.Reader) ([]Snapshot, error) {
 		} else if err != nil {
 			return nil, fmt.Errorf("trace: snapshot %d: %w", len(out), err)
 		}
-		if s.AP == "" {
-			return nil, fmt.Errorf("trace: snapshot %d: missing AP name", len(out))
-		}
-		for _, c := range s.Clients {
-			if c.ID == "" {
-				return nil, fmt.Errorf("trace: snapshot %d: client with empty ID", len(out))
-			}
-			if math.IsNaN(c.SNRdB) || math.IsInf(c.SNRdB, 0) {
-				return nil, fmt.Errorf("trace: snapshot %d: client %q has invalid SNR", len(out), c.ID)
-			}
+		if err := s.validate(); err != nil {
+			return nil, fmt.Errorf("trace: snapshot %d: %w", len(out), err)
 		}
 		out = append(out, s)
 	}
