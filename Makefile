@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench figures ablations examples clean
+.PHONY: all build vet lint test race fuzz bench figures ablations examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,12 @@ build:
 vet:
 	$(GO) vet ./...
 	@test -z "$$(gofmt -l .)" || { echo 'gofmt needed on:'; gofmt -l .; exit 1; }
+
+# Repo-specific invariants (determinism, dB/linear units, cancellation,
+# close-error, lock-copy) enforced by the custom analyzer suite; see the
+# "Static analysis" section of README.md.
+lint:
+	$(GO) run ./cmd/siclint ./...
 
 test:
 	$(GO) test ./...
@@ -25,6 +31,7 @@ fuzz:
 	$(GO) test -fuzz='^FuzzDecodeSchedule$$' -fuzztime=10s ./internal/frame/
 	$(GO) test -fuzz='^FuzzReader$$' -fuzztime=10s ./internal/capture/
 	$(GO) test -fuzz='^FuzzReadSnapshots$$' -fuzztime=10s ./internal/trace/
+	$(GO) test -fuzz='^FuzzDecodeReport$$' -fuzztime=10s ./internal/schedd/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,80 @@
+// Command siclint runs the repository's custom static-analysis suite
+// (package internal/analysis) over the given package patterns and prints
+// findings as "file:line:col: analyzer: message".
+//
+// Usage:
+//
+//	siclint [-only name,name] [-list] [patterns ...]
+//
+// With no patterns it analyzes ./... from the current directory. The exit
+// code is 0 when the tree is clean, 1 when findings were reported, and 2
+// when the packages could not be loaded (for example, when they do not
+// build).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: siclint [-only name,name] [-list] [patterns ...]\n\nAnalyzers:\n")
+		for _, az := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", az.Name, az.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, az := range analysis.All() {
+			fmt.Printf("%-16s %s\n", az.Name, az.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, az := range analyzers {
+			byName[az.Name] = az
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			az, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "siclint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, az)
+		}
+	}
+
+	patterns := flag.Args()
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "siclint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "siclint: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings := analysis.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "siclint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,227 @@
+// Package analysis is a from-scratch static-analysis driver for this
+// repository, built only on the standard library's go/parser and go/types
+// (no golang.org/x/tools). It loads every package in the module, runs a
+// pluggable set of analyzers over the typed syntax trees, and reports
+// findings as "file:line:col: analyzer: message".
+//
+// The analyzers encode the three invariants every result in results/
+// depends on: same-seed reproducibility (rngdeterminism), correct
+// dB↔linear unit handling (dbunits), and context-threaded cancellation
+// (ctxfirst), plus two durability/aliasing guards (closecheck,
+// counterset).
+//
+// A finding can be suppressed — never silenced wholesale — with an inline
+// directive on the offending line or the line immediately above it:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory; a directive without one is itself a finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check. Run inspects a single typed
+// package via the Pass and reports findings through it.
+type Analyzer struct {
+	// Name is the identifier used in findings and //lint:allow directives.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer guards.
+	Doc string
+	// Run inspects pass.Pkg and calls pass.Reportf for each violation.
+	Run func(pass *Pass)
+}
+
+// Pass carries one analyzer's view of one typed package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one reported violation.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// All returns the full analyzer suite in deterministic order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		RngDeterminism,
+		DBUnits,
+		CtxFirst,
+		CloseCheck,
+		CounterSet,
+	}
+}
+
+// Run executes the analyzers over the packages and returns the surviving
+// findings sorted by position. Findings covered by a valid //lint:allow
+// directive are dropped; malformed directives are reported as findings of
+// the pseudo-analyzer "lint".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	known := make(map[string]bool, len(analyzers))
+	for _, az := range analyzers {
+		known[az.Name] = true
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		var findings []Finding
+		for _, az := range analyzers {
+			az.Run(&Pass{Analyzer: az, Pkg: pkg, findings: &findings})
+		}
+		allows, bad := collectAllows(pkg, known)
+		out = append(out, bad...)
+		for _, f := range findings {
+			if !allows.covers(f) {
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		if out[i].Pos.Column != out[j].Pos.Column {
+			return out[i].Pos.Column < out[j].Pos.Column
+		}
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+// allowSet maps file → line → set of analyzer names allowed there. A
+// directive covers findings on its own line and on the line that follows
+// it, so it can sit at the end of the offending line or on its own line
+// just above.
+type allowSet map[string]map[int]map[string]bool
+
+func (a allowSet) covers(f Finding) bool {
+	lines := a[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[f.Pos.Line][f.Analyzer] || lines[f.Pos.Line-1][f.Analyzer]
+}
+
+var allowRE = regexp.MustCompile(`^//lint:allow\s+(\S+)\s*(.*)$`)
+
+// collectAllows scans a package's comments for //lint:allow directives.
+// Directives naming an unknown analyzer or missing a reason are returned
+// as findings so the escape hatch cannot rot silently.
+func collectAllows(pkg *Package, known map[string]bool) (allowSet, []Finding) {
+	allows := make(allowSet)
+	var bad []Finding
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//lint:allow") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					bad = append(bad, Finding{Pos: pos, Analyzer: "lint",
+						Message: "malformed //lint:allow directive; want //lint:allow <analyzer> <reason>"})
+					continue
+				}
+				name, reason := m[1], strings.TrimSpace(m[2])
+				if !known[name] {
+					bad = append(bad, Finding{Pos: pos, Analyzer: "lint",
+						Message: fmt.Sprintf("//lint:allow names unknown analyzer %q", name)})
+					continue
+				}
+				if reason == "" {
+					bad = append(bad, Finding{Pos: pos, Analyzer: "lint",
+						Message: fmt.Sprintf("//lint:allow %s needs a reason", name)})
+					continue
+				}
+				fl := allows[pos.Filename]
+				if fl == nil {
+					fl = make(map[int]map[string]bool)
+					allows[pos.Filename] = fl
+				}
+				set := fl[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					fl[pos.Line] = set
+				}
+				set[name] = true
+			}
+		}
+	}
+	return allows, bad
+}
+
+// inspect walks every file of the pass's package in source order.
+func (p *Pass) inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// funcObj resolves a call expression to the *types.Func it invokes, or nil
+// for type conversions, calls of func-typed variables, and builtins.
+func funcObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether f is the package-level function pkgPath.name
+// (pkgPath matched on its final element so corpus packages qualify).
+func isPkgFunc(f *types.Func, pkgBase, name string) bool {
+	if f == nil || f.Pkg() == nil || f.Name() != name {
+		return false
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return pathBase(f.Pkg().Path()) == pkgBase
+}
+
+// pathBase returns the final element of an import path.
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+)
+
+// CloseCheck protects the atomicio durability contract from PR 2: on a
+// writable file, Close is where buffered writes can still fail, so
+// discarding its error can silently publish a truncated metrics.json or
+// checkpoint. The analyzer flags Close() calls on *os.File whose result
+// is dropped — as a bare statement, or deferred on a file opened for
+// writing in the same function. Assigning the error away explicitly
+// (`_ = f.Close()`) or a //lint:allow closecheck directive records a
+// deliberate best-effort close.
+var CloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc:  "Close() errors on writable files must be checked: a failed close can lose buffered writes",
+	Run:  runCloseCheck,
+}
+
+func runCloseCheck(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkCloses(pass, info, fn.Body)
+		}
+	}
+}
+
+// checkCloses inspects one function body. It first collects which local
+// *os.File variables were opened read-only vs writable, then flags
+// discarded Close calls.
+func checkCloses(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	writable := make(map[types.Object]bool)
+	readonly := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || len(assign.Lhs) == 0 {
+			return true
+		}
+		ident, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Defs[ident]
+		if obj == nil {
+			obj = info.Uses[ident]
+		}
+		if obj == nil {
+			return true
+		}
+		f := funcObj(info, call)
+		switch {
+		case isPkgFunc(f, "os", "Create") || isPkgFunc(f, "os", "CreateTemp"):
+			writable[obj] = true
+		case isPkgFunc(f, "os", "OpenFile"):
+			if len(call.Args) >= 2 && openFlagsWritable(info, call.Args[1]) {
+				writable[obj] = true
+			} else {
+				readonly[obj] = true
+			}
+		case isPkgFunc(f, "os", "Open"):
+			readonly[obj] = true
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		deferred := false
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = n.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call, deferred = n.Call, true
+		case *ast.GoStmt:
+			call, deferred = n.Call, true
+		}
+		if call == nil {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" || len(call.Args) != 0 {
+			return true
+		}
+		if !isOSFile(info, sel.X) {
+			return true
+		}
+		recvObj := exprObject(info, sel.X)
+		if deferred {
+			// defer f.Close() is only flagged when f is provably a file
+			// this function opened for writing; the read-side idiom stays.
+			if recvObj != nil && writable[recvObj] {
+				pass.Reportf(call.Pos(), "deferred Close on writable file discards its error; close explicitly and check, or defer a named-error close")
+			}
+			return true
+		}
+		if recvObj != nil && readonly[recvObj] {
+			return true // discarded close of a read-only file loses nothing
+		}
+		pass.Reportf(call.Pos(), "Close error discarded on writable file; a failed close can lose buffered writes — check it or assign to _ deliberately")
+		return true
+	})
+}
+
+// openFlagsWritable decides whether an os.OpenFile flag expression opens
+// for writing. Non-constant flags are treated as writable, erring toward
+// a finding.
+func openFlagsWritable(info *types.Info, flagExpr ast.Expr) bool {
+	tv, ok := info.Types[flagExpr]
+	if !ok || tv.Value == nil {
+		return true
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok {
+		return true
+	}
+	const writeBits = int64(os.O_WRONLY | os.O_RDWR | os.O_APPEND | os.O_CREATE | os.O_TRUNC)
+	return v&writeBits != 0
+}
+
+// isOSFile reports whether e's static type is *os.File.
+func isOSFile(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File"
+}
+
+// exprObject resolves an identifier or selector to its object, so closes
+// can be matched against the open that produced the file.
+func exprObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return obj
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[e.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The corpus harness type-checks each testdata directory as if it lived
+// at a chosen import path, runs one analyzer (or the full suite) over it,
+// and compares the findings line by line against `// want "regexp"`
+// expectation comments in the corpus sources.
+
+var (
+	exportsOnce sync.Once
+	exportsVal  *Exports
+	exportsErr  error
+)
+
+// corpusExports loads the module's export data once per test binary.
+func corpusExports(t *testing.T) *Exports {
+	t.Helper()
+	exportsOnce.Do(func() {
+		exportsVal, exportsErr = LoadExports(moduleRoot(t))
+	})
+	if exportsErr != nil {
+		t.Fatalf("loading export data: %v", exportsErr)
+	}
+	return exportsVal
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// expectation is one // want clause: a regexp that must match a finding
+// on its line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// parseWants extracts the expectations from every corpus file.
+func parseWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			// "// want" anchors to its own line; "// want-below" to the
+			// next line, for findings on lines that are all comment
+			// (e.g. a malformed //lint:allow directive).
+			wantLine := i + 1
+			idx := strings.Index(line, "// want ")
+			marker := "// want "
+			if idx < 0 {
+				idx = strings.Index(line, "// want-below ")
+				marker = "// want-below "
+				wantLine = i + 2
+			}
+			if idx < 0 {
+				continue
+			}
+			rest := strings.TrimSpace(line[idx+len(marker):])
+			for rest != "" {
+				if rest[0] != '"' {
+					t.Fatalf("%s:%d: malformed want clause %q", path, i+1, rest)
+				}
+				quoted, tail, ok := cutQuoted(rest)
+				if !ok {
+					t.Fatalf("%s:%d: unterminated want pattern %q", path, i+1, rest)
+				}
+				pattern, err := strconv.Unquote(quoted)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", path, i+1, quoted, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, pattern, err)
+				}
+				wants = append(wants, &expectation{file: path, line: wantLine, re: re})
+				rest = strings.TrimSpace(tail)
+			}
+		}
+	}
+	return wants
+}
+
+// cutQuoted splits a leading Go string literal off s.
+func cutQuoted(s string) (quoted, tail string, ok bool) {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return s[:i+1], s[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+// runCorpus checks one testdata directory with the given analyzers.
+func runCorpus(t *testing.T, analyzers []*Analyzer, subdir, asPath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", subdir)
+	pkg, err := corpusExports(t).CheckDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading corpus %s: %v", dir, err)
+	}
+	findings := Run([]*Package{pkg}, analyzers)
+	wants := parseWants(t, dir)
+
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.hit || !sameFile(w.file, f.Pos.Filename) || w.line != f.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func sameFile(a, b string) bool {
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	if err1 != nil || err2 != nil {
+		return a == b
+	}
+	return aa == bb
+}
+
+func TestRngDeterminismCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{RngDeterminism}, filepath.Join("rngdeterminism", "sim"), "repro/internal/mc")
+}
+
+func TestRngDeterminismDaemonAllowlist(t *testing.T) {
+	// The same wall-clock calls are legitimate in the runner/daemon
+	// packages; only rand.Seed stays forbidden everywhere.
+	runCorpus(t, []*Analyzer{RngDeterminism}, filepath.Join("rngdeterminism", "daemon"), "repro/internal/runner")
+}
+
+func TestDBUnitsCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{DBUnits}, filepath.Join("dbunits", "pkg"), "repro/internal/dbcorpus")
+}
+
+func TestCtxFirstCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{CtxFirst}, filepath.Join("ctxfirst", "sched"), "repro/internal/sched")
+}
+
+func TestCtxFirstScopedToSchedulingPackages(t *testing.T) {
+	// Identical code outside matching/sched/schedd/runner is exempt.
+	runCorpus(t, []*Analyzer{CtxFirst}, filepath.Join("ctxfirst", "other"), "repro/internal/plot")
+}
+
+func TestCloseCheckCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{CloseCheck}, filepath.Join("closecheck", "pkg"), "repro/internal/closecorpus")
+}
+
+func TestCounterSetCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{CounterSet}, filepath.Join("counterset", "pkg"), "repro/internal/cscorpus")
+}
+
+func TestAllowDirectives(t *testing.T) {
+	// Valid directives suppress findings; malformed ones are findings of
+	// the pseudo-analyzer "lint".
+	runCorpus(t, All(), filepath.Join("allow", "pkg"), "repro/internal/mc")
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Analyzer: "dbunits", Message: "boom"}
+	f.Pos.Filename = "x.go"
+	f.Pos.Line = 3
+	f.Pos.Column = 7
+	if got, want := f.String(), "x.go:3:7: dbunits: boom"; got != want {
+		t.Fatalf("Finding.String() = %q, want %q", got, want)
+	}
+}
+
+func TestCorpusExpectationsExist(t *testing.T) {
+	// Guard against a silently empty corpus: every analyzer directory
+	// must carry at least one positive expectation.
+	for _, sub := range []string{
+		filepath.Join("rngdeterminism", "sim"),
+		filepath.Join("dbunits", "pkg"),
+		filepath.Join("ctxfirst", "sched"),
+		filepath.Join("closecheck", "pkg"),
+		filepath.Join("counterset", "pkg"),
+		filepath.Join("allow", "pkg"),
+	} {
+		if wants := parseWants(t, filepath.Join("testdata", sub)); len(wants) == 0 {
+			t.Errorf("corpus %s has no // want expectations", sub)
+		}
+	}
+}
+
+func TestAnalyzerSuiteShape(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("expected exactly 5 analyzers, got %d", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, az := range all {
+		if az.Name == "" || az.Doc == "" || az.Run == nil {
+			t.Errorf("analyzer %+v is missing Name, Doc, or Run", az)
+		}
+		if seen[az.Name] {
+			t.Errorf("duplicate analyzer name %q", az.Name)
+		}
+		seen[az.Name] = true
+	}
+}

@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DBUnits guards the repo's power-domain convention (see package phy):
+// signal strengths travel as linear noise-normalised ratios, decibels
+// appear only at the edges, and identifiers carry their domain in their
+// name (suffix dB/DB for decibels, Linear/lin for explicit linear values).
+// Adding a dB quantity to a linear one — or handing phy.DB output to a
+// linear parameter — silently flips decode-order conclusions, the exact
+// slip Zhang & Haenggi's SIC analysis warns about, so it is flagged here
+// instead of discovered in a wrong figure.
+var DBUnits = &Analyzer{
+	Name: "dbunits",
+	Doc:  "decibel and linear power values must not mix: no dB±linear arithmetic, no dB values into linear parameters",
+	Run:  runDBUnits,
+}
+
+// domain classifies an expression's power domain by the repo's naming
+// convention and the phy conversion functions.
+type domain int
+
+const (
+	domUnknown domain = iota
+	domDB
+	domLinear
+)
+
+func (d domain) String() string {
+	switch d {
+	case domDB:
+		return "dB-domain"
+	case domLinear:
+		return "linear-domain"
+	}
+	return "unknown-domain"
+}
+
+// isDBName reports whether an identifier names a decibel quantity:
+// sigmaDB, refSNRdB, lossDb, or a bare db/dB.
+func isDBName(name string) bool {
+	if name == "dB" || name == "db" || name == "DB" {
+		return true
+	}
+	return strings.HasSuffix(name, "dB") || strings.HasSuffix(name, "DB") || strings.HasSuffix(name, "Db")
+}
+
+// isLinearName reports whether an identifier explicitly names a linear
+// quantity (snrLinear, gainLin, linear).
+func isLinearName(name string) bool {
+	if name == "linear" || name == "lin" {
+		return true
+	}
+	return strings.HasSuffix(name, "Linear") || strings.HasSuffix(name, "Lin")
+}
+
+// isLinearParamName extends isLinearName for parameter positions: by the
+// package phy contract, snr/sinr parameters are linear ratios.
+func isLinearParamName(name string) bool {
+	switch name {
+	case "snr", "sinr", "sinrLinear", "snrLinear":
+		return true
+	}
+	return isLinearName(name)
+}
+
+func runDBUnits(pass *Pass) {
+	info := pass.Pkg.Info
+	var cls func(e ast.Expr) domain
+	cls = func(e ast.Expr) domain {
+		switch e := e.(type) {
+		case *ast.ParenExpr:
+			return cls(e.X)
+		case *ast.UnaryExpr:
+			if e.Op == token.ADD || e.Op == token.SUB {
+				return cls(e.X)
+			}
+		case *ast.Ident:
+			return nameDomain(e.Name)
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				return nameDomain(e.Sel.Name)
+			}
+			// Package-qualified var or const, e.g. phy.NoiseFloorDB.
+			if _, ok := info.Uses[e.Sel].(*types.Func); !ok {
+				return nameDomain(e.Sel.Name)
+			}
+		case *ast.CallExpr:
+			if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+				return cls(e.Args[0]) // conversions like float64(xdB) keep their domain
+			}
+			if f := funcObj(info, e); f != nil {
+				// phy.DB/phy.FromDB and their root-package re-exports are
+				// the sanctioned converters; match by name so wrappers
+				// classify correctly ("FromDB" returns linear despite its
+				// dB suffix).
+				switch f.Name() {
+				case "FromDB", "FromDb":
+					return domLinear
+				case "DB", "ToDB":
+					return domDB
+				}
+				return nameDomain(f.Name())
+			}
+		case *ast.BinaryExpr:
+			l, r := cls(e.X), cls(e.Y)
+			switch e.Op {
+			case token.MUL, token.QUO:
+				// Scaling a domain quantity by a plain scalar keeps the
+				// domain; anything fancier is left unclassified.
+				if l == domUnknown {
+					return r
+				}
+				if r == domUnknown {
+					return l
+				}
+				if l == r {
+					return l
+				}
+			case token.ADD, token.SUB:
+				if l == r {
+					return l
+				}
+			}
+		}
+		return domUnknown
+	}
+
+	isNumeric := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		b, ok := tv.Type.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsNumeric != 0
+	}
+
+	checkMix := func(pos token.Pos, l, r ast.Expr, op token.Token) {
+		dl, dr := cls(l), cls(r)
+		if (dl == domDB && dr == domLinear) || (dl == domLinear && dr == domDB) {
+			if !isNumeric(l) && !isNumeric(r) {
+				return
+			}
+			pass.Reportf(pos, "%s mixes a %s value with a %s value; convert with phy.FromDB/phy.DB at the boundary", op, dl, dr)
+		}
+	}
+
+	pass.inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD || n.Op == token.SUB {
+				checkMix(n.OpPos, n.X, n.Y, n.Op)
+			}
+		case *ast.AssignStmt:
+			if (n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN) && len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				checkMix(n.TokPos, n.Lhs[0], n.Rhs[0], n.Tok)
+			}
+		case *ast.CallExpr:
+			checkCallArgs(pass, cls, n)
+		}
+		return true
+	})
+}
+
+// checkCallArgs flags dB-domain arguments bound to linear parameters and
+// linear arguments bound to dB parameters, using the callee's declared
+// parameter names.
+func checkCallArgs(pass *Pass, cls func(ast.Expr) domain, call *ast.CallExpr) {
+	if tv, ok := pass.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	f := funcObj(pass.Pkg.Info, call)
+	if f == nil {
+		return
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= params.Len()-1 {
+			pi = params.Len() - 1
+		}
+		if pi >= params.Len() {
+			break
+		}
+		pname := params.At(pi).Name()
+		if pname == "" {
+			continue
+		}
+		switch d := cls(arg); {
+		case d == domDB && isLinearParamName(pname):
+			pass.Reportf(arg.Pos(), "dB-domain argument passed to linear parameter %q of %s; convert with phy.FromDB", pname, f.Name())
+		case d == domLinear && isDBName(pname):
+			pass.Reportf(arg.Pos(), "linear-domain argument passed to dB parameter %q of %s; convert with phy.DB", pname, f.Name())
+		}
+	}
+}
+
+// nameDomain maps an identifier name to its power domain.
+func nameDomain(name string) domain {
+	if isDBName(name) {
+		return domDB
+	}
+	if isLinearName(name) {
+		return domLinear
+	}
+	return domUnknown
+}

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one typed package under analysis: parsed syntax plus the
+// go/types objects needed by the analyzers.
+type Package struct {
+	// Path is the import path the package is analyzed under. Corpus tests
+	// override it so path-scoped analyzers fire on testdata.
+	Path string
+	// Dir is the directory the source files live in.
+	Dir string
+	// Fset positions every file in Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the use/def/type maps for Files.
+	Info *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// exportLookup resolves import paths to compiler export data produced by
+// `go list -export`. It backs the stdlib gc importer, so analyzed packages
+// resolve their imports (stdlib and module-internal alike) without
+// typechecking the whole dependency tree from source.
+type exportLookup map[string]string
+
+func (e exportLookup) open(path string) (io.ReadCloser, error) {
+	file, ok := e[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// goList runs `go list -export -deps -json` in dir over patterns and
+// returns the decoded package stream.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Name,Dir,Export,Standard,DepOnly,GoFiles,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load type-checks every package matched by patterns (relative to dir,
+// e.g. "./...") and returns them sorted by import path. Dependencies are
+// imported from compiler export data, so the module must build.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(exportLookup)
+	var targets []*listPkg
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: loading %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exports.open)
+	var out []*Package
+	for _, t := range targets {
+		pkg, err := typeCheckDir(fset, imp, t.Dir, t.GoFiles, t.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Exports is a reusable snapshot of compiler export data for a module and
+// the standard library, against which corpus directories can be
+// type-checked without reloading per test.
+type Exports struct {
+	lookup exportLookup
+}
+
+// LoadExports lists ./... and std in moduleRoot with -export and captures
+// every package's export data.
+func LoadExports(moduleRoot string) (*Exports, error) {
+	listed, err := goList(moduleRoot, []string{"./...", "std"})
+	if err != nil {
+		return nil, err
+	}
+	exports := make(exportLookup)
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return &Exports{lookup: exports}, nil
+}
+
+// CheckDir type-checks a single directory of test-corpus sources as if it
+// had the given import path. Path-scoped analyzers see asPath, so a corpus
+// package can impersonate e.g. repro/internal/mc.
+func (e *Exports) CheckDir(corpusDir, asPath string) (*Package, error) {
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading corpus %s: %v", corpusDir, err)
+	}
+	var files []string
+	for _, ent := range entries {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".go") {
+			files = append(files, ent.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: corpus %s has no .go files", corpusDir)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", e.lookup.open)
+	return typeCheckDir(fset, imp, corpusDir, files, asPath)
+}
+
+// typeCheckDir parses the named files in dir and type-checks them as one
+// package with the given import path.
+func typeCheckDir(fset *token.FileSet, imp types.Importer, dir string, fileNames []string, path string) (*Package, error) {
+	sorted := append([]string(nil), fileNames...)
+	sort.Strings(sorted)
+	var files []*ast.File
+	for _, name := range sorted {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %v", filepath.Join(dir, name), err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import "testing"
+
+// TestRepoIsClean runs the full analyzer suite over every package in the
+// module and demands zero findings. This is the CI tripwire: the moment a
+// future change violates a determinism, unit-safety, or cancellation
+// invariant, this test names the exact file and line.
+func TestRepoIsClean(t *testing.T) {
+	pkgs, err := Load(moduleRoot(t))
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("suspiciously few packages loaded (%d); loader is broken", len(pkgs))
+	}
+	findings := Run(pkgs, All())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Logf("fix the findings above or record a deliberate exception with //lint:allow <analyzer> <reason>")
+	}
+}
+
+// TestLoaderCoversKnownPackages spot-checks that the loader saw the
+// packages the analyzers are scoped to; a silent load regression would
+// otherwise turn the suite into a no-op.
+func TestLoaderCoversKnownPackages(t *testing.T) {
+	pkgs, err := Load(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	for _, path := range []string{
+		"repro",
+		"repro/internal/phy",
+		"repro/internal/mc",
+		"repro/internal/sched",
+		"repro/internal/schedd",
+		"repro/internal/matching",
+		"repro/internal/runner",
+		"repro/internal/stats",
+		"repro/cmd/siclint",
+	} {
+		p, ok := byPath[path]
+		if !ok {
+			t.Errorf("loader missed package %s", path)
+			continue
+		}
+		if len(p.Files) == 0 || p.Types == nil {
+			t.Errorf("package %s loaded without syntax or types", path)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// simPackages are the packages whose results must be a pure function of
+// the seed: every Monte-Carlo estimate, trace replay, and figure in
+// results/ flows through them, and PR 2's checkpoint resume demands
+// byte-identical metrics.json across runs. Wall-clock reads and the
+// process-global math/rand state would both break that. The daemon and
+// runner packages (schedd, runner, emu's live side lives behind
+// injectable clocks) are deliberately absent: wall-clock is legitimate
+// there.
+var simPackages = map[string]bool{
+	"phy":         true,
+	"mc":          true,
+	"mac":         true,
+	"emu":         true,
+	"experiments": true,
+	"stats":       true,
+}
+
+// randConstructors are the math/rand package-level functions that build
+// explicitly seeded generators rather than touching global state.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// wallClockFuncs are the time package functions that read or wait on the
+// wall clock. Pure-value helpers (ParseDuration, Date, Unix, ...) are
+// deterministic and stay allowed.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// RngDeterminism enforces same-seed reproducibility inside the simulation
+// packages: no global math/rand functions (methods on an explicitly
+// seeded *rand.Rand are fine), no rand.Seed anywhere, and no wall-clock
+// reads where virtual time rules.
+var RngDeterminism = &Analyzer{
+	Name: "rngdeterminism",
+	Doc:  "simulation packages must be a pure function of the seed: no global math/rand, no rand.Seed, no wall clock",
+	Run:  runRngDeterminism,
+}
+
+func runRngDeterminism(pass *Pass) {
+	inSim := simPackages[pathBase(pass.Pkg.Path)]
+	for ident, obj := range pass.Pkg.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			continue // methods on *rand.Rand etc. are seeded and fine
+		}
+		switch fn.Pkg().Path() {
+		case "math/rand", "math/rand/v2":
+			if fn.Name() == "Seed" {
+				pass.Reportf(ident.Pos(), "rand.Seed mutates process-global state and breaks same-seed reproducibility; construct rand.New(rand.NewSource(seed)) instead")
+				continue
+			}
+			if inSim && !randConstructors[fn.Name()] {
+				pass.Reportf(ident.Pos(), "global %s.%s draws from process-global state; simulation packages must use an explicitly seeded *rand.Rand", fn.Pkg().Path(), fn.Name())
+			}
+		case "time":
+			if inSim && wallClockFuncs[fn.Name()] {
+				pass.Reportf(ident.Pos(), "time.%s reads the wall clock; simulation packages run on virtual time so results stay a pure function of the seed", fn.Name())
+			}
+		}
+	}
+}

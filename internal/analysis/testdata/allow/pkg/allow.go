@@ -1,0 +1,38 @@
+// Corpus for the //lint:allow directive machinery, type-checked as a
+// simulation package so rngdeterminism has something to suppress.
+package allowcorpus
+
+import "time"
+
+// A valid directive on the preceding line suppresses the finding.
+func suppressedAbove() time.Time {
+	//lint:allow rngdeterminism corpus exercises the directive
+	return time.Now()
+}
+
+// A valid directive at the end of the offending line also works.
+func suppressedInline() time.Time {
+	return time.Now() //lint:allow rngdeterminism corpus exercises the inline form
+}
+
+// The directive is per-line: the next violation still fires.
+func notCovered() time.Time {
+	//lint:allow rngdeterminism only this line's neighbour is covered
+	t := time.Now()
+	u := time.Now() // want "time.Now reads the wall clock"
+	return t.Add(time.Duration(u.Nanosecond()))
+}
+
+// Directives must name a real analyzer; the bogus one below is itself a
+// finding and suppresses nothing.
+func unknownAnalyzer() time.Time {
+	//lint:allow nosuchanalyzer bogus reason // want "names unknown analyzer"
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// A directive without a reason is rejected and suppresses nothing.
+func missingReason() time.Time {
+	// want-below "needs a reason"
+	//lint:allow rngdeterminism
+	return time.Now() // want "time.Now reads the wall clock"
+}

@@ -1,0 +1,81 @@
+// Corpus for the closecheck analyzer: Close errors on writable files
+// carry the last chance to notice lost writes.
+package closecorpus
+
+import "os"
+
+// Positive: bare statement close on a file opened for writing.
+func bareClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Close() // want "Close error discarded on writable file"
+	return nil
+}
+
+// Positive: deferring Close on a writable file discards the error.
+func deferredClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "deferred Close on writable file discards its error"
+	_, err = f.WriteString("x")
+	return err
+}
+
+// Positive: os.OpenFile with write flags counts as writable.
+func openFileWrite(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "deferred Close on writable file discards its error"
+	return nil
+}
+
+// Positive: a temp file is writable by construction.
+func tempFile(dir string) error {
+	f, err := os.CreateTemp(dir, "x*")
+	if err != nil {
+		return err
+	}
+	f.Close() // want "Close error discarded on writable file"
+	return nil
+}
+
+// Negative: the read-side defer idiom stays legal.
+func readSide(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}
+
+// Negative: read-only OpenFile, even as a bare statement.
+func readOnlyOpenFile(path string) error {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	f.Close()
+	return nil
+}
+
+// Negative: checking the error is the point.
+func checkedClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("x"); err != nil {
+		_ = f.Close() // explicit discard while another error wins
+		return err
+	}
+	return f.Close()
+}

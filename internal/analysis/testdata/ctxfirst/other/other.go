@@ -1,0 +1,22 @@
+// The same shapes as the sched corpus, type-checked as
+// repro/internal/plot: outside the scheduling packages ctxfirst stays
+// silent, so this corpus expects zero findings.
+package other
+
+import (
+	"context"
+	"sync"
+)
+
+func Solve(n int, ctx context.Context) error {
+	_ = n
+	return ctx.Err()
+}
+
+func WaitAll(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+func Detached() error {
+	return context.Background().Err()
+}

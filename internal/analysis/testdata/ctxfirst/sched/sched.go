@@ -1,0 +1,76 @@
+// Corpus for the ctxfirst analyzer, type-checked as repro/internal/sched
+// — a package on the daemon's cancellation path.
+package sched
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Positive: a context parameter anywhere but first.
+func Solve(n int, ctx context.Context) error { // want "takes context.Context as parameter 2"
+	_ = n
+	return ctx.Err()
+}
+
+// Positive: exported blocking functions must accept a context.
+func WaitAll(wg *sync.WaitGroup) { // want "blocks \\(sync.Wait\\)"
+	wg.Wait()
+}
+
+func Recv(ch chan int) int { // want "blocks \\(channel receive\\)"
+	return <-ch
+}
+
+func Nap() { // want "blocks \\(time.Sleep\\)"
+	time.Sleep(time.Millisecond)
+}
+
+// Positive: library code must not mint root contexts outside a
+// documented compatibility wrapper.
+func Detached() error {
+	ctx := context.Background() // want "mints a root context"
+	return ctx.Err()
+}
+
+// Negative: the documented escape hatch for compatibility wrappers.
+func Compat() error {
+	//lint:allow ctxfirst documented compatibility wrapper for corpus
+	return withCtx(context.Background())
+}
+
+// Negative: ctx first is the sanctioned shape, even when blocking.
+func RunCtx(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Negative: unexported helpers may block; their exported callers carry
+// the context.
+func drain(ch chan int) int {
+	return <-ch
+}
+
+// Negative: a select with a default clause cannot block.
+func Poll(ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// Negative: goroutine bodies block the goroutine, not the caller.
+func Launch(ch chan int) {
+	go func() {
+		<-ch
+	}()
+}
+
+func withCtx(ctx context.Context) error { return ctx.Err() }

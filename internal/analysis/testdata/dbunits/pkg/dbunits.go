@@ -1,0 +1,41 @@
+// Corpus for the dbunits analyzer: the repo convention says decibel
+// quantities carry a dB/DB suffix, linear ones a Linear/lin suffix, and
+// phy.DB / phy.FromDB are the only bridges.
+package dbcorpus
+
+import "repro/internal/phy"
+
+// Positive cases: dB and linear values meeting under + or -.
+func mixes(snrDB float64) float64 {
+	a := snrDB + phy.FromDB(3)     // want "mixes a dB-domain value with a linear-domain value"
+	b := phy.DB(4) - phy.FromDB(3) // want "mixes a dB-domain value with a linear-domain value"
+	c := phy.FromDB(snrDB) - snrDB // want "mixes a linear-domain value with a dB-domain value"
+	d := 2*snrDB + 3*phy.FromDB(1) // want "mixes a dB-domain value with a linear-domain value"
+	return a + b + c + d
+}
+
+// Compound assignment is arithmetic too.
+func accumulates(marginDB float64) float64 {
+	totalDB := marginDB
+	totalDB += phy.FromDB(1) // want "mixes a dB-domain value with a linear-domain value"
+	return totalDB
+}
+
+// Positive cases: arguments crossing a parameter's declared domain.
+func misroutedArgs() {
+	_ = phy.Capacity(20e6, phy.DB(100))          // want "dB-domain argument passed to linear parameter \"sinr\""
+	_, _ = phy.NewPathLoss(3, 1, phy.FromDB(10)) // want "linear-domain argument passed to dB parameter \"refSNRdB\""
+}
+
+// Negative cases: same-domain arithmetic and correctly routed arguments.
+func clean(snrDB, marginDB float64) float64 {
+	widenedDB := snrDB + marginDB // dB + dB: a legitimate power scaling
+	gainLin := phy.FromDB(snrDB) * 2
+	sum := gainLin + phy.FromDB(marginDB)
+	cap1 := phy.Capacity(20e6, phy.FromDB(widenedDB))
+	pl, err := phy.NewPathLoss(3, 1, widenedDB)
+	if err != nil {
+		return 0
+	}
+	return cap1 + sum + pl.SNRAt(10)
+}

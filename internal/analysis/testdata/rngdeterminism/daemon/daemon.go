@@ -1,0 +1,25 @@
+// Corpus type-checked as repro/internal/runner: a package on the
+// wall-clock allowlist. Clock reads pass; mutating global rand state is
+// still forbidden everywhere.
+package daemon
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clockIsFine() time.Duration {
+	start := time.Now() // allowed: runner legitimately measures wall time
+	time.Sleep(time.Nanosecond)
+	return time.Since(start)
+}
+
+func seedStillForbidden() {
+	rand.Seed(7) // want "rand.Seed mutates process-global state"
+}
+
+func globalDrawTolerated() int {
+	// Global draws outside simulation packages are left to the
+	// rngdeterminism allowlist; no finding here.
+	return rand.Intn(3)
+}

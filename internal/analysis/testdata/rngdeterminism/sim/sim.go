@@ -1,0 +1,34 @@
+// Corpus for the rngdeterminism analyzer, type-checked as a simulation
+// package (repro/internal/mc). Never built by go build: testdata is
+// invisible to the toolchain.
+package sim
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// Positive cases: process-global randomness and wall-clock reads have no
+// place in a Monte-Carlo package.
+func bad(rng *rand.Rand) float64 {
+	n := rand.Intn(6)              // want "global math/rand.Intn draws from process-global state"
+	rand.Seed(42)                  // want "rand.Seed mutates process-global state"
+	x := rand.Float64()            // want "global math/rand.Float64 draws from process-global state"
+	v := randv2.IntN(6)            // want "global math/rand/v2.IntN draws from process-global state"
+	t0 := time.Now()               // want "time.Now reads the wall clock"
+	time.Sleep(time.Nanosecond)    // want "time.Sleep reads the wall clock"
+	el := time.Since(t0).Seconds() // want "time.Since reads the wall clock"
+	return float64(n+v) + x + el + rng.Float64()
+}
+
+// Negative cases: explicitly seeded generators, their methods, and
+// deterministic time helpers are the sanctioned idiom.
+func good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	d, err := time.ParseDuration("1ms")
+	if err != nil {
+		return 0
+	}
+	return rng.NormFloat64() * d.Seconds()
+}

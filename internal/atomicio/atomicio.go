@@ -71,6 +71,7 @@ func (f *File) Commit() error {
 	f.done = true
 	name := f.tmp.Name()
 	if err := f.tmp.Sync(); err != nil {
+		//lint:allow closecheck best-effort cleanup; the sync failure below already aborts the write
 		f.tmp.Close()
 		os.Remove(name)
 		return fmt.Errorf("atomicio: syncing %s: %w", f.dest, err)
@@ -94,6 +95,7 @@ func (f *File) Abort() {
 	}
 	f.done = true
 	name := f.tmp.Name()
+	//lint:allow closecheck Abort discards the staged write; a close failure cannot lose anything
 	f.tmp.Close()
 	os.Remove(name)
 }

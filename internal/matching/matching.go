@@ -68,6 +68,7 @@ func maxSafeWeight(n int) int64 {
 // w[i][j] == 0 means "no edge". It returns the mate of every vertex
 // (Unmatched for exposed vertices) and the total weight of the matching.
 func MaxWeight(w [][]int64) (mate []int, total int64, err error) {
+	//lint:allow ctxfirst documented compatibility wrapper over MaxWeightCtx
 	return MaxWeightCtx(context.Background(), w)
 }
 
@@ -127,6 +128,7 @@ func MaxWeightCtx(ctx context.Context, w [][]int64) (mate []int, total int64, er
 // are backlogged clients plus an optional dummy, edge costs are joint
 // transmission times.
 func MinCostPerfect(cost [][]int64) (mate []int, total int64, err error) {
+	//lint:allow ctxfirst documented compatibility wrapper over MinCostPerfectCtx
 	return MinCostPerfectCtx(context.Background(), cost)
 }
 

@@ -207,6 +207,7 @@ func validateInputs(clients []Client, o Options) error {
 // airtime), solves minimum-weight perfect matching, and translates the
 // matching back into transmission slots.
 func New(clients []Client, o Options) (Schedule, error) {
+	//lint:allow ctxfirst documented compatibility wrapper over NewCtx
 	return NewCtx(context.Background(), clients, o)
 }
 
@@ -309,6 +310,7 @@ func NewCtx(ctx context.Context, clients []Client, o Options) (Schedule, error) 
 // Edmonds' algorithm buys (see DESIGN.md), and as the middle rung of the
 // serving daemon's degradation ladder.
 func Greedy(clients []Client, o Options) (Schedule, error) {
+	//lint:allow ctxfirst documented compatibility wrapper over GreedyCtx
 	return GreedyCtx(context.Background(), clients, o)
 }
 

@@ -131,6 +131,12 @@ type Server struct {
 	closing  atomic.Bool
 	done     chan struct{}
 
+	// baseCtx parents every per-query deadline context. It lives as long
+	// as the server and is cancelled only when a shutdown drain is cut
+	// short, aborting in-flight ladder solves whose clients are gone.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
 	wg     sync.WaitGroup // reader, worker, acceptor
 	connWG sync.WaitGroup // per-connection handlers
 
@@ -188,6 +194,8 @@ func Start(cfg Config) (*Server, error) {
 		done:     make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
 	}
+	//lint:allow ctxfirst the daemon owns its queries' lifetimes; this is the one root context, cancelled by Shutdown
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	s.wg.Add(3)
 	go s.readLoop()
 	go s.decodeLoop()
@@ -447,7 +455,7 @@ func (s *Server) serveSched(ap uint32) any {
 		s.counters.Inc("served_empty")
 		return errorResponse{Error: fmt.Sprintf("no fresh reports for ap %d", ap)}
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.QueryDeadline)
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.QueryDeadline)
 	defer cancel()
 	res, err := runLadder(ctx, clients, s.cfg.Sched, s.cfg.Budgets, s.cfg.slowLevel)
 	if err != nil {
@@ -508,8 +516,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-drained:
+		s.cancelBase()
 		return nil
 	case <-ctx.Done():
+		// The drain deadline passed: abort in-flight ladder solves via the
+		// base context and force-close the connections they would answer.
+		s.cancelBase()
 		s.mu.Lock()
 		for conn := range s.conns {
 			conn.Close()
