@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz bench figures ablations examples clean
+.PHONY: all build vet lint test race fuzz bench bench-smoke figures ablations examples clean
 
 all: build vet lint test
 
@@ -36,6 +36,12 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# One iteration of every benchmark, archived as JSON (the CI artifact).
+# Catches benchmarks that no longer compile or crash without paying for a
+# statistically meaningful run.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_5.json
+
 # Paper-scale regeneration of every figure + ablations into ./results.
 figures:
 	$(GO) run ./cmd/sicfig -all -out results
@@ -49,4 +55,4 @@ examples:
 	done
 
 clean:
-	rm -rf results
+	rm -rf results BENCH_5.json

@@ -1,0 +1,115 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON artifact, so CI can archive benchmark numbers per
+// commit without parsing test logs after the fact.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchtime=1x ./... | benchjson -out BENCH.json
+//
+// Non-benchmark lines ("ok", "PASS", compile noise) are ignored. Each
+// benchmark line becomes one record with its name, iteration count, ns/op
+// and — when -benchmem is in effect — B/op and allocs/op. Output is sorted
+// by name and written atomically, so a partially-failed bench run never
+// leaves a truncated artifact behind.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/atomicio"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// parseLine decodes one `go test -bench` result line, e.g.
+//
+//	BenchmarkFig6-8   12   98765432 ns/op   1024 B/op   7 allocs/op
+//
+// ok is false for anything that is not a benchmark result.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	if b.NsPerOp == 0 && !strings.Contains(line, "ns/op") {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	out := flag.String("out", "", "output path (empty = stdout)")
+	flag.Parse()
+
+	var benches []Benchmark
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			benches = append(benches, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		return 1
+	}
+	sort.Slice(benches, func(i, j int) bool { return benches[i].Name < benches[j].Name })
+	if benches == nil {
+		benches = []Benchmark{} // render an empty list, not JSON null
+	}
+
+	blob, err := json.MarshalIndent(benches, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+		return 0
+	}
+	if err := atomicio.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: writing %s: %v\n", *out, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(benches), *out)
+	return 0
+}

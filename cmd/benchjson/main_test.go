@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkFig6-8   \t12\t  98765432 ns/op\t1024 B/op\t7 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line rejected")
+	}
+	if b.Name != "BenchmarkFig6-8" || b.Iterations != 12 || b.NsPerOp != 98765432 ||
+		b.BytesPerOp != 1024 || b.AllocsPerOp != 7 {
+		t.Errorf("parsed %+v", b)
+	}
+
+	b, ok = parseLine("BenchmarkDecode 	 1000000	      1042 ns/op")
+	if !ok || b.NsPerOp != 1042 || b.BytesPerOp != 0 {
+		t.Errorf("plain line parsed as %+v (ok %v)", b, ok)
+	}
+
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok  	repro/internal/mc	0.8s",
+		"goos: linux",
+		"Benchmark",                 // no fields
+		"BenchmarkX notanumber x y", // garbage iterations
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("non-benchmark line %q accepted", line)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -36,6 +37,8 @@ import (
 
 	"repro/internal/atomicio"
 	"repro/internal/experiments"
+	"repro/internal/mc"
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -69,6 +72,7 @@ func run() int {
 		keepGoing   = flag.Bool("keep-going", true, "continue past failed figures (set =false to stop at the first failure)")
 		retries     = flag.Int("retries", 1, "retries per transiently failing figure")
 		injectPanic = flag.Bool("inject-panic", false, "append an always-panicking figure (testing aid for the supervisor)")
+		admin       = flag.String("admin", "", "HTTP admin address for /metrics during long suites (empty = disabled)")
 	)
 	flag.Var(&figs, "fig", "figure id to run (repeatable), e.g. -fig fig6")
 	flag.Parse()
@@ -90,6 +94,21 @@ func run() int {
 	params.Seed = *seed
 	if *trials > 0 {
 		params.Trials = *trials
+	}
+
+	// One registry spans the whole suite: per-figure gauges from the
+	// runner, Monte-Carlo throughput from the sweeps the figures run.
+	reg := obs.NewRegistry()
+	params.MC = mc.NewMetrics(reg)
+	if *admin != "" {
+		adminSrv := &http.Server{Addr: *admin, Handler: obs.AdminMux(reg, nil)}
+		go func() {
+			if err := adminSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "sicfig: admin endpoint: %v\n", err)
+			}
+		}()
+		defer adminSrv.Close()
+		fmt.Fprintf(os.Stderr, "sicfig: admin endpoint on http://%s/metrics\n", *admin)
 	}
 
 	var runners []experiments.Runner
@@ -152,6 +171,7 @@ func run() int {
 		KeepGoing:  *keepGoing,
 		Resume:     *resume,
 		Log:        os.Stderr,
+		Registry:   reg,
 		OnResult: func(res experiments.Result, cached bool) {
 			if cached {
 				fmt.Printf("==== %s — %s ==== (from checkpoint)\n", res.ID, res.Title)

@@ -14,18 +14,28 @@
 // Every schedule reply records the degradation-ladder rung that produced it
 // ("blossom", "greedy" or "serial"); under load the daemon degrades rather
 // than stalls. On SIGINT/SIGTERM the daemon drains in-flight queries and
-// prints the final counter flush before exiting.
+// prints the final counter flush — and per-rung latency quantiles — before
+// exiting.
+//
+// With -admin the daemon additionally serves an HTTP endpoint:
+//
+//	/metrics       Prometheus text exposition (counters, ladder histograms)
+//	/healthz       JSON liveness with table occupancy
+//	/debug/pprof/  live profiling
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/phy"
 	"repro/internal/sched"
 	"repro/internal/schedd"
@@ -44,6 +54,7 @@ func main() {
 		deadline = flag.Duration("query-deadline", 250*time.Millisecond, "overall per-query deadline")
 		inflight = flag.Int("max-inflight", 32, "concurrent query bound before overload shedding")
 		drain    = flag.Duration("drain", 5*time.Second, "graceful shutdown drain budget")
+		admin    = flag.String("admin", "", "HTTP admin address for /metrics, /healthz and /debug/pprof (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -67,6 +78,23 @@ func main() {
 	}
 	fmt.Printf("sicschedd: reports on udp %s, queries on tcp %s\n", s.UDPAddr(), s.TCPAddr())
 
+	var adminSrv *http.Server
+	if *admin != "" {
+		adminSrv = &http.Server{
+			Addr: *admin,
+			Handler: obs.AdminMux(s.Registry(), func() any {
+				aps, clients := s.Occupancy()
+				return map[string]any{"status": "ok", "aps": aps, "clients": clients}
+			}),
+		}
+		go func() {
+			if err := adminSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "sicschedd: admin endpoint: %v\n", err)
+			}
+		}()
+		fmt.Printf("sicschedd: admin endpoint on http://%s/metrics\n", *admin)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	got := <-sig
@@ -79,6 +107,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sicschedd: %v\n", err)
 		code = 1
 	}
+	if adminSrv != nil {
+		adminSrv.Close()
+	}
 	fmt.Printf("sicschedd: final counters: %s\n", s.Counters())
+	for _, lvl := range []schedd.Level{schedd.LevelBlossom, schedd.LevelGreedy, schedd.LevelSerial} {
+		h := s.LadderHist(lvl)
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("sicschedd: ladder %-7s attempts=%d p50<=%s p90<=%s p99<=%s\n",
+			lvl, h.Count(), quantile(h, 0.5), quantile(h, 0.9), quantile(h, 0.99))
+	}
 	os.Exit(code)
+}
+
+// quantile renders a histogram quantile as a duration bound; the histogram
+// answers with a bucket upper bound, hence the "<=" framing at the caller.
+// An overflow-bucket answer (+Inf) means the rank fell past the last bound.
+func quantile(h *obs.Histogram, q float64) string {
+	v := h.Quantile(q)
+	if math.IsInf(v, 1) {
+		return "overflow"
+	}
+	return time.Duration(v * float64(time.Second)).String()
 }

@@ -37,6 +37,7 @@ func AblationAlpha(ctx context.Context, p Params) (Result, error) {
 			Trials: p.Trials, Seed: p.Seed,
 			Separation: 20, Range: 20,
 			PathLoss: pl, Channel: p.Channel, PacketBits: p.PacketBits,
+			Metrics: p.MC,
 		}
 		gains, err := mc.TwoReceiverGains(ctx, cfg)
 		if err != nil {

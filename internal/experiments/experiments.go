@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/mc"
 	"repro/internal/phy"
 )
 
@@ -31,6 +32,10 @@ type Params struct {
 	PacketBits float64
 	// Channel supplies bandwidth and noise.
 	Channel phy.Channel
+	// MC, when non-nil, receives Monte-Carlo throughput metrics from every
+	// sweep a figure runs. Excluded from JSON so attaching instrumentation
+	// never changes checkpoint keys (runner.ParamsKey hashes this struct).
+	MC *mc.Metrics `json:"-"`
 }
 
 // DefaultParams mirrors the paper's scale: 10 000 Monte-Carlo trials,

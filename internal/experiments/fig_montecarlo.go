@@ -26,6 +26,7 @@ func mcConfig(p Params, separation, txRange float64) (mc.Config, error) {
 		PathLoss:   pl,
 		Channel:    p.Channel,
 		PacketBits: p.PacketBits,
+		Metrics:    p.MC,
 	}, nil
 }
 

@@ -14,8 +14,10 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/phy"
 	"repro/internal/topo"
 )
@@ -38,7 +40,59 @@ type Config struct {
 	Channel phy.Channel
 	// PacketBits is the packet size used in all completion-time formulas.
 	PacketBits float64
+	// Metrics, when non-nil, receives throughput instrumentation: trial
+	// counts, sweep wall time and a trials/sec gauge. Timing is read
+	// through obs and feeds metrics only — it never influences trial
+	// seeding or results, so same-seed reproducibility is untouched.
+	Metrics *Metrics
 }
+
+// Metrics is the package's observability bundle. Construct with NewMetrics
+// over the process registry and share one instance across sweeps.
+type Metrics struct {
+	// Trials counts completed trials across all sweeps.
+	Trials *obs.Counter
+	// Sweeps counts runParallel invocations that ran to the end.
+	Sweeps *obs.Counter
+	// SweepSeconds is the wall-time distribution of whole sweeps.
+	SweepSeconds *obs.Histogram
+	// TrialsPerSec is the most recent sweep's throughput.
+	TrialsPerSec *obs.Gauge
+}
+
+// NewMetrics registers the Monte-Carlo metrics on reg. Calling it twice
+// with the same registry returns handles to the same underlying series.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Trials:       reg.Counter("mc_trials_total", "Monte-Carlo trials completed", nil),
+		Sweeps:       reg.Counter("mc_sweeps_total", "Monte-Carlo sweeps completed", nil),
+		SweepSeconds: reg.Histogram("mc_sweep_seconds", "wall time per Monte-Carlo sweep", obs.ExpBuckets(1e-3, 2, 16), nil),
+		TrialsPerSec: reg.Gauge("mc_trials_per_second", "throughput of the most recent sweep", nil),
+	}
+}
+
+// PartialError reports a sweep cut short by context cancellation after
+// some trials already completed. Callers that checkpoint or report
+// progress (the suite runner) can surface "completed X of Y" instead of
+// pretending nothing ran; errors.Is still sees the underlying context
+// error, so retry/timeout classification is unchanged.
+type PartialError struct {
+	// Completed is how many trials finished before the sweep stopped.
+	Completed int
+	// Trials is the configured sweep size.
+	Trials int
+	// Err is the context error that stopped the sweep.
+	Err error
+}
+
+// Error implements error; the first line carries the progress numbers so
+// one-line status reports keep them.
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("mc: sweep interrupted after %d/%d trials: %v", e.Completed, e.Trials, e.Err)
+}
+
+// Unwrap exposes the underlying context error to errors.Is/As.
+func (e *PartialError) Unwrap() error { return e.Err }
 
 func (c Config) validate() error {
 	if c.Trials <= 0 {
@@ -64,13 +118,20 @@ func (c Config) validate() error {
 // seeded from Config.Seed and the trial index, making the result
 // independent of scheduling — and of cancellation: ctx only decides how
 // many trials run, never which seed a trial gets. When ctx is cancelled
-// the pool stops dispatching, drains, and ctx.Err() is returned. A panic
-// in any trial is recovered, annotated with its stack, and surfaced as an
-// error instead of taking down the process.
+// the pool stops dispatching, drains, and a *PartialError wrapping
+// ctx.Err() reports how many trials had already finished. A panic in any
+// trial is recovered, annotated with its stack, and surfaced as an error
+// instead of taking down the process.
 func runParallel(parent context.Context, cfg Config, f func(rng *rand.Rand) float64) ([]float64, error) {
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 
+	var tm obs.Timer
+	if cfg.Metrics != nil {
+		tm = obs.StartTimer()
+	}
+
+	var done atomic.Int64
 	out := make([]float64, cfg.Trials)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > cfg.Trials {
@@ -117,16 +178,30 @@ func runParallel(parent context.Context, cfg Config, f func(rng *rand.Rand) floa
 					cancel() // stop dispatching further trials
 					return
 				}
+				done.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
 
+	if m := cfg.Metrics; m != nil {
+		// Completed trials count even when the sweep is cut short — the
+		// whole point of the progress accounting below.
+		m.Trials.Add(done.Load())
+	}
 	if panicErr != nil {
 		return nil, panicErr
 	}
 	if err := parent.Err(); err != nil {
-		return nil, err
+		return nil, &PartialError{Completed: int(done.Load()), Trials: cfg.Trials, Err: err}
+	}
+	if m := cfg.Metrics; m != nil {
+		m.Sweeps.Inc()
+		secs := tm.Elapsed().Seconds()
+		m.SweepSeconds.Observe(secs)
+		if secs > 0 {
+			m.TrialsPerSec.Set(float64(cfg.Trials) / secs)
+		}
 	}
 	return out, nil
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/phy"
 	"repro/internal/stats"
 )
@@ -236,5 +237,71 @@ func TestTrialPanicSurfacesAsError(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "runParallel") && !strings.Contains(err.Error(), "goroutine") {
 		t.Errorf("panic error should carry a stack trace, got %q", err)
+	}
+}
+
+// TestPartialErrorReportsProgress pins satellite-3's contract: a cancelled
+// sweep surfaces how many trials finished, wrapped so errors.Is still
+// classifies it as the context error.
+func TestPartialErrorReportsProgress(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := TwoReceiverGains(ctx, testConfig(100000))
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PartialError", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("PartialError does not unwrap to context.Canceled: %v", err)
+	}
+	if pe.Trials != 100000 {
+		t.Errorf("Trials = %d, want 100000", pe.Trials)
+	}
+	if pe.Completed < 0 || pe.Completed > pe.Trials {
+		t.Errorf("Completed = %d out of range [0, %d]", pe.Completed, pe.Trials)
+	}
+	want := "mc: sweep interrupted after"
+	if !strings.Contains(err.Error(), want) || !strings.Contains(err.Error(), "context canceled") {
+		t.Errorf("error %q missing %q or cause", err, want)
+	}
+}
+
+func TestMetricsCountCompletedSweep(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig(200)
+	cfg.Metrics = NewMetrics(reg)
+	if _, err := TwoReceiverGains(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Metrics.Trials.Get(); got != 200 {
+		t.Errorf("mc_trials_total = %d, want 200", got)
+	}
+	if got := cfg.Metrics.Sweeps.Get(); got != 1 {
+		t.Errorf("mc_sweeps_total = %d, want 1", got)
+	}
+	if got := cfg.Metrics.SweepSeconds.Count(); got != 1 {
+		t.Errorf("mc_sweep_seconds count = %d, want 1", got)
+	}
+	if got := cfg.Metrics.TrialsPerSec.Get(); got <= 0 {
+		t.Errorf("mc_trials_per_second = %v, want > 0", got)
+	}
+}
+
+func TestMetricsCountInterruptedSweep(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig(100000)
+	cfg.Metrics = NewMetrics(reg)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := TwoReceiverGains(ctx, cfg)
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PartialError", err)
+	}
+	if got := cfg.Metrics.Trials.Get(); got != int64(pe.Completed) {
+		t.Errorf("mc_trials_total = %d, want Completed = %d", got, pe.Completed)
+	}
+	if got := cfg.Metrics.Sweeps.Get(); got != 0 {
+		t.Errorf("mc_sweeps_total = %d after interruption, want 0", got)
 	}
 }

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminMux builds the HTTP admin surface every long-running command
+// mounts behind its -admin flag:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/healthz        JSON health payload (health(), or {"status":"ok"})
+//	/debug/pprof/   the standard net/http/pprof profiling handlers
+//
+// The pprof handlers are attached to this mux explicitly rather than
+// relying on the package's DefaultServeMux side effect, so the admin
+// surface is complete even in binaries that never serve the default mux.
+func AdminMux(reg *Registry, health func() any) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		var payload any = map[string]string{"status": "ok"}
+		if health != nil {
+			payload = health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(payload)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func adminGet(t *testing.T, srv *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return resp, string(body)
+}
+
+func TestAdminMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total", "ups", nil).Add(7)
+	srv := httptest.NewServer(AdminMux(reg, nil))
+	defer srv.Close()
+
+	resp, body := adminGet(t, srv, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(body, "up_total 7") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	resp, body = adminGet(t, srv, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
+	}
+	var health map[string]string
+	if err := json.Unmarshal([]byte(body), &health); err != nil || health["status"] != "ok" {
+		t.Errorf("/healthz = %q (err %v), want status ok", body, err)
+	}
+
+	// pprof handlers are mounted on this mux, not just the default one.
+	resp, _ = adminGet(t, srv, "/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", resp.StatusCode)
+	}
+	resp, body = adminGet(t, srv, "/debug/pprof/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+}
+
+func TestAdminMuxCustomHealth(t *testing.T) {
+	srv := httptest.NewServer(AdminMux(NewRegistry(), func() any {
+		return map[string]int64{"clients": 3}
+	}))
+	defer srv.Close()
+	_, body := adminGet(t, srv, "/healthz")
+	var got map[string]int64
+	if err := json.Unmarshal([]byte(body), &got); err != nil || got["clients"] != 3 {
+		t.Errorf("/healthz = %q (err %v), want clients 3", body, err)
+	}
+}

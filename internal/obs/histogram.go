@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket latency histogram with a lock-free Observe:
+// one binary search plus two atomic adds per observation, no allocation.
+// Buckets are cumulative-upper-bound ("le") in the Prometheus sense: an
+// observation lands in the first bucket whose bound is >= the value, with
+// an implicit +Inf overflow bucket at the end. The bucket layout is fixed
+// at registration because resizing under concurrent observers would need
+// the very locks the hot path exists to avoid.
+type Histogram struct {
+	bounds  []float64      // strictly increasing, finite upper bounds
+	buckets []atomic.Int64 // len(bounds)+1; the last is the +Inf bucket
+	sumBits atomic.Uint64  // float64 bits of the running sum, CAS-added
+}
+
+// Histogram returns the histogram for (name, labels), creating and
+// registering it on first use. bounds must be strictly increasing and
+// finite; they are copied. Re-registering with different bounds panics,
+// since two scrapes of one series must agree on the bucket layout.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels Labels) *Histogram {
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: histogram %q bound %v is not finite", name, b))
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly increasing at %v", name, b))
+		}
+	}
+	s := r.register(name, help, kindHistogram, labels, func() series {
+		h := &Histogram{
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]atomic.Int64, len(bounds)+1),
+		}
+		return h
+	})
+	h := s.(*Histogram)
+	if len(h.bounds) != len(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+	}
+	for i := range bounds {
+		if h.bounds[i] != bounds[i] {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+		}
+	}
+	return h
+}
+
+// ExpBuckets returns n exponentially spaced bounds: start, start*factor,
+// start*factor², ... — the natural shape for latencies, which span orders
+// of magnitude.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// DefLatencyBuckets covers 10µs to ~5s in factor-2 steps — wide enough
+// for both a sub-millisecond greedy rung and a multi-second stalled solve.
+func DefLatencyBuckets() []float64 { return ExpBuckets(10e-6, 2, 20) }
+
+// Observe records one value. NaN observations are dropped: they carry no
+// ordering information and would poison the sum.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.buckets[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-th quantile as the upper bound of the bucket
+// holding the nearest-rank observation — the same ceil(q·n) convention as
+// stats.ECDF.Quantile, so histogram-derived and sample-derived percentiles
+// agree on which rank they mean. Out-of-range q is clamped; q = NaN, an
+// empty histogram, or a rank landing in the +Inf overflow bucket return
+// NaN, NaN and +Inf respectively.
+func (h *Histogram) Quantile(q float64) float64 {
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := h.Count()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i := range h.bounds {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return h.bounds[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+func (h *Histogram) writeProm(w io.Writer, name, labels string) {
+	// Bucket lines carry the existing labels plus le; splice le inside the
+	// braces (or open a fresh set when the series is unlabelled).
+	prefix, suffix := "{", "}"
+	if labels != "" {
+		prefix, suffix = labels[:len(labels)-1]+",", "}"
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket%sle=%q%s %d\n", name, prefix, formatFloat(b), suffix, cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"%s %d\n", name, prefix, suffix, cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum()))
+	// Render count from the same cumulative walk so _count always equals
+	// the +Inf bucket within one scrape, as the format requires.
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, cum)
+}
+
+// Timer measures a wall-clock duration for histogram observation. It is
+// the one sanctioned wall-clock bridge for the simulation packages:
+// instrumentation may time itself through here, but the readings feed
+// metrics only, never results, so same-seed reproducibility holds.
+type Timer struct {
+	start time.Time
+}
+
+// StartTimer begins timing.
+func StartTimer() Timer {
+	return Timer{start: time.Now()} //lint:allow rngdeterminism instrumentation timing feeds metrics only, never simulation results
+}
+
+// Elapsed returns the time since StartTimer.
+func (t Timer) Elapsed() time.Duration {
+	return time.Since(t.start) //lint:allow rngdeterminism instrumentation timing feeds metrics only, never simulation results
+}
+
+// ObserveSeconds records the elapsed time into h in seconds and returns it.
+func (t Timer) ObserveSeconds(h *Histogram) time.Duration {
+	d := t.Elapsed()
+	h.Observe(d.Seconds())
+	return d
+}

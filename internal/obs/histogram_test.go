@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries pins the le semantics: an observation
+// exactly on a bound lands in that bound's bucket (le is inclusive), one
+// just above rolls to the next, and values past the last bound land in
+// +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "latency", []float64{0.001, 0.01, 0.1}, nil)
+	for _, v := range []float64{
+		0.0005,  // below first bound -> bucket 0
+		0.001,   // exactly on a bound -> inclusive, bucket 0
+		0.0011,  // just above -> bucket 1
+		0.01,    // bucket 1
+		0.1,     // bucket 2
+		0.10001, // overflow -> +Inf
+		5,       // overflow -> +Inf
+	} {
+		h.Observe(v)
+	}
+	wantCum := []int64{2, 4, 5} // cumulative per finite bound
+	for i, want := range wantCum {
+		var cum int64
+		for j := 0; j <= i; j++ {
+			cum += h.buckets[j].Load()
+		}
+		if cum != want {
+			t.Errorf("cumulative count at le=%v: %d, want %d", h.bounds[i], cum, want)
+		}
+	}
+	if got := h.Count(); got != 7 {
+		t.Errorf("Count = %d, want 7", got)
+	}
+	wantSum := 0.0005 + 0.001 + 0.0011 + 0.01 + 0.1 + 0.10001 + 5
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-12 {
+		t.Errorf("Sum = %v, want %v", got, wantSum)
+	}
+
+	out := reg.Render()
+	for _, line := range []string{
+		`lat_seconds_bucket{le="0.001"} 2`,
+		`lat_seconds_bucket{le="0.01"} 4`,
+		`lat_seconds_bucket{le="0.1"} 5`,
+		`lat_seconds_bucket{le="+Inf"} 7`,
+		`lat_seconds_count 7`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("render missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestHistogramLabelledRender(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lad_seconds", "ladder", []float64{1}, Labels{"level": "greedy"})
+	h.Observe(0.5)
+	out := reg.Render()
+	for _, line := range []string{
+		`lad_seconds_bucket{level="greedy",le="1"} 1`,
+		`lad_seconds_bucket{level="greedy",le="+Inf"} 1`,
+		`lad_seconds_sum{level="greedy"} 0.5`,
+		`lad_seconds_count{level="greedy"} 1`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("render missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestHistogramNaNDropped(t *testing.T) {
+	h := NewRegistry().Histogram("h", "h", []float64{1}, nil)
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Error("NaN observation was counted")
+	}
+	h.Observe(0.5)
+	if h.Count() != 1 || math.IsNaN(h.Sum()) {
+		t.Error("NaN observation poisoned the histogram")
+	}
+}
+
+// TestHistogramQuantile pins the nearest-rank convention shared with
+// stats.ECDF.Quantile: rank ceil(q·n) clamped into [1, n], answered with
+// the bucket upper bound holding that rank.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewRegistry().Histogram("h", "h", []float64{1, 2, 4, 8}, nil)
+	// 4 observations ≤1, 3 in (1,2], 2 in (2,4], 1 in (4,8].
+	for i, n := range []int{4, 3, 2, 1} {
+		for j := 0; j < n; j++ {
+			h.Observe(float64(int(1) << i)) // 1, 2, 4, 8: exactly on bounds
+		}
+	}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1},    // rank clamps to 1 -> first bound
+		{0.1, 1},  // rank 1
+		{0.4, 1},  // rank 4, cum(1)=4
+		{0.5, 2},  // rank 5 -> second bucket
+		{0.7, 2},  // rank 7, cum(2)=7
+		{0.9, 4},  // rank 9, cum(4)=9
+		{0.99, 8}, // rank 10
+		{1, 8},    // rank n
+		{-3, 1},   // clamped below
+		{17, 8},   // clamped above
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(h.Quantile(math.NaN())) {
+		t.Error("Quantile(NaN) should be NaN")
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewRegistry().Histogram("h", "h", []float64{1, 2}, nil)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram should answer NaN")
+	}
+	h.Observe(10) // lands in +Inf overflow
+	if got := h.Quantile(0.5); !math.IsInf(got, 1) {
+		t.Errorf("overflow-only histogram Quantile = %v, want +Inf", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ExpBuckets(0, 2, 4) should panic")
+		}
+	}()
+	ExpBuckets(0, 2, 4)
+}
+
+func TestDefLatencyBucketsCoverServingRange(t *testing.T) {
+	b := DefLatencyBuckets()
+	if b[0] > 50e-6 {
+		t.Errorf("first bucket %v too coarse for a sub-100µs greedy rung", b[0])
+	}
+	if last := b[len(b)-1]; last < 2 {
+		t.Errorf("last bucket %v cannot hold a multi-second stalled solve", last)
+	}
+}
+
+func TestTimerObserves(t *testing.T) {
+	h := NewRegistry().Histogram("h_seconds", "h", DefLatencyBuckets(), nil)
+	tm := StartTimer()
+	time.Sleep(2 * time.Millisecond)
+	d := tm.ObserveSeconds(h)
+	if d < 2*time.Millisecond {
+		t.Errorf("Elapsed = %v, want >= 2ms", d)
+	}
+	if h.Count() != 1 {
+		t.Errorf("timer did not observe into the histogram")
+	}
+	if h.Sum() < 0.002 {
+		t.Errorf("observed %v seconds, want >= 0.002", h.Sum())
+	}
+}

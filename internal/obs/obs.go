@@ -1,0 +1,253 @@
+// Package obs is the repository's stdlib-only observability layer:
+// counters, gauges and fixed-bucket latency histograms behind a registry
+// that renders the Prometheus text exposition format. It exists because
+// the serving paths (the scheduling daemon, the suite runner, the
+// Monte-Carlo pool) previously had no live window — only exit-time counter
+// dumps — and every future scaling PR needs a measurement substrate.
+//
+// The hot path is lock-free: Inc/Add/Set/Observe are one or two
+// sync/atomic operations and never contend with a concurrent scrape. The
+// registry itself is locked only at registration and render time.
+//
+// Metric identity is (name, label set). Registration is get-or-create:
+// asking twice for the same metric returns the same instance, so
+// long-lived components can register lazily without coordinating; asking
+// for the same name with a different kind or help string panics, because
+// that is a programming error the exposition format cannot represent.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels is the label set attached to one metric series. Keys and values
+// are rendered sorted by key so series identity is order-independent.
+type Labels map[string]string
+
+// metricNameRE is the Prometheus metric/label name grammar.
+var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// labelValueReplacer escapes label values per the text exposition format.
+var labelValueReplacer = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// render produces the canonical `{k="v",...}` form, or "" for no labels.
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		if !metricNameRE.MatchString(k) {
+			panic(fmt.Sprintf("obs: invalid label name %q", k))
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// The replacer performs the full text-format escape set; %q would
+		// escape a second time.
+		fmt.Fprintf(&b, `%s="%s"`, k, labelValueReplacer.Replace(l[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// kind is the exposition TYPE of a metric family.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// series is one registered metric instance: it knows how to render itself
+// under its family name with its label string.
+type series interface {
+	writeProm(w io.Writer, name, labels string)
+}
+
+// family groups every series sharing one metric name; HELP and TYPE are
+// emitted once per family.
+type family struct {
+	name, help string
+	kind       kind
+	series     map[string]series // keyed by rendered label string
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+// The zero value is unusable; construct with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register is the get-or-create core shared by every constructor. mk is
+// called (under the registry lock) only when the series does not exist.
+func (r *Registry) register(name, help string, k kind, labels Labels, mk func() series) series {
+	if !metricNameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, series: make(map[string]series)}
+		r.families[name] = f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, k))
+	}
+	if f.help != help {
+		panic(fmt.Sprintf("obs: metric %q registered with two help strings", name))
+	}
+	key := labels.render()
+	if s := f.series[key]; s != nil {
+		return s
+	}
+	s := mk()
+	f.series[key] = s
+	return s
+}
+
+// Counter returns the monotonic counter for (name, labels), creating and
+// registering it on first use.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	s := r.register(name, help, kindCounter, labels, func() series { return &Counter{} })
+	return s.(*Counter)
+}
+
+// Gauge returns the gauge for (name, labels), creating and registering it
+// on first use.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	s := r.register(name, help, kindGauge, labels, func() series { return &Gauge{} })
+	return s.(*Gauge)
+}
+
+// WritePrometheus renders every registered metric in the text exposition
+// format (version 0.0.4), families sorted by name and series sorted by
+// label string, so scrapes of an unchanged registry are byte-identical.
+// The counters keep moving while the render reads them atomically.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	type row struct {
+		fam    *family
+		labels []string
+	}
+	rows := make([]row, 0, len(names))
+	for _, n := range names {
+		f := r.families[n]
+		ls := make([]string, 0, len(f.series))
+		for l := range f.series {
+			ls = append(ls, l)
+		}
+		sort.Strings(ls)
+		rows = append(rows, row{fam: f, labels: ls})
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, row := range rows {
+		fmt.Fprintf(&b, "# HELP %s %s\n", row.fam.name, row.fam.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", row.fam.name, row.fam.kind)
+		for _, l := range row.labels {
+			row.fam.series[l].writeProm(&b, row.fam.name, l)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Render returns the exposition text as a string (test and log helper).
+func (r *Registry) Render() string {
+	var b strings.Builder
+	r.WritePrometheus(&b) // strings.Builder writes cannot fail
+	return b.String()
+}
+
+// Counter is a monotonic event counter with a lock-free Add.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta. Counters are monotonic; a negative delta panics.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("obs: negative delta on a counter")
+	}
+	c.v.Add(delta)
+}
+
+// Get returns the current value.
+func (c *Counter) Get() int64 { return c.v.Load() }
+
+func (c *Counter) writeProm(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, c.v.Load())
+}
+
+// Gauge is a float64 value that can go up and down, stored as atomic bits
+// so readers never see a torn value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta via a CAS loop (safe against concurrent Set/Add).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Get returns the current value.
+func (g *Gauge) Get() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) writeProm(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(g.Get()))
+}
+
+// formatFloat renders a float the way the exposition format expects:
+// shortest representation, with the IEEE specials spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

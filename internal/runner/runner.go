@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/atomicio"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // Status classifies how a figure ended.
@@ -151,6 +152,10 @@ type Options struct {
 	// (cached=false) or served from a checkpoint (cached=true) — in suite
 	// order.
 	OnResult func(res experiments.Result, cached bool)
+	// Registry, when non-nil, receives per-figure wall-time and attempt
+	// gauges plus a status-classified completion counter after every
+	// figure settles.
+	Registry *obs.Registry
 }
 
 func (o *Options) withDefaults() Options {
@@ -195,6 +200,7 @@ func Run(ctx context.Context, runners []experiments.Runner, o Options) (*Report,
 		fs := FigureStatus{ID: r.ID, Title: r.Title}
 		if aborted {
 			fs.Status = StatusSkipped
+			opts.observeFigure(fs)
 			rep.Figures = append(rep.Figures, fs)
 			continue
 		}
@@ -212,6 +218,7 @@ func Run(ctx context.Context, runners []experiments.Runner, o Options) (*Report,
 				fs.Status = StatusCached
 				fs.SpreadUnavailable = cp.SpreadUnavailable
 				rep.Metrics[cp.Result.ID] = cp.Result.Metrics
+				opts.observeFigure(fs)
 				rep.Figures = append(rep.Figures, fs)
 				if opts.OnResult != nil {
 					opts.OnResult(cp.Result, true)
@@ -252,6 +259,7 @@ func Run(ctx context.Context, runners []experiments.Runner, o Options) (*Report,
 			}
 			fs.Err = firstLine(err.Error())
 			fmt.Fprintf(opts.Log, "runner: %s: %v\n", r.ID, err)
+			opts.observeFigure(fs)
 			rep.Figures = append(rep.Figures, fs)
 			continue
 		}
@@ -264,6 +272,7 @@ func Run(ctx context.Context, runners []experiments.Runner, o Options) (*Report,
 		}
 		fs.Status = StatusOK
 		rep.Metrics[res.ID] = res.Metrics
+		opts.observeFigure(fs)
 		rep.Figures = append(rep.Figures, fs)
 		if opts.OnResult != nil {
 			opts.OnResult(res, false)
@@ -365,6 +374,21 @@ func writeResultFiles(opts Options, res experiments.Result) error {
 		fmt.Fprintf(opts.Log, "  wrote %s\n", path)
 	}
 	return nil
+}
+
+// observeFigure publishes one settled figure row to the registry: how long
+// the last run took, how many driver attempts it needed, and a counter of
+// rows by final status. Gauges (not histograms) because each figure runs
+// once per suite — the interesting comparison is across figures, not
+// across runs.
+func (o Options) observeFigure(fs FigureStatus) {
+	if o.Registry == nil {
+		return
+	}
+	l := obs.Labels{"figure": fs.ID}
+	o.Registry.Gauge("sicfig_figure_seconds", "wall time of the figure's most recent run", l).Set(fs.Duration.Seconds())
+	o.Registry.Gauge("sicfig_figure_attempts", "driver attempts of the figure's most recent run", l).Set(float64(fs.Attempts))
+	o.Registry.Counter("sicfig_figures_total", "settled figure rows by final status", obs.Labels{"status": string(fs.Status)}).Inc()
 }
 
 func isCtxErr(err error) bool {

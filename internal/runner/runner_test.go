@@ -14,6 +14,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/mc"
+	"repro/internal/obs"
 )
 
 func testParams() experiments.Params {
@@ -352,6 +354,46 @@ func TestKillAndResumeByteIdenticalMetrics(t *testing.T) {
 		}
 		if !bytes.Equal(refCSV, gotCSV) {
 			t.Errorf("%s.csv differs between uninterrupted and resumed runs", name)
+		}
+	}
+}
+
+// TestPartialSweepReportsProgress: a driver interrupted mid-sweep returns
+// an mc.PartialError; the report row must classify it as timed-out (it
+// unwraps to the context error) and keep the completed-trial count in the
+// one-line reason — "4200/10000", not a bare deadline message. The
+// registry, when attached, records the settled row.
+func TestPartialSweepReportsProgress(t *testing.T) {
+	opts := baseOpts(t)
+	reg := obs.NewRegistry()
+	opts.Registry = reg
+	interrupted := experiments.Runner{
+		ID:    "partial",
+		Title: "interrupted sweep",
+		Run: func(context.Context, experiments.Params) (experiments.Result, error) {
+			return experiments.Result{}, fmt.Errorf("fig: %w",
+				&mc.PartialError{Completed: 4200, Trials: 10000, Err: context.DeadlineExceeded})
+		},
+	}
+	rep, err := Run(context.Background(), []experiments.Runner{interrupted}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := rep.Figures[0]
+	if fs.Status != StatusTimedOut {
+		t.Errorf("status = %v, want %v", fs.Status, StatusTimedOut)
+	}
+	if !strings.Contains(fs.Err, "4200/10000") {
+		t.Errorf("report row %q lost the sweep progress", fs.Err)
+	}
+	out := reg.Render()
+	for _, want := range []string{
+		`sicfig_figure_seconds{figure="partial"}`,
+		`sicfig_figure_attempts{figure="partial"} 1`,
+		`sicfig_figures_total{status="timed-out"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("registry missing %q:\n%s", want, out)
 		}
 	}
 }

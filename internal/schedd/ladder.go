@@ -48,13 +48,43 @@ type ladderResult struct {
 	level    Level
 }
 
+// ladderHooks bundles runLadder's injection points. Every field is
+// optional; the zero value runs the ladder untimed and unobserved.
+type ladderHooks struct {
+	// slow is a test hook invoked before each rung runs; tests use it to
+	// simulate pathological solver latency.
+	slow func(Level)
+	// now is the clock used to time rung attempts; timing is skipped when
+	// now or observe is nil. The server passes its injected clock here so
+	// fake-clock tests see exact rung latencies.
+	now func() time.Time
+	// observe receives the wall time of every rung attempt — failed ones
+	// included, since a blossom rung that burns its whole budget and loses
+	// is exactly what the latency histogram is for.
+	observe func(Level, time.Duration)
+}
+
+// timed runs one rung attempt under the hooks' clock.
+func (h ladderHooks) timed(l Level, f func() (sched.Schedule, error)) (sched.Schedule, error) {
+	if h.slow != nil {
+		h.slow(l)
+	}
+	if h.now == nil || h.observe == nil {
+		return f()
+	}
+	t0 := h.now()
+	s, err := f()
+	h.observe(l, h.now().Sub(t0))
+	return s, err
+}
+
 // runLadder answers one scheduling query within ctx by walking the
 // degradation ladder: each rung runs under min(its own budget, ctx's
 // remaining deadline); on timeout, cancellation or any solver error the
 // next rung is tried. The serial rung runs under ctx alone — if even that
 // is cancelled the query deadline as a whole has passed and the error is
-// returned. slow is an optional test hook invoked before each rung.
-func runLadder(ctx context.Context, clients []sched.Client, opts sched.Options, b Budgets, slow func(Level)) (ladderResult, error) {
+// returned.
+func runLadder(ctx context.Context, clients []sched.Client, opts sched.Options, b Budgets, h ladderHooks) (ladderResult, error) {
 	type rung struct {
 		level  Level
 		budget time.Duration
@@ -77,10 +107,7 @@ func runLadder(ctx context.Context, clients []sched.Client, opts sched.Options, 
 		if r.budget > 0 {
 			rctx, cancel = context.WithTimeout(ctx, r.budget)
 		}
-		if slow != nil {
-			slow(r.level)
-		}
-		s, err := r.run(rctx)
+		s, err := h.timed(r.level, func() (sched.Schedule, error) { return r.run(rctx) })
 		if cancel != nil {
 			cancel()
 		}
@@ -88,10 +115,7 @@ func runLadder(ctx context.Context, clients []sched.Client, opts sched.Options, 
 			return ladderResult{schedule: s, level: r.level}, nil
 		}
 	}
-	if slow != nil {
-		slow(LevelSerial)
-	}
-	s, err := sched.Serial(clients, opts)
+	s, err := h.timed(LevelSerial, func() (sched.Schedule, error) { return sched.Serial(clients, opts) })
 	if err != nil {
 		return ladderResult{}, err
 	}

@@ -24,7 +24,7 @@ var ladderOpts = sched.Options{Channel: phy.Wifi20MHz, PacketBits: 12000}
 // TestLadderPrefersBlossom: with generous budgets the top rung answers.
 func TestLadderPrefersBlossom(t *testing.T) {
 	res, err := runLadder(context.Background(), ladderClients(12), ladderOpts,
-		Budgets{Blossom: 5 * time.Second, Greedy: 5 * time.Second}, nil)
+		Budgets{Blossom: 5 * time.Second, Greedy: 5 * time.Second}, ladderHooks{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestLadderDegradesUnderBudgets(t *testing.T) {
 	defer cancel()
 	start := time.Now()
 	res, err := runLadder(ctx, clients, ladderOpts,
-		Budgets{Blossom: 50 * time.Millisecond, Greedy: 10 * time.Millisecond}, slow)
+		Budgets{Blossom: 50 * time.Millisecond, Greedy: 10 * time.Millisecond}, ladderHooks{slow: slow})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestLadderSkipsToSerialOnDeadQuery(t *testing.T) {
 	var visited []Level
 	res, err := runLadder(ctx, ladderClients(6), ladderOpts,
 		Budgets{Blossom: time.Second, Greedy: time.Second},
-		func(l Level) { visited = append(visited, l) })
+		ladderHooks{slow: func(l Level) { visited = append(visited, l) }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,12 +104,59 @@ func TestLadderGreedyRung(t *testing.T) {
 		}
 	}
 	res, err := runLadder(context.Background(), ladderClients(10), ladderOpts,
-		Budgets{Blossom: 5 * time.Millisecond, Greedy: 5 * time.Second}, slow)
+		Budgets{Blossom: 5 * time.Millisecond, Greedy: 5 * time.Second}, ladderHooks{slow: slow})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.level != LevelGreedy {
 		t.Fatalf("level = %v, want greedy", res.level)
+	}
+}
+
+// TestLadderObservesRungLatency: the observe hook sees every rung attempt,
+// timed by the injected clock — each attempt reads the clock exactly twice,
+// so a 1 ms-per-read step clock yields exactly 1 ms per attempt.
+func TestLadderObservesRungLatency(t *testing.T) {
+	base := time.Unix(1000, 0)
+	var reads int
+	now := func() time.Time {
+		reads++
+		return base.Add(time.Duration(reads) * time.Millisecond)
+	}
+	type rec struct {
+		l Level
+		d time.Duration
+	}
+	var recs []rec
+	hooks := ladderHooks{now: now, observe: func(l Level, d time.Duration) { recs = append(recs, rec{l, d}) }}
+
+	res, err := runLadder(context.Background(), ladderClients(8), ladderOpts,
+		Budgets{Blossom: 5 * time.Second, Greedy: 5 * time.Second}, hooks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.level != LevelBlossom {
+		t.Fatalf("level = %v, want blossom", res.level)
+	}
+	if len(recs) != 1 || recs[0].l != LevelBlossom || recs[0].d != time.Millisecond {
+		t.Fatalf("observations %v, want one blossom attempt of exactly 1ms", recs)
+	}
+
+	// A dead query skips straight to serial; the serial attempt is observed
+	// too — it is part of the latency story even though it cannot stall.
+	recs = nil
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err = runLadder(ctx, ladderClients(4), ladderOpts,
+		Budgets{Blossom: time.Second, Greedy: time.Second}, hooks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.level != LevelSerial {
+		t.Fatalf("level = %v, want serial", res.level)
+	}
+	if len(recs) != 1 || recs[0].l != LevelSerial || recs[0].d != time.Millisecond {
+		t.Fatalf("observations %v, want one serial attempt of exactly 1ms", recs)
 	}
 }
 

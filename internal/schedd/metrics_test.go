@@ -1,0 +1,133 @@
+package schedd
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// scrape fetches one admin path and returns the body.
+func scrape(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// promValue extracts the value of one exact series line ("name{labels}")
+// from exposition text; ok is false when the series is absent.
+func promValue(text, series string) (v int64, ok bool) {
+	for _, line := range strings.Split(text, "\n") {
+		rest, found := strings.CutPrefix(line, series+" ")
+		if !found {
+			continue
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return 0, false
+		}
+		return int64(f), true
+	}
+	return 0, false
+}
+
+// TestMetricsEndpointMatchesDrainDump drives report and query traffic at a
+// daemon whose registry is mounted on an admin mux, scrapes /metrics while
+// the daemon is live, and then checks the final exposition against the
+// drain-time counter dump: every event counter the daemon reports over
+// HEALTH/String must appear in /metrics with the identical value — one
+// snapshot path, two renderings.
+func TestMetricsEndpointMatchesDrainDump(t *testing.T) {
+	s, err := Start(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(obs.AdminMux(s.Registry(), nil))
+	defer srv.Close()
+
+	for st := 1; st <= 8; st++ {
+		sendReports(t, s, Report{AP: 1, Station: uint32(st), Seq: 1, SNRMilliDB: int32(10_000 + 2_000*st)})
+	}
+	waitCounter(t, s, "reports_ok", 8)
+
+	c := dialQuery(t, s)
+	defer c.close()
+	const queries = 25
+	for i := 0; i < queries; i++ {
+		if resp := c.roundTrip(t, "SCHED 1"); resp["error"] != nil {
+			t.Fatalf("query %d failed: %v", i, resp["error"])
+		}
+		if i == queries/2 {
+			// Mid-traffic scrape: the endpoint is live while the daemon
+			// serves, and already exposes the family being incremented.
+			code, body := scrape(t, srv, "/metrics")
+			if code != http.StatusOK {
+				t.Fatalf("/metrics mid-run status %d", code)
+			}
+			if !strings.Contains(body, "sicschedd_ladder_seconds_bucket") {
+				t.Error("mid-run scrape missing ladder histogram")
+			}
+		}
+	}
+	c.roundTrip(t, "BOGUS")   // query_bad
+	c.roundTrip(t, "SCHED 9") // served_empty
+	c.roundTrip(t, "HEALTH")  // health_queries
+
+	if code, _ := scrape(t, srv, "/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz status %d", code)
+	}
+	if code, _ := scrape(t, srv, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+
+	shutdown(t, s)
+
+	_, body := scrape(t, srv, "/metrics")
+	snap := s.Counters().Snapshot()
+	if snap["queries"] < queries {
+		t.Fatalf("drain dump lost queries: %v", snap)
+	}
+	for name, want := range snap {
+		series := fmt.Sprintf(`sicschedd_events_total{event="%s"}`, name)
+		got, ok := promValue(body, series)
+		if !ok {
+			t.Errorf("series %s missing from /metrics", series)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %d, drain dump says %d", series, got, want)
+		}
+	}
+
+	// Every served query timed at least one rung attempt, so the ladder
+	// histogram cannot undercount the serving counters.
+	var attempts, served int64
+	for _, lvl := range []Level{LevelBlossom, LevelGreedy, LevelSerial} {
+		series := fmt.Sprintf(`sicschedd_ladder_seconds_count{level="%s"}`, lvl)
+		n, ok := promValue(body, series)
+		if !ok {
+			t.Fatalf("series %s missing from /metrics", series)
+		}
+		attempts += n
+		served += snap["served_"+lvl.String()]
+	}
+	if attempts < served {
+		t.Errorf("ladder attempts %d < served queries %d", attempts, served)
+	}
+	if n, ok := promValue(body, "sicschedd_query_seconds_count"); !ok || n != served {
+		t.Errorf("sicschedd_query_seconds_count = %d (present %v), want %d", n, ok, served)
+	}
+}

@@ -13,9 +13,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/phy"
 	"repro/internal/sched"
-	"repro/internal/stats"
 )
 
 // Config parameterises the daemon. The zero value of every field gets a
@@ -54,9 +54,21 @@ type Config struct {
 	RetryAfter time.Duration
 	// IdleTimeout closes query connections with no traffic. Default 60s.
 	IdleTimeout time.Duration
+	// Registry receives the daemon's metrics (event counters, per-rung
+	// ladder latency histograms, query latency). Default: a fresh private
+	// registry; pass a shared one to expose the daemon on an admin
+	// endpoint alongside other subsystems.
+	Registry *obs.Registry
 
-	// now is a test hook for the table's staleness clock.
+	// now is the daemon's clock: table staleness, uptime, read deadlines,
+	// rung timing. A test hook — every time read in the daemon goes
+	// through it, so a fake clock sees exactly the daemon's time
+	// arithmetic.
 	now func() time.Time
+	// setReadDeadline applies a read deadline to a query connection. A
+	// test hook paired with now: fake-clock tests intercept it to check
+	// deadline arithmetic and bridge to real deadlines.
+	setReadDeadline func(net.Conn, time.Time) error
 	// slowLevel is a test hook invoked before each ladder rung runs; tests
 	// use it to simulate pathological solver latency.
 	slowLevel func(Level)
@@ -108,8 +120,14 @@ func (c Config) fillDefaults() Config {
 	if c.IdleTimeout <= 0 {
 		c.IdleTimeout = 60 * time.Second
 	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
 	if c.now == nil {
 		c.now = time.Now
+	}
+	if c.setReadDeadline == nil {
+		c.setReadDeadline = func(conn net.Conn, t time.Time) error { return conn.SetReadDeadline(t) }
 	}
 	return c
 }
@@ -119,9 +137,13 @@ func (c Config) fillDefaults() Config {
 // reported.
 type Server struct {
 	cfg      Config
-	counters *stats.CounterSet
-	table    *clientTable
-	started  time.Time
+	counters *obs.Group
+	// ladderHist is indexed by Level: wall time of every rung attempt.
+	ladderHist [3]*obs.Histogram
+	// queryHist is the end-to-end SCHED latency (snapshot + ladder).
+	queryHist *obs.Histogram
+	table     *clientTable
+	started   time.Time
 
 	udp *net.UDPConn
 	tcp net.Listener
@@ -185,14 +207,22 @@ func Start(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:      cfg,
-		counters: stats.NewCounterSet(counterNames()...),
-		table:    newClientTable(cfg.TTL, cfg.MaxClients, cfg.MaxAPs),
-		started:  time.Now(),
-		udp:      udp,
-		tcp:      tcp,
-		queue:    make(chan []byte, cfg.QueueDepth),
-		done:     make(chan struct{}),
-		conns:    make(map[net.Conn]struct{}),
+		counters: cfg.Registry.Group("sicschedd_events_total", "daemon serving events", "event", counterNames()...),
+		queryHist: cfg.Registry.Histogram("sicschedd_query_seconds",
+			"end-to-end SCHED latency (table snapshot + degradation ladder)",
+			obs.DefLatencyBuckets(), nil),
+		table:   newClientTable(cfg.TTL, cfg.MaxClients, cfg.MaxAPs),
+		started: cfg.now(),
+		udp:     udp,
+		tcp:     tcp,
+		queue:   make(chan []byte, cfg.QueueDepth),
+		done:    make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	for _, lvl := range []Level{LevelBlossom, LevelGreedy, LevelSerial} {
+		s.ladderHist[lvl] = cfg.Registry.Histogram("sicschedd_ladder_seconds",
+			"wall time of each degradation-ladder rung attempt",
+			obs.DefLatencyBuckets(), obs.Labels{"level": lvl.String()})
 	}
 	//lint:allow ctxfirst the daemon owns its queries' lifetimes; this is the one root context, cancelled by Shutdown
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
@@ -210,7 +240,19 @@ func (s *Server) UDPAddr() net.Addr { return s.udp.LocalAddr() }
 func (s *Server) TCPAddr() net.Addr { return s.tcp.Addr() }
 
 // Counters exposes the serving counters (live; also valid after Shutdown).
-func (s *Server) Counters() *stats.CounterSet { return s.counters }
+func (s *Server) Counters() *obs.Group { return s.counters }
+
+// Registry exposes the daemon's metrics registry — the same one passed in
+// Config.Registry, or the private default — for mounting on an admin
+// endpoint.
+func (s *Server) Registry() *obs.Registry { return s.cfg.Registry }
+
+// LadderHist returns the latency histogram of one ladder rung, for
+// quantile reporting at drain time.
+func (s *Server) LadderHist(l Level) *obs.Histogram { return s.ladderHist[l] }
+
+// Occupancy reports the current AP and client table sizes.
+func (s *Server) Occupancy() (aps, clients int) { return s.table.occupancy() }
 
 // readLoop pulls datagrams off the socket into the bounded ingest queue,
 // shedding oldest-first under pressure so a burst can never grow memory
@@ -335,7 +377,7 @@ func (s *Server) armRead(conn net.Conn) bool {
 	if s.closing.Load() {
 		return false
 	}
-	conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	s.cfg.setReadDeadline(conn, s.cfg.now().Add(s.cfg.IdleTimeout))
 	return true
 }
 
@@ -374,7 +416,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			s.counters.Inc("health_queries")
 			aps, clients := s.table.occupancy()
 			enc.Encode(healthResponse{
-				UptimeMS: time.Since(s.started).Milliseconds(),
+				UptimeMS: s.cfg.now().Sub(s.started).Milliseconds(),
 				APs:      aps,
 				Clients:  clients,
 				Counters: s.counters.Snapshot(),
@@ -449,20 +491,29 @@ func (s *Server) serveSched(ap uint32) any {
 	}
 	defer s.inflight.Add(-1)
 
-	start := time.Now()
-	clients, ids := s.table.snapshot(ap, s.cfg.now())
+	start := s.cfg.now()
+	clients, ids := s.table.snapshot(ap, start)
 	if len(clients) == 0 {
 		s.counters.Inc("served_empty")
 		return errorResponse{Error: fmt.Sprintf("no fresh reports for ap %d", ap)}
 	}
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.QueryDeadline)
 	defer cancel()
-	res, err := runLadder(ctx, clients, s.cfg.Sched, s.cfg.Budgets, s.cfg.slowLevel)
+	hooks := ladderHooks{
+		slow: s.cfg.slowLevel,
+		now:  s.cfg.now,
+		observe: func(l Level, d time.Duration) {
+			s.ladderHist[l].Observe(d.Seconds())
+		},
+	}
+	res, err := runLadder(ctx, clients, s.cfg.Sched, s.cfg.Budgets, hooks)
 	if err != nil {
 		s.counters.Inc("query_failed")
 		return errorResponse{Error: err.Error()}
 	}
 	s.counters.Inc("served_" + res.level.String())
+	elapsed := s.cfg.now().Sub(start)
+	s.queryHist.Observe(elapsed.Seconds())
 
 	resp := schedResponse{
 		AP:      ap,
@@ -470,7 +521,7 @@ func (s *Server) serveSched(ap uint32) any {
 		Clients: len(clients),
 		TotalMS: res.schedule.Total * 1e3,
 		Gain:    res.schedule.Gain(),
-		ElapsMS: float64(time.Since(start).Microseconds()) / 1e3,
+		ElapsMS: float64(elapsed.Microseconds()) / 1e3,
 	}
 	for _, sl := range res.schedule.Slots {
 		out := slotResponse{
@@ -505,7 +556,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// mid-query are not reading and will finish their response first.
 	s.mu.Lock()
 	for conn := range s.conns {
-		conn.SetReadDeadline(time.Now())
+		s.cfg.setReadDeadline(conn, s.cfg.now())
 	}
 	s.mu.Unlock()
 

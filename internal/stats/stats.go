@@ -48,20 +48,31 @@ func (e ECDF) At(x float64) float64 {
 	return float64(i) / float64(len(e.sorted))
 }
 
-// Quantile returns the q-th quantile for q in [0,1] using nearest-rank.
-// Out-of-range q is clamped.
+// Quantile returns the q-th quantile for q in [0,1] using nearest-rank:
+// the smallest sample value whose cumulative count reaches ceil(q·n), with
+// the rank clamped into [1, n] so q=0, q=1 and one-element samples always
+// stay in range. Out-of-range q is clamped; a NaN q returns NaN instead of
+// computing a garbage rank. Histogram quantiles (obs.Histogram.Quantile)
+// follow the same convention so sample- and bucket-derived percentiles
+// agree on which rank they mean.
 func (e ECDF) Quantile(q float64) float64 {
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
 	if q < 0 {
 		q = 0
 	}
 	if q > 1 {
 		q = 1
 	}
-	i := int(math.Ceil(q*float64(len(e.sorted)))) - 1
-	if i < 0 {
-		i = 0
+	rank := int(math.Ceil(q * float64(len(e.sorted))))
+	if rank < 1 {
+		rank = 1
 	}
-	return e.sorted[i]
+	if rank > len(e.sorted) {
+		rank = len(e.sorted)
+	}
+	return e.sorted[rank-1]
 }
 
 // Min returns the smallest sample value.

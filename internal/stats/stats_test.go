@@ -68,6 +68,72 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+// TestQuantileEdges pins the nearest-rank convention at the boundaries
+// Summarize depends on: q=0, q=1 and tiny samples must index in range and
+// return the right rank, and a NaN q must not panic with an index error
+// (the old int(ceil(NaN))-1 arithmetic did exactly that).
+func TestQuantileEdges(t *testing.T) {
+	cases := []struct {
+		name   string
+		sample []float64
+		q      float64
+		want   float64
+	}{
+		{"n=1 q=0", []float64{7}, 0, 7},
+		{"n=1 q=0.5", []float64{7}, 0.5, 7},
+		{"n=1 q=0.9", []float64{7}, 0.9, 7},
+		{"n=1 q=0.99", []float64{7}, 0.99, 7},
+		{"n=1 q=1", []float64{7}, 1, 7},
+		{"n=2 q=0", []float64{1, 2}, 0, 1},
+		{"n=2 q=0.5", []float64{1, 2}, 0.5, 1},
+		{"n=2 q=0.51", []float64{1, 2}, 0.51, 2},
+		{"n=2 q=0.9", []float64{1, 2}, 0.9, 2},
+		{"n=2 q=1", []float64{1, 2}, 1, 2},
+		{"n=3 q=0.99", []float64{1, 2, 3}, 0.99, 3},
+		{"n=10 q=0.9", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.9, 9},
+		{"n=10 q=0.99", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.99, 10},
+		{"clamp below", []float64{1, 2}, -0.5, 1},
+		{"clamp above", []float64{1, 2}, 1.5, 2},
+		{"tiny positive q", []float64{1, 2, 3}, 1e-300, 1},
+		{"q just under 1", []float64{1, 2, 3}, math.Nextafter(1, 0), 3},
+	}
+	for _, c := range cases {
+		e, err := NewECDF(c.sample)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got := e.Quantile(c.q); got != c.want {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", c.name, c.q, got, c.want)
+		}
+	}
+	e, _ := NewECDF([]float64{1, 2, 3})
+	if got := e.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(NaN) = %v, want NaN", got)
+	}
+}
+
+// TestSummarizeTinySamples: P90/P99 on n=1 and n=2 samples must be in
+// range and follow nearest-rank, never index out of bounds.
+func TestSummarizeTinySamples(t *testing.T) {
+	s, err := Summarize([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Median != 5 || s.P90 != 5 || s.P99 != 5 {
+		t.Errorf("n=1 summary = median %v p90 %v p99 %v, want all 5", s.Median, s.P90, s.P99)
+	}
+	s, err = Summarize([]float64{1, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Median != 1 {
+		t.Errorf("n=2 median = %v, want 1 (nearest-rank)", s.Median)
+	}
+	if s.P90 != 9 || s.P99 != 9 {
+		t.Errorf("n=2 p90/p99 = %v/%v, want 9/9", s.P90, s.P99)
+	}
+}
+
 func TestFracAbove(t *testing.T) {
 	e, _ := NewECDF([]float64{1, 1.1, 1.2, 1.3, 1.5})
 	if got := e.FracAbove(1.2); got != 0.4 {
