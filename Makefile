@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz bench bench-smoke figures ablations examples clean
+.PHONY: all build vet lint test race fuzz bench bench-smoke bench-check figures ablations examples clean
 
 all: build vet lint test
 
@@ -38,9 +38,20 @@ bench:
 
 # One iteration of every benchmark, archived as JSON (the CI artifact).
 # Catches benchmarks that no longer compile or crash without paying for a
-# statistically meaningful run.
+# statistically meaningful run. BENCH_OUT defaults to the committed baseline;
+# CI writes elsewhere (BENCH_OUT=BENCH_ci.json) and compares with bench-check.
+BENCH_OUT ?= BENCH_6.json
 bench-smoke:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_5.json
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+
+# Compare a fresh bench-smoke artifact against the committed baseline:
+# order-of-magnitude regression bound on the hot-path benches, plus the
+# structural warm-vs-cold matching speedup the scheduler relies on.
+BENCH_AGAINST ?= BENCH_ci.json
+bench-check:
+	$(GO) run ./cmd/benchjson -against $(BENCH_AGAINST) -baseline BENCH_6.json \
+		-benches BenchmarkMinCostPerfect64,BenchmarkScheduler64Clients -max-ratio 5 \
+		-faster BenchmarkSolverWarm64:BenchmarkMinCostPerfect64:3
 
 # Paper-scale regeneration of every figure + ablations into ./results.
 figures:
@@ -54,5 +65,7 @@ examples:
 		echo "== examples/$$e =="; $(GO) run ./examples/$$e || exit 1; echo; \
 	done
 
+# BENCH_6.json is the committed baseline bench-check compares against; clean
+# removes only derived artifacts.
 clean:
-	rm -rf results BENCH_5.json
+	rm -rf results BENCH_5.json BENCH_ci.json

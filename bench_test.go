@@ -134,6 +134,35 @@ func benchScheduler(b *testing.B, n int) {
 	}
 }
 
+// BenchmarkScheduler64ClientsWarm is the live-AP steady state: one planner
+// held across queries, one client's SNR drifting per query. Compare against
+// BenchmarkScheduler64Clients (cold solve per query) for what planner reuse
+// plus warm-started matching buys.
+func BenchmarkScheduler64ClientsWarm(b *testing.B) {
+	const n = 64
+	clients := make([]sicmac.SchedClient, n)
+	for i := range clients {
+		clients[i] = sicmac.SchedClient{
+			ID:  string(rune('A' + i%26)),
+			SNR: sicmac.FromDB(3 + float64(i*41%43)),
+		}
+	}
+	opts := sicmac.SchedOptions{Channel: sicmac.Wifi20MHz, PacketBits: 12000, PowerControl: true}
+	pl := sicmac.NewSchedPlanner(opts)
+	ctx := context.Background()
+	if _, err := pl.Plan(ctx, clients); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := &clients[i%n]
+		c.SNR *= 1 + 0.001*float64(i%7-3)
+		if _, err := pl.Plan(ctx, clients); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkMACScheduledSimulation(b *testing.B) {
 	stations := []sicmac.Station{
 		{ID: 1, SNR: sicmac.FromDB(32), Backlog: 4},

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	b, ok := parseLine("BenchmarkFig6-8   \t12\t  98765432 ns/op\t1024 B/op\t7 allocs/op")
@@ -28,5 +33,81 @@ func TestParseLine(t *testing.T) {
 		if _, ok := parseLine(line); ok {
 			t.Errorf("non-benchmark line %q accepted", line)
 		}
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFig6-8":      "BenchmarkFig6",        // GOMAXPROCS suffix stripped
+		"BenchmarkFig6-128":    "BenchmarkFig6",        // any core count
+		"BenchmarkFig6":        "BenchmarkFig6",        // already bare
+		"BenchmarkSolver-Warm": "BenchmarkSolver-Warm", // non-numeric suffix kept
+		"-8":                   "-8",                   // leading dash is not a suffix
+	} {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCheckRegressions(t *testing.T) {
+	fresh := map[string]Benchmark{
+		"BenchmarkA":    {Name: "BenchmarkA-8", NsPerOp: 1000},
+		"BenchmarkB":    {Name: "BenchmarkB-8", NsPerOp: 900},
+		"BenchmarkWarm": {Name: "BenchmarkWarm-8", NsPerOp: 100},
+	}
+	baseline := map[string]Benchmark{
+		"BenchmarkA": {Name: "BenchmarkA-4", NsPerOp: 500},
+		"BenchmarkB": {Name: "BenchmarkB-4", NsPerOp: 100},
+	}
+
+	if fails := checkRegressions(fresh, baseline, []string{"BenchmarkA"}, 5, nil); len(fails) != 0 {
+		t.Errorf("2x drift under a 5x limit flagged: %v", fails)
+	}
+	fails := checkRegressions(fresh, baseline, []string{"BenchmarkB"}, 5, nil)
+	if len(fails) != 1 || !strings.Contains(fails[0], "regressed") {
+		t.Errorf("9x regression not flagged: %v", fails)
+	}
+	fails = checkRegressions(fresh, baseline, []string{"BenchmarkMissing"}, 5, nil)
+	if len(fails) != 1 || !strings.Contains(fails[0], "missing") {
+		t.Errorf("missing benchmark not flagged: %v", fails)
+	}
+
+	if fails := checkRegressions(fresh, nil, nil, 5, []string{"BenchmarkWarm:BenchmarkA:3"}); len(fails) != 0 {
+		t.Errorf("10x speedup failed a 3x floor: %v", fails)
+	}
+	fails = checkRegressions(fresh, nil, nil, 5, []string{"BenchmarkWarm:BenchmarkA:20"})
+	if len(fails) != 1 || !strings.Contains(fails[0], "not 20.0x faster") {
+		t.Errorf("insufficient speedup not flagged: %v", fails)
+	}
+	fails = checkRegressions(fresh, nil, nil, 5, []string{"malformed"})
+	if len(fails) != 1 || !strings.Contains(fails[0], "bad -faster spec") {
+		t.Errorf("malformed spec not flagged: %v", fails)
+	}
+}
+
+func TestLoadArtifact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	blob := `[{"name":"BenchmarkA-8","iterations":10,"ns_per_op":1234.5}]` + "\n"
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := m["BenchmarkA"]
+	if !ok || b.NsPerOp != 1234.5 {
+		t.Errorf("loaded %+v (present %v), want normalized key with ns 1234.5", b, ok)
+	}
+	if _, err := loadArtifact(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadArtifact(path); err == nil {
+		t.Error("corrupt artifact accepted")
 	}
 }

@@ -28,11 +28,13 @@ type blossomSolver struct {
 	slack      []int    // best outer vertex providing slack to x, [cap]
 	st         []int    // outermost blossom containing x, [cap]
 	pa         []int    // parent vertex in the alternating forest, [cap]
-	flowerFrom [][]int  // [cap][n+1]: sub-blossom of b containing real vertex x
+	flowerFrom [][]int  // [cap][cap]: sub-blossom of b containing real vertex x
 	state      []int    // -1 unlabeled, 0 outer (S), 1 inner (T), [cap]
 	vis        []int    // timestamps for LCA search, [cap]
 	flower     [][]int  // sub-blossom lists for contracted blossoms, [cap]
 	q          []int    // BFS queue of outer vertices
+	qh         int      // BFS queue head index (pops advance qh, not the slice)
+	rot        []int    // scratch for in-place blossom cycle rotation
 	timer      int
 
 	// stop is an optional cooperative-cancellation probe (nil = never stop).
@@ -42,6 +44,11 @@ type blossomSolver struct {
 	stop     func() bool
 	stopTick int
 	aborted  bool
+
+	// stalled latches when a dual adjustment makes no progress (possible
+	// only after warm-start dual surgery breaks the even-slack parity the
+	// cold initialisation guarantees); callers fall back to a cold solve.
+	stalled bool
 }
 
 // stopStride bounds how much BFS work runs between cancellation probes.
@@ -68,32 +75,50 @@ func (s *blossomSolver) cancelled() bool {
 const infWeight = int64(1) << 62
 
 func newBlossom(n int) *blossomSolver {
-	capacity := 2*n + 1
-	s := &blossomSolver{n: n, cap: capacity}
-	s.g = make([][]edge, capacity)
-	for i := range s.g {
-		s.g[i] = make([]edge, capacity)
-		for j := range s.g[i] {
-			s.g[i][j] = edge{u: i, v: j}
-		}
-	}
-	s.lab = make([]int64, capacity)
-	s.match = make([]int, capacity)
-	s.slack = make([]int, capacity)
-	s.st = make([]int, capacity)
-	s.pa = make([]int, capacity)
-	s.flowerFrom = make([][]int, capacity)
-	for i := range s.flowerFrom {
-		s.flowerFrom[i] = make([]int, n+1)
-	}
-	s.state = make([]int, capacity)
-	s.vis = make([]int, capacity)
-	s.flower = make([][]int, capacity)
+	s := &blossomSolver{}
+	s.reset(n)
 	return s
 }
 
-func (s *blossomSolver) setWeight(u, v int, w int64) {
-	s.g[u][v].w = w
+// reset prepares the solver for an instance on n real vertices. Buffers are
+// grown only when n exceeds every previously seen size, so steady-state
+// reuse through a Solver allocates nothing.
+func (s *blossomSolver) reset(n int) {
+	capacity := 2*n + 1
+	if capacity > s.cap {
+		s.g = make([][]edge, capacity)
+		for i := range s.g {
+			s.g[i] = make([]edge, capacity)
+			for j := range s.g[i] {
+				s.g[i][j] = edge{u: i, v: j}
+			}
+		}
+		s.lab = make([]int64, capacity)
+		s.match = make([]int, capacity)
+		s.slack = make([]int, capacity)
+		s.st = make([]int, capacity)
+		s.pa = make([]int, capacity)
+		s.flowerFrom = make([][]int, capacity)
+		for i := range s.flowerFrom {
+			s.flowerFrom[i] = make([]int, capacity)
+		}
+		s.state = make([]int, capacity)
+		s.vis = make([]int, capacity)
+		s.flower = make([][]int, capacity)
+		s.cap = capacity
+	}
+	s.n = n
+	s.nx = n
+	s.aborted = false
+	s.stopTick = 0
+	s.stalled = false
+}
+
+// setEdge writes a full real-vertex edge. Blossom contraction copies edge
+// records between rows, so reusing the solver requires restoring the u/v
+// endpoints alongside the weight — not just the weight.
+func (s *blossomSolver) setEdge(u, v int, w int64) {
+	s.g[u][v] = edge{u: u, v: v, w: w}
 }
 
 // eDelta is the (doubled) slack of an edge under the current duals.
@@ -170,10 +195,13 @@ func (s *blossomSolver) setMatch(u, v int) {
 		s.setMatch(s.flower[u][i], s.flower[u][i^1])
 	}
 	s.setMatch(xr, v)
-	// Rotate so xr becomes the base of the blossom.
+	// Rotate so xr becomes the base of the blossom. The rotation runs
+	// through a solver-owned scratch buffer so steady-state solves stay
+	// allocation-free.
 	fl := s.flower[u]
-	rotated := append(append([]int{}, fl[pr:]...), fl[:pr]...)
-	s.flower[u] = rotated
+	s.rot = append(s.rot[:0], fl[:pr]...)
+	copy(fl, fl[pr:])
+	copy(fl[len(fl)-pr:], s.rot)
 }
 
 func (s *blossomSolver) augment(u, v int) {
@@ -323,7 +351,7 @@ func (s *blossomSolver) matchingPhase() bool {
 		s.state[i] = -1
 		s.slack[i] = 0
 	}
-	s.q = s.q[:0]
+	s.q, s.qh = s.q[:0], 0
 	for x := 1; x <= s.nx; x++ {
 		if s.st[x] == x && s.match[x] == 0 {
 			s.pa[x] = 0
@@ -338,12 +366,12 @@ func (s *blossomSolver) matchingPhase() bool {
 		if s.aborted {
 			return false
 		}
-		for len(s.q) > 0 {
+		for s.qh < len(s.q) {
 			if s.cancelled() {
 				return false
 			}
-			u := s.q[0]
-			s.q = s.q[1:]
+			u := s.q[s.qh]
+			s.qh++
 			if s.state[s.st[u]] == 1 {
 				continue
 			}
@@ -403,10 +431,15 @@ func (s *blossomSolver) matchingPhase() bool {
 				}
 			}
 		}
-		s.q = s.q[:0]
+		s.q, s.qh = s.q[:0], 0
+		progressed := false
 		for x := 1; x <= s.nx; x++ {
-			if s.st[x] == x && s.slack[x] != 0 && s.st[s.slack[x]] != x &&
-				s.eDelta(s.g[s.slack[x]][x]) == 0 {
+			// Mirror the d computation: only unlabeled (-1) and outer (0)
+			// targets can act on a tight edge; onFoundEdge ignores inner
+			// ones, so counting them as progress would mask a genuine stall.
+			if s.st[x] == x && s.state[x] != 1 && s.slack[x] != 0 &&
+				s.st[s.slack[x]] != x && s.eDelta(s.g[s.slack[x]][x]) == 0 {
+				progressed = true
 				if s.onFoundEdge(s.g[s.slack[x]][x]) {
 					return true
 				}
@@ -414,8 +447,18 @@ func (s *blossomSolver) matchingPhase() bool {
 		}
 		for b := s.n + 1; b <= s.nx; b++ {
 			if s.st[b] == b && s.state[b] == 1 && s.lab[b] == 0 {
+				progressed = true
 				s.expandBlossom(b)
 			}
+		}
+		if d == 0 && !progressed {
+			// A zero dual adjustment that neither tightened an edge nor
+			// expanded a blossom would loop forever. The cold start keeps
+			// all outer-outer slacks even so this cannot happen; warm-start
+			// dual surgery can break that parity, in which case the caller
+			// re-solves cold.
+			s.stalled = true
+			return false
 		}
 	}
 }
@@ -423,6 +466,7 @@ func (s *blossomSolver) matchingPhase() bool {
 // solve runs augmentation phases to completion and returns the total weight
 // of the matching left in s.match.
 func (s *blossomSolver) solve() int64 {
+	s.aborted, s.stopTick, s.stalled = false, 0, false
 	for i := range s.match {
 		s.match[i] = 0
 	}
@@ -456,4 +500,156 @@ func (s *blossomSolver) solve() int64 {
 		}
 	}
 	return total
+}
+
+// ---- Warm-start machinery ------------------------------------------------
+//
+// A finished solve leaves behind dual variables, a matching, and a forest of
+// contracted blossoms. When only a few edge weights change, re-solving from
+// that state is far cheaper than a cold solve: the matching loses at most a
+// handful of edges, so only a few augmentation phases run instead of n/2.
+//
+// The state is made safe to resume from in two steps:
+//
+//  1. dissolveBlossoms flattens the blossom forest. Each blossom's dual z is
+//     distributed half-and-half onto the real vertices it contains, which
+//     preserves dual feasibility everywhere (constraints spanning the
+//     blossom gained z/2 per inside endpoint, constraints inside it needed
+//     exactly z to stay non-negative) and keeps matched in-blossom edges
+//     tight. Matched edges crossing a blossom boundary gain slack and are
+//     unmatched by the tightness sweep that follows.
+//
+//  2. The caller re-writes the edited edge weights, restores feasibility by
+//     raising a violated edge's first endpoint dual by the deficit (raising
+//     a dual never breaks feasibility elsewhere), and unmatches every
+//     matched edge that is no longer tight. The result is indistinguishable
+//     from a cold solve's mid-run state, so running matchingPhase to
+//     quiescence completes the matching.
+
+// distributeDual folds blossom b's dual down onto the real vertices it
+// contains, recursively dissolves its sub-blossoms, and frees slot b.
+func (s *blossomSolver) distributeDual(b int) {
+	if b <= s.n {
+		return
+	}
+	if half := s.lab[b] / 2; half != 0 {
+		for x := 1; x <= s.n; x++ {
+			if s.flowerFrom[b][x] != 0 {
+				s.lab[x] += half
+			}
+		}
+	}
+	for _, sub := range s.flower[b] {
+		s.distributeDual(sub)
+	}
+	s.lab[b] = 0
+	s.match[b] = 0
+	s.st[b] = 0
+	s.flower[b] = s.flower[b][:0]
+}
+
+// dissolveBlossoms flattens the blossom forest left by a previous solve,
+// leaving only real vertices with (still feasible) duals and a matching
+// whose edges may have lost tightness — the caller sweeps and unmatches
+// those before resuming phases.
+func (s *blossomSolver) dissolveBlossoms() {
+	for b := s.n + 1; b <= s.nx; b++ {
+		if s.st[b] == b {
+			s.distributeDual(b)
+		}
+	}
+	s.nx = s.n
+	for u := 1; u <= s.n; u++ {
+		s.st[u] = u
+		row := s.flowerFrom[u]
+		for v := 1; v <= s.n; v++ {
+			row[v] = 0
+		}
+		row[u] = u
+	}
+}
+
+// normalizeParity moves every real-vertex dual into one parity class.
+//
+// The augmentation machinery implicitly relies on parity homogeneity: the
+// alternating forest only grows across tight edges (whose endpoint duals
+// have equal parity, since doubled weights are even), so when every phase
+// root starts in the same class, every outer–outer slack stays even and
+// each zero dual adjustment coincides with a tight edge or an expandable
+// blossom — the loop always progresses. Cold starts get this for free (all
+// duals start equal); warm surgery distributes odd blossom half-duals onto
+// subsets of vertices and can split free vertices across classes, leaving
+// odd slacks between trees that no adjustment can ever tighten.
+//
+// Matched pairs (tight, hence parity-equal) in the wrong class get a
+// tightness-preserving +1/−1 flip; unmatched wrong-class vertices are
+// raised by 1. The −1 halves can create (even) feasibility deficits on
+// unrelated edges, so a full repair sweep raises first endpoints to cover
+// them — raising a dual only adds slack elsewhere, so one pass suffices.
+// The caller re-runs unmatchLoose afterwards: a repair raise breaks the
+// tightness of that vertex's matched edge.
+func (s *blossomSolver) normalizeParity() {
+	odd := 0
+	for u := 1; u <= s.n; u++ {
+		odd += int(s.lab[u] & 1)
+	}
+	var target int64
+	if 2*odd > s.n {
+		target = 1
+	}
+	lowered := false
+	for u := 1; u <= s.n; u++ {
+		if s.lab[u]&1 == target {
+			continue
+		}
+		v := s.match[u]
+		switch {
+		case v == 0 || s.lab[v]&1 == target:
+			// Free vertex, or a (non-tight, parity-unequal) pair whose
+			// other half is already in class: raise, which is always
+			// feasibility-safe.
+			s.lab[u]++
+		case v > u:
+			s.lab[u]++
+			s.lab[v]--
+			lowered = true
+		}
+	}
+	if !lowered {
+		return
+	}
+	for u := 1; u <= s.n; u++ {
+		for v := u + 1; v <= s.n; v++ {
+			if d := s.eDelta(s.g[u][v]); d < 0 {
+				s.lab[u] -= d
+			}
+		}
+	}
+}
+
+// unmatchLoose unmatches every real matched edge that is not tight under
+// the current duals; the following phases re-augment the freed vertices.
+func (s *blossomSolver) unmatchLoose() {
+	for u := 1; u <= s.n; u++ {
+		v := s.match[u]
+		if v == 0 {
+			continue
+		}
+		if s.match[v] != u || s.eDelta(s.g[u][v]) != 0 {
+			s.match[u] = 0
+			if s.match[v] == u {
+				s.match[v] = 0
+			}
+		}
+	}
+}
+
+// resume runs augmentation phases from the current (repaired) state. It
+// reports false when the solve stalled on a dual-parity corner and must be
+// redone cold.
+func (s *blossomSolver) resume() bool {
+	s.aborted, s.stopTick, s.stalled = false, 0, false
+	for s.matchingPhase() {
+	}
+	return !s.stalled
 }

@@ -89,6 +89,63 @@ func TestMaxWeightTooLarge(t *testing.T) {
 	}
 }
 
+// TestMinCostPerfectFloatCtx: the float entry point honours cancellation —
+// previously it routed through the context-free solver, so a daemon rung
+// using float costs could not be abandoned on deadline — and with a live
+// context it agrees exactly with the wrapper.
+func TestMinCostPerfectFloatCtx(t *testing.T) {
+	ok := [][]float64{{0, 2.5, 9, 9}, {2.5, 0, 9, 9}, {9, 9, 0, 1.5}, {9, 9, 1.5, 0}}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := MinCostPerfectFloatCtx(cancelled, ok, 1e-6); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+
+	m1, t1, err := MinCostPerfectFloatCtx(context.Background(), ok, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, t2, err := MinCostPerfectFloat(ok, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Fatalf("totals differ: %v vs %v", t1, t2)
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("mates differ at %d: %d vs %d", i, m1[i], m2[i])
+		}
+	}
+}
+
+// TestMinCostPerfectFloatCtxDeadline: a large float instance under an
+// immediate deadline aborts promptly instead of running to completion.
+func TestMinCostPerfectFloatCtxDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 200
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c := rng.Float64() * 1e6
+			cost[i][j], cost[j][i] = c, c
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	start := time.Now()
+	if _, _, err := MinCostPerfectFloatCtx(ctx, cost, 1e-3); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("cancelled solve took %v, want bounded abort", e)
+	}
+}
+
 // TestMinCostPerfectFloatValidation: NaN/Inf/negative float costs and bad
 // quanta are rejected; valid input agrees with the integer solver.
 func TestMinCostPerfectFloatValidation(t *testing.T) {

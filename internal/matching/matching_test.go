@@ -1,6 +1,7 @@
 package matching
 
 import (
+	"math/bits"
 	"math/rand"
 	"sort"
 	"testing"
@@ -428,5 +429,22 @@ func TestMinCostPerfectVeryLarge(t *testing.T) {
 	}
 	if total > greedy {
 		t.Errorf("blossom cost %d worse than greedy %d", total, greedy)
+	}
+}
+
+// TestTrailingZeros: the helper must terminate and return the word size on
+// input 0 — the hand-rolled predecessor spun forever there — and agree with
+// the obvious definition on every single-bit and mixed input.
+func TestTrailingZeros(t *testing.T) {
+	if got := trailingZeros(0); got != bits.UintSize {
+		t.Fatalf("trailingZeros(0) = %d, want %d", got, bits.UintSize)
+	}
+	for s := 0; s < 62; s++ {
+		if got := trailingZeros(1 << s); got != s {
+			t.Fatalf("trailingZeros(1<<%d) = %d, want %d", s, got, s)
+		}
+		if got := trailingZeros(1<<s | 1<<62); got != s {
+			t.Fatalf("trailingZeros(1<<%d|1<<62) = %d, want %d", s, got, s)
+		}
 	}
 }

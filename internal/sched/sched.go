@@ -15,10 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/core"
-	"repro/internal/matching"
 	"repro/internal/phy"
 )
 
@@ -216,93 +214,12 @@ func New(clients []Client, o Options) (Schedule, error) {
 // is cancelled or its deadline passes, returning ctx's error. The live
 // scheduling daemon uses this to bound how long an optimal solve may hold
 // the serving loop before degrading to a cheaper algorithm.
+//
+// NewCtx runs a throwaway Planner; callers issuing repeated queries over a
+// mostly stable client set should hold a Planner instead, which memoizes
+// the cost table and warm-starts the matcher across queries.
 func NewCtx(ctx context.Context, clients []Client, o Options) (Schedule, error) {
-	if err := validateInputs(clients, o); err != nil {
-		return Schedule{}, err
-	}
-
-	n := len(clients)
-	var baseline float64
-	for _, c := range clients {
-		baseline += soloTime(c, o)
-	}
-	if math.IsInf(baseline, 1) {
-		return Schedule{}, errors.New("sched: some client cannot reach the AP at any rate")
-	}
-
-	if n == 1 {
-		t := soloTime(clients[0], o)
-		return Schedule{
-			Slots:          []Slot{{A: 0, B: -1, Mode: ModeSolo, WeakScale: 1, Time: t}},
-			Total:          t,
-			SerialBaseline: baseline,
-		}, nil
-	}
-
-	// Vertex layout: clients 0..n-1, optional dummy at index n.
-	size := n
-	odd := n%2 == 1
-	if odd {
-		size = n + 1
-	}
-	cost := make([][]int64, size)
-	for i := range cost {
-		cost[i] = make([]int64, size)
-	}
-	type cacheEntry struct {
-		t     float64
-		mode  Mode
-		scale float64
-	}
-	cache := make(map[[2]int]cacheEntry, n*n/2)
-	for i := 0; i < n; i++ {
-		if err := ctx.Err(); err != nil {
-			return Schedule{}, err
-		}
-		for j := i + 1; j < n; j++ {
-			t, mode, scale := pairCost(clients[i], clients[j], o)
-			ns, err := costNanos(t)
-			if err != nil {
-				return Schedule{}, fmt.Errorf("pair (%q, %q): %w", clients[i].ID, clients[j].ID, err)
-			}
-			cost[i][j], cost[j][i] = ns, ns
-			cache[[2]int{i, j}] = cacheEntry{t: t, mode: mode, scale: scale}
-		}
-	}
-	if odd {
-		for i := 0; i < n; i++ {
-			t := soloTime(clients[i], o)
-			ns, err := costNanos(t)
-			if err != nil {
-				return Schedule{}, fmt.Errorf("client %q solo: %w", clients[i].ID, err)
-			}
-			cost[i][n], cost[n][i] = ns, ns
-		}
-	}
-
-	mate, _, err := matching.MinCostPerfectCtx(ctx, cost)
-	if err != nil {
-		return Schedule{}, fmt.Errorf("sched: matching failed: %w", err)
-	}
-
-	var slots []Slot
-	var total float64
-	for i := 0; i < n; i++ {
-		m := mate[i]
-		if m < i {
-			continue // already emitted (or i is the dummy's partner handled below)
-		}
-		if odd && m == n {
-			t := soloTime(clients[i], o)
-			slots = append(slots, Slot{A: i, B: -1, Mode: ModeSolo, WeakScale: 1, Time: t})
-			total += t
-			continue
-		}
-		e := cache[[2]int{i, m}]
-		slots = append(slots, Slot{A: i, B: m, Mode: e.mode, WeakScale: e.scale, Time: e.t})
-		total += e.t
-	}
-	return Schedule{Slots: slots, Total: total, SerialBaseline: baseline}, nil
+	return NewPlanner(o).Plan(ctx, clients)
 }
 
 // Greedy computes a schedule with best-pair-first greedy selection instead
@@ -315,54 +232,10 @@ func Greedy(clients []Client, o Options) (Schedule, error) {
 }
 
 // GreedyCtx is Greedy with cooperative cancellation during the O(n²)
-// candidate build.
+// candidate build. Like NewCtx it runs a throwaway Planner; repeated
+// callers should hold a Planner and use PlanGreedy.
 func GreedyCtx(ctx context.Context, clients []Client, o Options) (Schedule, error) {
-	if err := validateInputs(clients, o); err != nil {
-		return Schedule{}, err
-	}
-	n := len(clients)
-	var baseline float64
-	for _, c := range clients {
-		baseline += soloTime(c, o)
-	}
-
-	type cand struct {
-		i, j  int
-		t     float64
-		mode  Mode
-		scale float64
-	}
-	var cands []cand
-	for i := 0; i < n; i++ {
-		if err := ctx.Err(); err != nil {
-			return Schedule{}, err
-		}
-		for j := i + 1; j < n; j++ {
-			t, mode, scale := pairCost(clients[i], clients[j], o)
-			cands = append(cands, cand{i, j, t, mode, scale})
-		}
-	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].t < cands[b].t })
-
-	used := make([]bool, n)
-	var slots []Slot
-	var total float64
-	for _, c := range cands {
-		if used[c.i] || used[c.j] {
-			continue
-		}
-		used[c.i], used[c.j] = true, true
-		slots = append(slots, Slot{A: c.i, B: c.j, Mode: c.mode, WeakScale: c.scale, Time: c.t})
-		total += c.t
-	}
-	for i := 0; i < n; i++ {
-		if !used[i] {
-			t := soloTime(clients[i], o)
-			slots = append(slots, Slot{A: i, B: -1, Mode: ModeSolo, WeakScale: 1, Time: t})
-			total += t
-		}
-	}
-	return Schedule{Slots: slots, Total: total, SerialBaseline: baseline}, nil
+	return NewPlanner(o).PlanGreedy(ctx, clients)
 }
 
 // Serial computes the no-SIC schedule: every client transmits alone at its
@@ -374,12 +247,14 @@ func Serial(clients []Client, o Options) (Schedule, error) {
 	if err := validateInputs(clients, o); err != nil {
 		return Schedule{}, err
 	}
+	solo := make([]float64, len(clients))
+	total, err := soloTimes(solo, clients, o)
+	if err != nil {
+		return Schedule{}, err
+	}
 	slots := make([]Slot, len(clients))
-	var total float64
-	for i, c := range clients {
-		t := soloTime(c, o)
+	for i, t := range solo {
 		slots[i] = Slot{A: i, B: -1, Mode: ModeSolo, WeakScale: 1, Time: t}
-		total += t
 	}
 	return Schedule{Slots: slots, Total: total, SerialBaseline: total}, nil
 }

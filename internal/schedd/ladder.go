@@ -84,7 +84,13 @@ func (h ladderHooks) timed(l Level, f func() (sched.Schedule, error)) (sched.Sch
 // next rung is tried. The serial rung runs under ctx alone — if even that
 // is cancelled the query deadline as a whole has passed and the error is
 // returned.
-func runLadder(ctx context.Context, clients []sched.Client, opts sched.Options, b Budgets, h ladderHooks) (ladderResult, error) {
+//
+// When pl is non-nil the blossom and greedy rungs run through it, reusing
+// its memoized cost table and warm-starting the matcher across queries for
+// the same AP; a nil pl falls back to the one-shot entry points. Notably, a
+// blossom rung that burns its budget leaves the cost table behind, so the
+// greedy rung that follows skips the O(n²) cost rebuild.
+func runLadder(ctx context.Context, clients []sched.Client, opts sched.Options, b Budgets, h ladderHooks, pl *sched.Planner) (ladderResult, error) {
 	type rung struct {
 		level  Level
 		budget time.Duration
@@ -92,9 +98,15 @@ func runLadder(ctx context.Context, clients []sched.Client, opts sched.Options, 
 	}
 	rungs := []rung{
 		{LevelBlossom, b.Blossom, func(c context.Context) (sched.Schedule, error) {
+			if pl != nil {
+				return pl.Plan(c, clients)
+			}
 			return sched.NewCtx(c, clients, opts)
 		}},
 		{LevelGreedy, b.Greedy, func(c context.Context) (sched.Schedule, error) {
+			if pl != nil {
+				return pl.PlanGreedy(c, clients)
+			}
 			return sched.GreedyCtx(c, clients, opts)
 		}},
 	}

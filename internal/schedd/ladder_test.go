@@ -24,7 +24,7 @@ var ladderOpts = sched.Options{Channel: phy.Wifi20MHz, PacketBits: 12000}
 // TestLadderPrefersBlossom: with generous budgets the top rung answers.
 func TestLadderPrefersBlossom(t *testing.T) {
 	res, err := runLadder(context.Background(), ladderClients(12), ladderOpts,
-		Budgets{Blossom: 5 * time.Second, Greedy: 5 * time.Second}, ladderHooks{})
+		Budgets{Blossom: 5 * time.Second, Greedy: 5 * time.Second}, ladderHooks{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestLadderDegradesUnderBudgets(t *testing.T) {
 	defer cancel()
 	start := time.Now()
 	res, err := runLadder(ctx, clients, ladderOpts,
-		Budgets{Blossom: 50 * time.Millisecond, Greedy: 10 * time.Millisecond}, ladderHooks{slow: slow})
+		Budgets{Blossom: 50 * time.Millisecond, Greedy: 10 * time.Millisecond}, ladderHooks{slow: slow}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestLadderSkipsToSerialOnDeadQuery(t *testing.T) {
 	var visited []Level
 	res, err := runLadder(ctx, ladderClients(6), ladderOpts,
 		Budgets{Blossom: time.Second, Greedy: time.Second},
-		ladderHooks{slow: func(l Level) { visited = append(visited, l) }})
+		ladderHooks{slow: func(l Level) { visited = append(visited, l) }}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestLadderGreedyRung(t *testing.T) {
 		}
 	}
 	res, err := runLadder(context.Background(), ladderClients(10), ladderOpts,
-		Budgets{Blossom: 5 * time.Millisecond, Greedy: 5 * time.Second}, ladderHooks{slow: slow})
+		Budgets{Blossom: 5 * time.Millisecond, Greedy: 5 * time.Second}, ladderHooks{slow: slow}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestLadderObservesRungLatency(t *testing.T) {
 	hooks := ladderHooks{now: now, observe: func(l Level, d time.Duration) { recs = append(recs, rec{l, d}) }}
 
 	res, err := runLadder(context.Background(), ladderClients(8), ladderOpts,
-		Budgets{Blossom: 5 * time.Second, Greedy: 5 * time.Second}, hooks)
+		Budgets{Blossom: 5 * time.Second, Greedy: 5 * time.Second}, hooks, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestLadderObservesRungLatency(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	res, err = runLadder(ctx, ladderClients(4), ladderOpts,
-		Budgets{Blossom: time.Second, Greedy: time.Second}, hooks)
+		Budgets{Blossom: time.Second, Greedy: time.Second}, hooks, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,6 +157,38 @@ func TestLadderObservesRungLatency(t *testing.T) {
 	}
 	if len(recs) != 1 || recs[0].l != LevelSerial || recs[0].d != time.Millisecond {
 		t.Fatalf("observations %v, want one serial attempt of exactly 1ms", recs)
+	}
+}
+
+// TestLadderReusesPlanner: consecutive ladder runs through the same
+// Planner answer identically to plannerless runs, and after the first
+// query the optimal rung warm-starts instead of solving from scratch.
+func TestLadderReusesPlanner(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	clients := ladderClients(14)
+	pl := sched.NewPlanner(ladderOpts)
+	budgets := Budgets{Blossom: 5 * time.Second, Greedy: 5 * time.Second}
+	for round := 0; round < 6; round++ {
+		if round > 0 {
+			clients[rng.Intn(len(clients))].SNR *= 1 + 0.02*rng.Float64()
+		}
+		got, err := runLadder(context.Background(), clients, ladderOpts, budgets, ladderHooks{}, pl)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if got.level != LevelBlossom {
+			t.Fatalf("round %d: level = %v, want blossom", round, got.level)
+		}
+		want, err := runLadder(context.Background(), clients, ladderOpts, budgets, ladderHooks{}, nil)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if diff := got.schedule.Total - want.schedule.Total; diff > 1e-6*want.schedule.Total || diff < -1e-6*want.schedule.Total {
+			t.Fatalf("round %d: planner total %v, plannerless total %v", round, got.schedule.Total, want.schedule.Total)
+		}
+	}
+	if s := pl.Stats(); s.Cold != 1 || s.Warm != 5 {
+		t.Fatalf("planner stats = %+v, want 1 cold + 5 warm across 6 queries", s)
 	}
 }
 

@@ -112,6 +112,20 @@ func TestMetricsEndpointMatchesDrainDump(t *testing.T) {
 		}
 	}
 
+	// The planner-reuse counters ride the same registry: one serial client
+	// issued every query for one AP, so the first solve ran cold and each
+	// repeat warm-started (no contention possible on a single connection).
+	planner := s.PlannerEvents().Snapshot()
+	if planner["plan_cold"] != 1 || planner["plan_warm"] != queries-1 || planner["plan_contended"] != 0 {
+		t.Errorf("planner counters %v, want 1 cold + %d warm", planner, queries-1)
+	}
+	for name, want := range planner {
+		series := fmt.Sprintf(`sicschedd_planner_total{path="%s"}`, name)
+		if got, ok := promValue(body, series); !ok || got != want {
+			t.Errorf("%s = %d (present %v), want %d", series, got, ok, want)
+		}
+	}
+
 	// Every served query timed at least one rung attempt, so the ladder
 	// histogram cannot undercount the serving counters.
 	var attempts, served int64

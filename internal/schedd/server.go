@@ -164,6 +164,24 @@ type Server struct {
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
+
+	// planners holds one warm-startable sched.Planner per AP, so repeated
+	// queries for a mostly-stable client population reuse the cost table
+	// and resume the matcher from the previous solution. plannerEvents
+	// counts how each query's optimal solve ran (its own metric group so
+	// the serving-event counters stay byte-compatible for scrapers).
+	plannerMu     sync.Mutex
+	planners      map[uint32]*apPlanner
+	plannerEvents *obs.Group
+}
+
+// apPlanner is the per-AP planner slot. Its mutex serialises queries for
+// the same AP through the (not concurrency-safe) Planner; concurrent
+// queries for one AP do not wait — they fall back to a plannerless ladder
+// rather than queue behind the lock.
+type apPlanner struct {
+	mu sync.Mutex
+	pl *sched.Planner
 }
 
 // counterNames is every counter the daemon maintains.
@@ -211,13 +229,17 @@ func Start(cfg Config) (*Server, error) {
 		queryHist: cfg.Registry.Histogram("sicschedd_query_seconds",
 			"end-to-end SCHED latency (table snapshot + degradation ladder)",
 			obs.DefLatencyBuckets(), nil),
-		table:   newClientTable(cfg.TTL, cfg.MaxClients, cfg.MaxAPs),
-		started: cfg.now(),
-		udp:     udp,
-		tcp:     tcp,
-		queue:   make(chan []byte, cfg.QueueDepth),
-		done:    make(chan struct{}),
-		conns:   make(map[net.Conn]struct{}),
+		table:    newClientTable(cfg.TTL, cfg.MaxClients, cfg.MaxAPs),
+		started:  cfg.now(),
+		udp:      udp,
+		tcp:      tcp,
+		queue:    make(chan []byte, cfg.QueueDepth),
+		done:     make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
+		planners: make(map[uint32]*apPlanner),
+		plannerEvents: cfg.Registry.Group("sicschedd_planner_total",
+			"per-AP planner reuse: how each query's optimal solve ran", "path",
+			"plan_cold", "plan_warm", "plan_contended"),
 	}
 	for _, lvl := range []Level{LevelBlossom, LevelGreedy, LevelSerial} {
 		s.ladderHist[lvl] = cfg.Registry.Histogram("sicschedd_ladder_seconds",
@@ -253,6 +275,31 @@ func (s *Server) LadderHist(l Level) *obs.Histogram { return s.ladderHist[l] }
 
 // Occupancy reports the current AP and client table sizes.
 func (s *Server) Occupancy() (aps, clients int) { return s.table.occupancy() }
+
+// PlannerEvents exposes the planner-reuse counters (plan_cold, plan_warm,
+// plan_contended).
+func (s *Server) PlannerEvents() *obs.Group { return s.plannerEvents }
+
+// plannerFor returns the AP's planner slot, creating it on first use. The
+// map is bounded by the same MaxAPs budget as the client table; past it an
+// arbitrary planner is evicted — losing only warm-start state, never
+// correctness.
+func (s *Server) plannerFor(ap uint32) *apPlanner {
+	s.plannerMu.Lock()
+	defer s.plannerMu.Unlock()
+	if p, ok := s.planners[ap]; ok {
+		return p
+	}
+	if len(s.planners) >= s.cfg.MaxAPs {
+		for k := range s.planners {
+			delete(s.planners, k)
+			break
+		}
+	}
+	p := &apPlanner{pl: sched.NewPlanner(s.cfg.Sched)}
+	s.planners[ap] = p
+	return p
+}
 
 // readLoop pulls datagrams off the socket into the bounded ingest queue,
 // shedding oldest-first under pressure so a burst can never grow memory
@@ -506,7 +553,22 @@ func (s *Server) serveSched(ap uint32) any {
 			s.ladderHist[l].Observe(d.Seconds())
 		},
 	}
-	res, err := runLadder(ctx, clients, s.cfg.Sched, s.cfg.Budgets, hooks)
+	// Serve through the AP's warm planner when it is free; under
+	// contention (two concurrent queries for one AP) fall back to a
+	// plannerless ladder rather than serialise queries behind the lock.
+	var res ladderResult
+	var err error
+	if slot := s.plannerFor(ap); slot.mu.TryLock() {
+		before := slot.pl.Stats()
+		res, err = runLadder(ctx, clients, s.cfg.Sched, s.cfg.Budgets, hooks, slot.pl)
+		after := slot.pl.Stats()
+		slot.mu.Unlock()
+		s.plannerEvents.Add("plan_cold", int64(after.Cold-before.Cold))
+		s.plannerEvents.Add("plan_warm", int64(after.Warm-before.Warm))
+	} else {
+		s.plannerEvents.Inc("plan_contended")
+		res, err = runLadder(ctx, clients, s.cfg.Sched, s.cfg.Budgets, hooks, nil)
+	}
 	if err != nil {
 		s.counters.Inc("query_failed")
 		return errorResponse{Error: err.Error()}

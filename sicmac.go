@@ -151,6 +151,15 @@ const (
 	ModeSolo   = sched.ModeSolo
 )
 
+// SchedPlanner is the reusable form of the scheduler: it memoizes solo and
+// pair costs across queries and warm-starts the matcher when only SNRs
+// drifted. Hold one per AP for repeated scheduling of a mostly-stable
+// client population; the one-shot entry points build a throwaway one.
+type SchedPlanner = sched.Planner
+
+// NewSchedPlanner returns a SchedPlanner computing costs under o.
+func NewSchedPlanner(o SchedOptions) *SchedPlanner { return sched.NewPlanner(o) }
+
 // NewSchedule computes the optimal SIC-aware schedule via minimum-weight
 // perfect matching.
 func NewSchedule(clients []SchedClient, o SchedOptions) (Schedule, error) {
