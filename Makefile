@@ -32,6 +32,9 @@ fuzz:
 	$(GO) test -fuzz='^FuzzReader$$' -fuzztime=10s ./internal/capture/
 	$(GO) test -fuzz='^FuzzReadSnapshots$$' -fuzztime=10s ./internal/trace/
 	$(GO) test -fuzz='^FuzzDecodeReport$$' -fuzztime=10s ./internal/schedd/
+	$(GO) test -fuzz='^FuzzLogParse$$' -fuzztime=10s ./internal/atomicio/
+	$(GO) test -fuzz='^FuzzDecodeHandoff$$' -fuzztime=10s ./internal/session/
+	$(GO) test -fuzz='^FuzzDecodeWALRecord$$' -fuzztime=10s ./internal/session/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -7,9 +7,16 @@
 //
 // Query protocol (newline-delimited over TCP, one-line JSON replies):
 //
-//	SCHED <apID>   schedule for the AP's fresh clients
-//	HEALTH         uptime, table occupancy and serving counters
-//	QUIT           close the connection
+//	SCHED <apID>            schedule for the AP's fresh clients
+//	HEALTH                  uptime, table occupancy and serving counters
+//	HANDOFF <base64>        install a session transferred from a peer daemon
+//	MOVE <station> <addr>   hand a station's session off to a peer daemon
+//	QUIT                    close the connection
+//
+// With -data the daemon's client sessions are durable: every accepted
+// report lands in a write-ahead log and the session table is periodically
+// snapshotted, so a crashed or killed daemon restarts with its pre-crash
+// scheduling context (and prints what recovery found).
 //
 // Every schedule reply records the degradation-ladder rung that produced it
 // ("blossom", "greedy" or "serial"); under load the daemon degrades rather
@@ -55,6 +62,11 @@ func main() {
 		inflight = flag.Int("max-inflight", 32, "concurrent query bound before overload shedding")
 		drain    = flag.Duration("drain", 5*time.Second, "graceful shutdown drain budget")
 		admin    = flag.String("admin", "", "HTTP admin address for /metrics, /healthz and /debug/pprof (empty = disabled)")
+		dataDir  = flag.String("data", "", "data directory for durable sessions (empty = memory-only)")
+		hoTries  = flag.Int("handoff-attempts", 4, "AP-to-AP handoff attempts before degrading to a cold session")
+		hoBack   = flag.Duration("handoff-backoff", 50*time.Millisecond, "initial handoff retry backoff (doubled, jittered, capped)")
+		hoMax    = flag.Duration("handoff-max-backoff", time.Second, "handoff retry backoff cap")
+		hoTime   = flag.Duration("handoff-timeout", 2*time.Second, "per-attempt handoff deadline")
 	)
 	flag.Parse()
 
@@ -66,17 +78,34 @@ func main() {
 			PacketBits:   *pktBits,
 			PowerControl: *powerCtl,
 		},
-		TTL:           *ttl,
-		MaxClients:    *maxCli,
-		Budgets:       schedd.Budgets{Blossom: *blossomB, Greedy: *greedyB},
-		QueryDeadline: *deadline,
-		MaxInflight:   *inflight,
+		TTL:               *ttl,
+		MaxClients:        *maxCli,
+		Budgets:           schedd.Budgets{Blossom: *blossomB, Greedy: *greedyB},
+		QueryDeadline:     *deadline,
+		MaxInflight:       *inflight,
+		DataDir:           *dataDir,
+		HandoffAttempts:   *hoTries,
+		HandoffBackoff:    *hoBack,
+		HandoffMaxBackoff: *hoMax,
+		HandoffTimeout:    *hoTime,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sicschedd: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("sicschedd: reports on udp %s, queries on tcp %s\n", s.UDPAddr(), s.TCPAddr())
+	if *dataDir != "" {
+		rec := s.SessionRecovery()
+		fmt.Printf("sicschedd: sessions durable in %s: recovered %d from snapshot, replayed %d WAL records",
+			*dataDir, rec.SnapshotSessions, rec.WALRecords)
+		if rec.SnapshotCorrupt {
+			fmt.Printf(" (snapshot corrupt, degraded to WAL)")
+		}
+		if rec.WALTorn {
+			fmt.Printf(" (torn WAL tail truncated)")
+		}
+		fmt.Println()
+	}
 
 	var adminSrv *http.Server
 	if *admin != "" {

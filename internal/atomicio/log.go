@@ -1,0 +1,145 @@
+package atomicio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Log is an append-only record log with crash-tolerant recovery: the
+// durable half of a snapshot+WAL persistence scheme. Each record is framed
+// as a 4-byte big-endian payload length, the payload, and a CRC-32 (IEEE)
+// over length+payload. On open the tail is scanned; the first torn or
+// corrupted frame truncates the file back to the last intact record, so a
+// write interrupted by a crash costs exactly the interrupted record and
+// never the log.
+//
+// Appends are plain writes: they survive a killed process as soon as the
+// syscall returns, and survive machine failure once Sync (or the owner's
+// next snapshot) lands. A Log is not safe for concurrent use; callers
+// serialise access.
+type Log struct {
+	path    string
+	f       *os.File
+	records int64
+}
+
+// MaxLogRecord bounds one record's payload. Anything larger in a length
+// prefix is corruption, not data.
+const MaxLogRecord = 1 << 20
+
+const logFrameOverhead = 8 // 4-byte length prefix + 4-byte CRC
+
+// ParseLogRecords scans data as a sequence of framed records. It returns
+// the intact payloads (aliasing data), the byte offset of the end of the
+// last intact record, and whether trailing bytes had to be discarded.
+// It never fails: arbitrary bytes parse as some (possibly empty) prefix.
+func ParseLogRecords(data []byte) (payloads [][]byte, good int, torn bool) {
+	off := 0
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return payloads, off, false
+		}
+		if len(rest) < logFrameOverhead+1 {
+			return payloads, off, true
+		}
+		n := binary.BigEndian.Uint32(rest[0:4])
+		if n == 0 || n > MaxLogRecord || len(rest) < logFrameOverhead+int(n) {
+			return payloads, off, true
+		}
+		frame := rest[:4+n]
+		if crc32.ChecksumIEEE(frame) != binary.BigEndian.Uint32(rest[4+n:8+n]) {
+			return payloads, off, true
+		}
+		payloads = append(payloads, frame[4:])
+		off += logFrameOverhead + int(n)
+	}
+}
+
+// OpenLog opens (creating if absent) the log at path, replays it, and
+// positions it for appending. It returns the recovered payloads in append
+// order and whether a torn tail was truncated away.
+func OpenLog(path string) (l *Log, payloads [][]byte, torn bool, err error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("atomicio: opening log %s: %w", path, err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		//lint:allow closecheck open failed before any write; nothing to lose
+		f.Close()
+		return nil, nil, false, fmt.Errorf("atomicio: reading log %s: %w", path, err)
+	}
+	payloads, good, torn := ParseLogRecords(data)
+	if torn {
+		if err := f.Truncate(int64(good)); err != nil {
+			//lint:allow closecheck truncate failure already aborts the open
+			f.Close()
+			return nil, nil, false, fmt.Errorf("atomicio: truncating torn log %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
+		//lint:allow closecheck seek failure already aborts the open
+		f.Close()
+		return nil, nil, false, fmt.Errorf("atomicio: seeking log %s: %w", path, err)
+	}
+	return &Log{path: path, f: f, records: int64(len(payloads))}, payloads, torn, nil
+}
+
+// Append frames and writes one record.
+func (l *Log) Append(payload []byte) error {
+	if len(payload) == 0 || len(payload) > MaxLogRecord {
+		return fmt.Errorf("atomicio: log record of %d bytes (must be 1..%d)", len(payload), MaxLogRecord)
+	}
+	buf := make([]byte, logFrameOverhead+len(payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	copy(buf[4:], payload)
+	binary.BigEndian.PutUint32(buf[4+len(payload):], crc32.ChecksumIEEE(buf[:4+len(payload)]))
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("atomicio: appending to log %s: %w", l.path, err)
+	}
+	l.records++
+	return nil
+}
+
+// Records returns the number of records in the log (replayed + appended
+// since open, minus resets).
+func (l *Log) Records() int64 { return l.records }
+
+// Reset empties the log. Callers do this right after committing a snapshot
+// that supersedes every logged record; if the process dies between the
+// snapshot and the reset, replaying the stale records must be idempotent.
+func (l *Log) Reset() error {
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("atomicio: resetting log %s: %w", l.path, err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("atomicio: rewinding log %s: %w", l.path, err)
+	}
+	l.records = 0
+	return nil
+}
+
+// Sync flushes appended records to stable storage.
+func (l *Log) Sync() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("atomicio: syncing log %s: %w", l.path, err)
+	}
+	return nil
+}
+
+// Close syncs and closes the log. Both errors are reported: an unsynced
+// close can mean lost records.
+func (l *Log) Close() error {
+	serr := l.f.Sync()
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("atomicio: closing log %s: %w", l.path, err)
+	}
+	if serr != nil {
+		return fmt.Errorf("atomicio: syncing log %s at close: %w", l.path, serr)
+	}
+	return nil
+}

@@ -140,6 +140,97 @@ func TestChaosDeterministicCounters(t *testing.T) {
 	}
 }
 
+// TestChaosKillRestart is the durability arm of the chaos harness: seeded
+// chaos traffic into a persistent daemon, an abrupt kill (no snapshot, no
+// drain), restart on the same data directory, more traffic — repeated for
+// several cycles. Across every cycle the daemon must come back, recover
+// its sessions from snapshot+WAL, preserve sequence continuity (replays of
+// pre-kill reports stay duplicates), and keep serving.
+func TestChaosKillRestart(t *testing.T) {
+	const (
+		cycles    = 3
+		rounds    = 10
+		nStations = 30
+	)
+	dir := t.TempDir()
+	chaos, err := emu.NewWireChaos(chaosModel, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var prevSessions int
+	seqBase := 0
+	for cycle := 0; cycle < cycles; cycle++ {
+		s, err := Start(Config{TTL: time.Hour, DataDir: dir})
+		if err != nil {
+			t.Fatalf("cycle %d: restart failed: %v", cycle, err)
+		}
+		if cycle > 0 {
+			// Session continuity: everything alive at the kill is back.
+			if got := s.Sessions(); got != prevSessions {
+				t.Fatalf("cycle %d: recovered %d sessions, want %d", cycle, got, prevSessions)
+			}
+			replayed := s.SessionEvents().Get("wal_replay") + s.SessionEvents().Get("snapshot_restore")
+			if replayed == 0 {
+				t.Fatalf("cycle %d: restart recovered nothing", cycle)
+			}
+			// Replay a pre-kill report: the recovered session still knows
+			// its sequence position.
+			sendReports(t, s, Report{AP: 1, Station: 1, Seq: uint32(seqBase), SNRMilliDB: int32(5_700)})
+			waitCounter(t, s, "drop_duplicate", 1)
+		}
+
+		// Chaos traffic with strictly advancing sequences across cycles.
+		conn, err := net.Dial("udp", s.UDPAddr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent := int(s.Counters().Get("ingest_datagrams"))
+		for round := 0; round < rounds; round++ {
+			seq := uint32(seqBase + round + 1)
+			for st := uint32(1); st <= nStations; st++ {
+				if chaos.Drop(st, seq) {
+					continue
+				}
+				r := Report{AP: 1 + (st-1)/10, Station: st, Seq: seq, SNRMilliDB: int32(5_000 + 700*int(st))}
+				buf, mErr := r.Marshal()
+				if mErr != nil {
+					t.Fatal(mErr)
+				}
+				if _, err := conn.Write(chaos.Corrupt(buf, st, seq)); err != nil {
+					t.Fatal(err)
+				}
+				sent++
+			}
+			waitCounter(t, s, "ingest_datagrams", int64(sent))
+		}
+		conn.Close()
+		seqBase += rounds
+
+		// The daemon serves from the (partly recovered) table before dying.
+		c := dialQuery(t, s)
+		if resp := c.roundTrip(t, "SCHED 1"); resp["error"] != nil {
+			t.Fatalf("cycle %d: SCHED failed: %v", cycle, resp["error"])
+		}
+		c.close()
+		prevSessions = s.Sessions()
+		if prevSessions == 0 {
+			t.Fatalf("cycle %d: no sessions formed", cycle)
+		}
+		s.kill()
+	}
+
+	// Final restart proves the last kill is recoverable too.
+	s, err := Start(Config{TTL: time.Hour, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, s)
+	if got := s.Sessions(); got != prevSessions {
+		t.Fatalf("final restart: %d sessions, want %d", got, prevSessions)
+	}
+}
+
 // queryLoop hammers SCHED/HEALTH queries until done closes. Errors are
 // tolerated (the daemon may be shutting down); service is asserted through
 // the daemon's own counters.

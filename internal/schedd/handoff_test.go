@@ -1,0 +1,282 @@
+package schedd
+
+import (
+	"context"
+	"encoding/base64"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/session"
+)
+
+// flakyProxy fronts a daemon's TCP listener and kills the first failN
+// connections on accept — injected peer loss for retry coverage.
+type flakyProxy struct {
+	ln    net.Listener
+	failN int32
+	fails atomic.Int32
+}
+
+func newFlakyProxy(t *testing.T, target string, failN int32) *flakyProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyProxy{ln: ln, failN: failN}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if p.fails.Add(1) <= p.failN {
+				conn.Close() // injected loss
+				continue
+			}
+			go proxyPipe(conn, target)
+		}
+	}()
+	return p
+}
+
+func proxyPipe(client net.Conn, target string) {
+	defer client.Close()
+	server, err := net.Dial("tcp", target)
+	if err != nil {
+		return
+	}
+	defer server.Close()
+	go io.Copy(server, client)
+	io.Copy(client, server)
+}
+
+func fastHandoffCfg() Config {
+	return Config{
+		HandoffAttempts:   4,
+		HandoffBackoff:    5 * time.Millisecond,
+		HandoffMaxBackoff: 20 * time.Millisecond,
+		HandoffTimeout:    500 * time.Millisecond,
+	}
+}
+
+// TestHandoffRetriesThenSucceeds: with the first two connections to the
+// peer cut, the transfer retries with backoff and completes exactly once;
+// the session moves and both sides count the outcome.
+func TestHandoffRetriesThenSucceeds(t *testing.T) {
+	a, err := Start(fastHandoffCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, a)
+	b, err := Start(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, b)
+	proxy := newFlakyProxy(t, b.TCPAddr().String(), 2)
+
+	sendReports(t, a, Report{AP: 1, Station: 9, Seq: 5, SNRMilliDB: 22_000})
+	waitCounter(t, a, "reports_ok", 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := a.Handoff(ctx, 9, proxy.ln.Addr().String()); err != nil {
+		t.Fatalf("handoff failed despite retry budget: %v", err)
+	}
+	if got := a.SessionEvents().Get("handoff_retry"); got != 2 {
+		t.Fatalf("handoff_retry = %d, want 2", got)
+	}
+	if got := a.SessionEvents().Get("handoff_ok"); got != 1 {
+		t.Fatalf("handoff_ok = %d, want 1", got)
+	}
+	// The session left A entirely...
+	if _, ok := a.Session(9); ok {
+		t.Fatal("session still at origin after handoff")
+	}
+	if _, clients := a.Occupancy(); clients != 0 {
+		t.Fatalf("origin table still holds %d clients", clients)
+	}
+	// ...and landed at B with its history and identity.
+	st, ok := b.Session(9)
+	if !ok {
+		t.Fatal("session missing at peer")
+	}
+	if st.Seq != 5 || st.Handoffs != 1 {
+		t.Fatalf("transferred session = %+v, want seq 5 handoffs 1", st)
+	}
+	if got := b.SessionEvents().Get("handoff_in"); got != 1 {
+		t.Fatalf("peer handoff_in = %d, want 1", got)
+	}
+	// B can schedule the station straight away.
+	c := dialQuery(t, b)
+	defer c.close()
+	resp := c.roundTrip(t, "SCHED 1")
+	if resp["error"] != nil {
+		t.Fatalf("peer cannot schedule handed-off station: %v", resp["error"])
+	}
+}
+
+// TestHandoffReplayIsIdempotent: the same encoded transfer delivered twice
+// (a retry after a lost ack) installs once and is acknowledged both times.
+func TestHandoffReplayIsIdempotent(t *testing.T) {
+	b, err := Start(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, b)
+
+	msg := session.EncodeHandoff(77, session.State{
+		Station: 9, AP: 1, Seq: 5, SNRMilliDB: 22_000,
+		FirstSeen: time.Now().Add(-time.Minute).UnixNano(),
+		LastSeen:  time.Now().UnixNano(),
+	})
+	line := "HANDOFF " + base64.StdEncoding.EncodeToString(msg)
+
+	c := dialQuery(t, b)
+	defer c.close()
+	first := c.roundTrip(t, line)
+	if first["applied"] != true {
+		t.Fatalf("first delivery not applied: %v", first)
+	}
+	second := c.roundTrip(t, line)
+	if second["applied"] != false {
+		t.Fatalf("replay applied again: %v", second)
+	}
+	if first["transfer"] != second["transfer"] {
+		t.Fatalf("transfer echo differs: %v vs %v", first["transfer"], second["transfer"])
+	}
+	if got := b.SessionEvents().Get("handoff_dup"); got != 1 {
+		t.Fatalf("handoff_dup = %d, want 1", got)
+	}
+	if st, _ := b.Session(9); st.Handoffs != 1 {
+		t.Fatalf("handoffs = %d, want 1 (replay must not double-install)", st.Handoffs)
+	}
+}
+
+// TestHandoffAbandonedKeepsSession: an unreachable peer exhausts the retry
+// budget; the abandonment is counted and the session stays schedulable
+// locally (the peer will simply see a cold session when the client shows
+// up there).
+func TestHandoffAbandonedKeepsSession(t *testing.T) {
+	a, err := Start(fastHandoffCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, a)
+
+	// A listener that closed: connections are refused.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	sendReports(t, a, Report{AP: 1, Station: 9, Seq: 5, SNRMilliDB: 22_000})
+	waitCounter(t, a, "reports_ok", 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := a.Handoff(ctx, 9, deadAddr); err == nil {
+		t.Fatal("handoff to dead peer reported success")
+	}
+	if got := a.SessionEvents().Get("handoff_abandoned"); got != 1 {
+		t.Fatalf("handoff_abandoned = %d, want 1", got)
+	}
+	if got := a.SessionEvents().Get("handoff_retry"); got != 3 {
+		t.Fatalf("handoff_retry = %d, want 3 (4 attempts)", got)
+	}
+	if _, ok := a.Session(9); !ok {
+		t.Fatal("session lost on abandoned handoff")
+	}
+	c := dialQuery(t, a)
+	defer c.close()
+	if resp := c.roundTrip(t, "SCHED 1"); resp["error"] != nil {
+		t.Fatalf("station unschedulable after abandoned handoff: %v", resp["error"])
+	}
+}
+
+// TestMoveCommand: the MOVE query command drives a whole transfer over the
+// wire, and a handoff for an unknown station is a clean error.
+func TestMoveCommand(t *testing.T) {
+	a, err := Start(fastHandoffCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, a)
+	b, err := Start(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, b)
+
+	sendReports(t, a, Report{AP: 1, Station: 9, Seq: 5, SNRMilliDB: 22_000})
+	waitCounter(t, a, "reports_ok", 1)
+
+	c := dialQuery(t, a)
+	defer c.close()
+	resp := c.roundTrip(t, "MOVE 9 "+b.TCPAddr().String())
+	if resp["error"] != nil {
+		t.Fatalf("MOVE failed: %v", resp["error"])
+	}
+	if resp["transfer"] == "" {
+		t.Fatalf("MOVE reply missing transfer ID: %v", resp)
+	}
+	if _, ok := b.Session(9); !ok {
+		t.Fatal("MOVE did not deliver the session")
+	}
+	if resp := c.roundTrip(t, "MOVE 404 "+b.TCPAddr().String()); resp["error"] == nil {
+		t.Fatal("MOVE of unknown station succeeded")
+	}
+	if resp := c.roundTrip(t, "MOVE notanumber x"); resp["error"] == nil {
+		t.Fatal("malformed MOVE accepted")
+	}
+}
+
+// TestKill9MidHandoff: the receiving daemon is killed in-process after the
+// transfer lands; its restart recovers the handed-in session from the WAL
+// and the origin's retry of the same transfer is still deduplicated.
+func TestKill9MidHandoff(t *testing.T) {
+	dir := t.TempDir()
+	b, err := Start(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := session.EncodeHandoff(88, session.State{
+		Station: 9, AP: 1, Seq: 5, SNRMilliDB: 22_000,
+		FirstSeen: time.Now().Add(-time.Minute).UnixNano(),
+		LastSeen:  time.Now().UnixNano(),
+	})
+	line := "HANDOFF " + base64.StdEncoding.EncodeToString(msg)
+	c := dialQuery(t, b)
+	if resp := c.roundTrip(t, line); resp["applied"] != true {
+		t.Fatalf("transfer not applied: %v", resp)
+	}
+	c.close()
+	b.kill() // crash before any snapshot
+
+	b2, err := Start(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, b2)
+	st, ok := b2.Session(9)
+	if !ok {
+		t.Fatal("handed-in session lost in crash")
+	}
+	if st.Handoffs != 1 {
+		t.Fatalf("handoffs = %d, want 1", st.Handoffs)
+	}
+	// The origin retries the transfer against the restarted peer: still a
+	// duplicate, because the dedup set survived via the WAL.
+	c2 := dialQuery(t, b2)
+	defer c2.close()
+	if resp := c2.roundTrip(t, line); resp["applied"] != false {
+		t.Fatalf("transfer replay applied after restart: %v", resp)
+	}
+}

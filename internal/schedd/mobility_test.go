@@ -1,0 +1,130 @@
+package schedd
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestMobilityTraceEndToEnd drives a generated random-waypoint mobility
+// trace through two live daemons that split AP ownership, handing sessions
+// off whenever a station crosses the ownership boundary. It is the
+// integration proof of the whole layer: identity follows the station
+// across daemons, every transfer completes exactly once, and no session is
+// lost or duplicated.
+func TestMobilityTraceEndToEnd(t *testing.T) {
+	cfg := trace.DefaultRoamConfig(5)
+	steps, err := trace.GenerateRoaming(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	daemons := make([]*Server, 2)
+	for i := range daemons {
+		d, err := Start(fastHandoffCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer shutdown(t, d)
+		daemons[i] = d
+	}
+	// Ownership split: daemon 0 owns the low half of the AP grid, daemon 1
+	// the high half.
+	owner := func(ap uint32) int {
+		if int(ap) <= cfg.APs/2 {
+			return 0
+		}
+		return 1
+	}
+
+	toMilliDB := func(db float64) int32 {
+		m := int32(db * 1000)
+		if m > MaxSNRMilliDB {
+			m = MaxSNRMilliDB
+		}
+		if m < -MaxSNRMilliDB {
+			m = -MaxSNRMilliDB
+		}
+		return m
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	lastOwner := map[uint32]int{}
+	firstSeen := map[uint32]int64{}
+	expectOK := [2]int64{}
+	crossings := 0
+	for _, step := range steps {
+		// Transfers first: a station crossing the boundary moves its
+		// session before its report lands at the new owner.
+		for _, o := range step.Obs {
+			cur := owner(o.AP)
+			prev, seen := lastOwner[o.Station]
+			if seen && prev != cur {
+				if _, err := daemons[prev].Handoff(ctx, o.Station, daemons[cur].TCPAddr().String()); err != nil {
+					t.Fatalf("handoff of station %d: %v", o.Station, err)
+				}
+				crossings++
+			}
+			lastOwner[o.Station] = cur
+		}
+		// Then the step's reports, each to its AP's owner.
+		for _, o := range step.Obs {
+			cur := owner(o.AP)
+			sendReports(t, daemons[cur], Report{
+				AP:         o.AP,
+				Station:    o.Station,
+				Seq:        uint32(step.Unix/int64(cfg.StepSeconds)) + 1,
+				SNRMilliDB: toMilliDB(o.SNRdB),
+			})
+			expectOK[cur]++
+		}
+		for i, d := range daemons {
+			waitCounter(t, d, "reports_ok", expectOK[i])
+		}
+		// Capture each station's birth time once its first report landed.
+		for _, o := range step.Obs {
+			if _, ok := firstSeen[o.Station]; !ok {
+				st, ok := daemons[owner(o.AP)].Session(o.Station)
+				if !ok {
+					t.Fatalf("station %d has no session after its first report", o.Station)
+				}
+				firstSeen[o.Station] = st.FirstSeen
+			}
+		}
+	}
+	if crossings == 0 {
+		t.Fatal("trace never crossed the ownership boundary; test exercises nothing")
+	}
+
+	var ok, abandoned int64
+	for _, d := range daemons {
+		ok += d.SessionEvents().Get("handoff_ok")
+		abandoned += d.SessionEvents().Get("handoff_abandoned")
+	}
+	if ok != int64(crossings) {
+		t.Fatalf("handoff_ok = %d, want one per crossing (%d)", ok, crossings)
+	}
+	if abandoned != 0 {
+		t.Fatalf("handoff_abandoned = %d with both daemons healthy", abandoned)
+	}
+	// Conservation: every station has exactly one session, at its final
+	// owner, with its original identity intact.
+	if total := daemons[0].Sessions() + daemons[1].Sessions(); total != cfg.Clients {
+		t.Fatalf("session total = %d, want %d (no loss, no duplication)", total, cfg.Clients)
+	}
+	for sta, own := range lastOwner {
+		st, found := daemons[own].Session(sta)
+		if !found {
+			t.Fatalf("station %d missing at its final owner", sta)
+		}
+		if st.FirstSeen != firstSeen[sta] {
+			t.Fatalf("station %d FirstSeen changed across handoffs: %d -> %d", sta, firstSeen[sta], st.FirstSeen)
+		}
+		if len(st.History) == 0 {
+			t.Fatalf("station %d history empty after roaming", sta)
+		}
+	}
+}

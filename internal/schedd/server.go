@@ -3,9 +3,13 @@ package schedd
 import (
 	"bufio"
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/base64"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"strconv"
 	"strings"
@@ -16,6 +20,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/phy"
 	"repro/internal/sched"
+	"repro/internal/session"
 )
 
 // Config parameterises the daemon. The zero value of every field gets a
@@ -59,6 +64,25 @@ type Config struct {
 	// registry; pass a shared one to expose the daemon on an admin
 	// endpoint alongside other subsystems.
 	Registry *obs.Registry
+	// DataDir enables durable sessions: the session table is persisted
+	// there (snapshot + WAL) and recovered on restart. Empty keeps
+	// sessions memory-only.
+	DataDir string
+	// MaxSessions bounds the durable session table. Default 4096.
+	MaxSessions int
+	// SessionHistory caps each session's retained report history.
+	// Default 8.
+	SessionHistory int
+	// HandoffAttempts bounds AP-to-AP transfer tries before degrading to a
+	// cold session at the peer. Default 4.
+	HandoffAttempts int
+	// HandoffBackoff is the initial retry delay, doubled per attempt with
+	// ±50% jitter and capped at HandoffMaxBackoff. Defaults 50ms / 1s.
+	HandoffBackoff    time.Duration
+	HandoffMaxBackoff time.Duration
+	// HandoffTimeout is the per-attempt deadline covering dial, write and
+	// response. Default 2s.
+	HandoffTimeout time.Duration
 
 	// now is the daemon's clock: table staleness, uptime, read deadlines,
 	// rung timing. A test hook — every time read in the daemon goes
@@ -123,6 +147,24 @@ func (c Config) fillDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4096
+	}
+	if c.SessionHistory <= 0 {
+		c.SessionHistory = 8
+	}
+	if c.HandoffAttempts <= 0 {
+		c.HandoffAttempts = 4
+	}
+	if c.HandoffBackoff <= 0 {
+		c.HandoffBackoff = 50 * time.Millisecond
+	}
+	if c.HandoffMaxBackoff <= 0 {
+		c.HandoffMaxBackoff = time.Second
+	}
+	if c.HandoffTimeout <= 0 {
+		c.HandoffTimeout = 2 * time.Second
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -151,7 +193,20 @@ type Server struct {
 	queue    chan []byte
 	inflight atomic.Int64
 	closing  atomic.Bool
+	killed   atomic.Bool // simulated crash: skip the shutdown drain
 	done     chan struct{}
+
+	// sessions is the durable session layer; sessionEvents counts its
+	// lifecycle outcomes and recoveryHist times startup recovery.
+	sessions      *session.Manager
+	sessionEvents *obs.Group
+	recoveryHist  *obs.Histogram
+	// transferBase ^ transferSeq yields unique handoff transfer IDs; the
+	// random base keeps IDs from colliding across daemon restarts.
+	transferBase uint64
+	transferSeq  atomic.Uint64
+	jitterMu     sync.Mutex
+	jitter       *rand.Rand
 
 	// baseCtx parents every per-query deadline context. It lives as long
 	// as the server and is cancelled only when a shutdown drain is cut
@@ -207,6 +262,24 @@ func counterNames() []string {
 	return names
 }
 
+// sessionEventNames is every session-lifecycle counter
+// (sicschedd_session_total{event=...}).
+func sessionEventNames() []string {
+	return []string{
+		"cold",              // a station seen for the first time
+		"resume",            // a reconnect resumed its session (reboot or gap)
+		"roam",              // a station moved APs with its session intact
+		"handoff_ok",        // outbound transfer acknowledged by the peer
+		"handoff_retry",     // an outbound transfer attempt was retried
+		"handoff_abandoned", // retries exhausted; peer gets a cold session
+		"handoff_in",        // inbound transfer installed
+		"handoff_dup",       // inbound transfer replay suppressed by its ID
+		"wal_replay",        // WAL records replayed at startup
+		"wal_torn",          // a torn WAL tail was truncated at startup
+		"snapshot_restore",  // sessions restored from the startup snapshot
+	}
+}
+
 // Start binds the sockets and launches the serving goroutines.
 func Start(cfg Config) (*Server, error) {
 	cfg = cfg.fillDefaults()
@@ -246,6 +319,51 @@ func Start(cfg Config) (*Server, error) {
 			"wall time of each degradation-ladder rung attempt",
 			obs.DefLatencyBuckets(), obs.Labels{"level": lvl.String()})
 	}
+	s.sessionEvents = cfg.Registry.Group("sicschedd_session_total",
+		"session lifecycle: recovery, resume/roam, handoff outcomes", "event",
+		sessionEventNames()...)
+	s.recoveryHist = cfg.Registry.Histogram("sicschedd_recovery_seconds",
+		"startup session recovery time (snapshot load + WAL replay + table restore)",
+		obs.DefLatencyBuckets(), nil)
+
+	var seed [8]byte
+	if _, err := cryptorand.Read(seed[:]); err != nil {
+		udp.Close()
+		tcp.Close()
+		return nil, fmt.Errorf("schedd: seeding transfer IDs: %w", err)
+	}
+	s.transferBase = binary.BigEndian.Uint64(seed[:])
+	s.jitter = rand.New(rand.NewSource(int64(s.transferBase)))
+
+	// Recover the durable session layer and rebuild the scheduling table
+	// from it, so the first post-restart SCHED answers with pre-crash
+	// context.
+	recoverStart := cfg.now()
+	s.sessions, err = session.Open(session.Config{
+		Dir:           cfg.DataDir,
+		MaxSessions:   cfg.MaxSessions,
+		HistoryLen:    cfg.SessionHistory,
+		ResumeGap:     cfg.TTL,
+		SnapshotEvery: 4096,
+	}, recoverStart)
+	if err != nil {
+		udp.Close()
+		tcp.Close()
+		return nil, err
+	}
+	rec := s.sessions.Recovery()
+	s.sessionEvents.Add("wal_replay", int64(rec.WALRecords))
+	s.sessionEvents.Add("snapshot_restore", int64(rec.SnapshotSessions))
+	if rec.WALTorn {
+		s.sessionEvents.Inc("wal_torn")
+	}
+	if cfg.DataDir != "" {
+		for _, st := range s.sessions.Sessions() {
+			s.table.restore(st.Station, st.AP, st.SNRMilliDB, st.Seq, time.Unix(0, st.LastSeen))
+		}
+		s.recoveryHist.Observe(cfg.now().Sub(recoverStart).Seconds())
+	}
+
 	//lint:allow ctxfirst the daemon owns its queries' lifetimes; this is the one root context, cancelled by Shutdown
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	s.wg.Add(3)
@@ -273,8 +391,22 @@ func (s *Server) Registry() *obs.Registry { return s.cfg.Registry }
 // quantile reporting at drain time.
 func (s *Server) LadderHist(l Level) *obs.Histogram { return s.ladderHist[l] }
 
-// Occupancy reports the current AP and client table sizes.
-func (s *Server) Occupancy() (aps, clients int) { return s.table.occupancy() }
+// Occupancy reports the current AP and client table sizes (fresh entries
+// only).
+func (s *Server) Occupancy() (aps, clients int) { return s.table.occupancy(s.cfg.now()) }
+
+// SessionEvents exposes the session-lifecycle counters (resume, roam,
+// handoff outcomes, recovery).
+func (s *Server) SessionEvents() *obs.Group { return s.sessionEvents }
+
+// SessionRecovery reports what startup recovery found on disk.
+func (s *Server) SessionRecovery() session.RecoveryStats { return s.sessions.Recovery() }
+
+// Sessions reports the durable session count.
+func (s *Server) Sessions() int { return s.sessions.Len() }
+
+// Session returns a copy of one station's durable session.
+func (s *Server) Session(station uint32) (session.State, bool) { return s.sessions.Get(station) }
 
 // PlannerEvents exposes the planner-reuse counters (plan_cold, plan_warm,
 // plan_contended).
@@ -350,6 +482,10 @@ func (s *Server) decodeLoop() {
 		case pkt := <-s.queue:
 			s.ingest(pkt)
 		case <-s.done:
+			if s.killed.Load() {
+				// Simulated crash: queued datagrams die with the process.
+				return
+			}
 			// Drain whatever is already queued, then exit: shutdown flushes
 			// the pipeline rather than discarding it.
 			for {
@@ -370,16 +506,40 @@ func (s *Server) ingest(pkt []byte) {
 		s.counters.Inc(DropReason(err))
 		return
 	}
-	switch s.table.upsert(r, s.cfg.now()) {
+	now := s.cfg.now()
+	switch s.table.upsert(r, now) {
 	case upsertOK:
 		s.counters.Inc("reports_ok")
 	case upsertDuplicate:
 		s.counters.Inc("drop_duplicate")
+		return
 	case upsertEvicted:
 		s.counters.Inc("reports_ok")
 		s.counters.Inc("table_evictions")
 	case upsertAPsFull:
 		s.counters.Inc("drop_aps_full")
+		return
+	}
+	// Accepted reports feed the durable session layer; a roam cleans up
+	// the station's entry at the AP it left so it is never scheduled in
+	// two cells at once.
+	res := s.sessions.Observe(session.Obs{
+		Station:    r.Station,
+		AP:         r.AP,
+		Seq:        r.Seq,
+		SNRMilliDB: r.SNRMilliDB,
+		At:         now,
+	})
+	if res.Roamed {
+		s.table.remove(res.PrevAP, r.Station)
+	}
+	switch res.Outcome {
+	case session.OutcomeNew:
+		s.sessionEvents.Inc("cold")
+	case session.OutcomeResume:
+		s.sessionEvents.Inc("resume")
+	case session.OutcomeRoam:
+		s.sessionEvents.Inc("roam")
 	}
 }
 
@@ -430,9 +590,11 @@ func (s *Server) armRead(conn net.Conn) bool {
 
 // handleConn serves newline-delimited commands on one connection:
 //
-//	SCHED <apID>  -> one-line JSON schedule (or error) for the AP
-//	HEALTH        -> one-line JSON counters + table occupancy
-//	QUIT          -> close the connection
+//	SCHED <apID>            -> one-line JSON schedule (or error) for the AP
+//	HEALTH                  -> one-line JSON counters + table occupancy
+//	HANDOFF <base64>        -> install a session transferred from a peer
+//	MOVE <station> <addr>   -> hand this station's session off to a peer
+//	QUIT                    -> close the connection
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.connWG.Done()
 	defer s.dropConn(conn)
@@ -461,13 +623,39 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		case "HEALTH":
 			s.counters.Inc("health_queries")
-			aps, clients := s.table.occupancy()
+			aps, clients := s.table.occupancy(s.cfg.now())
 			enc.Encode(healthResponse{
 				UptimeMS: s.cfg.now().Sub(s.started).Milliseconds(),
 				APs:      aps,
 				Clients:  clients,
+				Sessions: s.sessions.Len(),
 				Counters: s.counters.Snapshot(),
 			})
+		case "HANDOFF":
+			if len(fields) != 2 {
+				s.counters.Inc("query_bad")
+				enc.Encode(errorResponse{Error: "usage: HANDOFF <base64 transfer>"})
+				continue
+			}
+			enc.Encode(s.serveHandoff(fields[1]))
+		case "MOVE":
+			if len(fields) != 3 {
+				s.counters.Inc("query_bad")
+				enc.Encode(errorResponse{Error: "usage: MOVE <station> <host:port>"})
+				continue
+			}
+			sta, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				s.counters.Inc("query_bad")
+				enc.Encode(errorResponse{Error: "bad station id: " + fields[1]})
+				continue
+			}
+			transfer, err := s.Handoff(s.baseCtx, uint32(sta), fields[2])
+			if err != nil {
+				enc.Encode(errorResponse{Error: err.Error()})
+				continue
+			}
+			enc.Encode(moveResponse{Station: uint32(sta), Transfer: fmt.Sprintf("%016x", transfer)})
 		case "SCHED":
 			if len(fields) != 2 {
 				s.counters.Inc("query_bad")
@@ -516,12 +704,54 @@ type schedResponse struct {
 	ElapsMS float64        `json:"elapsed_ms"`
 }
 
-// healthResponse answers HEALTH.
+// healthResponse answers HEALTH. APs/Clients count fresh schedulable
+// entries; Sessions counts durable sessions (which outlive freshness).
 type healthResponse struct {
 	UptimeMS int64            `json:"uptime_ms"`
 	APs      int              `json:"aps"`
 	Clients  int              `json:"clients"`
+	Sessions int              `json:"sessions"`
 	Counters map[string]int64 `json:"counters"`
+}
+
+// handoffResponse answers an inbound HANDOFF; Applied is false when the
+// transfer ID was already consumed (an idempotent replay).
+type handoffResponse struct {
+	Transfer string `json:"transfer"`
+	Applied  bool   `json:"applied"`
+}
+
+// moveResponse answers MOVE after the transfer completed.
+type moveResponse struct {
+	Station  uint32 `json:"station"`
+	Transfer string `json:"transfer"`
+}
+
+// serveHandoff installs a session transferred from a peer daemon. The
+// transfer ID makes replays (peer retries after a lost ack) harmless; a
+// duplicate still acknowledges success so the peer stops retrying.
+func (s *Server) serveHandoff(b64 string) any {
+	raw, err := base64.StdEncoding.DecodeString(b64)
+	if err != nil {
+		s.counters.Inc("query_bad")
+		return errorResponse{Error: "handoff: bad base64: " + err.Error()}
+	}
+	transfer, st, err := session.DecodeHandoff(raw)
+	if err != nil {
+		s.counters.Inc("query_bad")
+		return errorResponse{Error: err.Error()}
+	}
+	now := s.cfg.now()
+	applied := s.sessions.ApplyHandoff(transfer, st, now)
+	if applied {
+		s.sessionEvents.Inc("handoff_in")
+		// The handed-in station becomes schedulable here immediately,
+		// carrying the peer's freshness so TTL semantics are unchanged.
+		s.table.restore(st.Station, st.AP, st.SNRMilliDB, st.Seq, time.Unix(0, st.LastSeen))
+	} else {
+		s.sessionEvents.Inc("handoff_dup")
+	}
+	return handoffResponse{Transfer: fmt.Sprintf("%016x", transfer), Applied: applied}
 }
 
 // serveSched answers one SCHED query under the daemon's admission control
@@ -594,6 +824,12 @@ func (s *Server) serveSched(ap uint32) any {
 		if sl.B >= 0 {
 			out.B = ids[sl.B]
 			out.Scale = sl.WeakScale
+			// Record the pairing in both stations' sessions so a handoff
+			// or restart carries the planner's last verdict with it.
+			s.sessions.NotePairing(ids[sl.A], ids[sl.B], uint8(res.level), start)
+			s.sessions.NotePairing(ids[sl.B], ids[sl.A], uint8(res.level), start)
+		} else {
+			s.sessions.NotePairing(ids[sl.A], 0, uint8(res.level), start)
 		}
 		resp.Slots = append(resp.Slots, out)
 	}
@@ -630,7 +866,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-drained:
 		s.cancelBase()
-		return nil
+		// A clean close compacts: the WAL empties and the snapshot alone
+		// restores the table at next start.
+		return s.sessions.Close()
 	case <-ctx.Done():
 		// The drain deadline passed: abort in-flight ladder solves via the
 		// base context and force-close the connections they would answer.
@@ -641,6 +879,29 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-drained
-		return fmt.Errorf("schedd: drain cut short: %w", ctx.Err())
+		return errors.Join(fmt.Errorf("schedd: drain cut short: %w", ctx.Err()), s.sessions.Close())
 	}
+}
+
+// kill simulates an abrupt crash for recovery tests: sockets close and
+// goroutines stop, but the ingest queue is not flushed, no session
+// snapshot is written, and connections are severed mid-stream. Recovery
+// must come from the WAL alone.
+func (s *Server) kill() {
+	s.killed.Store(true)
+	if s.closing.Swap(true) {
+		return
+	}
+	s.udp.Close()
+	s.tcp.Close()
+	close(s.done)
+	s.wg.Wait()
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.cancelBase()
+	s.connWG.Wait()
+	s.sessions.Kill()
 }

@@ -201,7 +201,7 @@ func TestServerDropsMalformedDatagrams(t *testing.T) {
 	waitCounter(t, s, "reports_ok", 1)
 	waitCounter(t, s, "drop_duplicate", 1)
 
-	if aps, clients := s.table.occupancy(); aps != 1 || clients != 1 {
+	if aps, clients := s.table.occupancy(time.Now()); aps != 1 || clients != 1 {
 		t.Fatalf("table occupancy %d/%d, want 1/1", aps, clients)
 	}
 }

@@ -1,13 +1,14 @@
 package schedd
 
 import (
-	"fmt"
-	"sort"
+	"slices"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/phy"
 	"repro/internal/sched"
+	"repro/internal/session"
 )
 
 // upsertOutcome says what the table did with a decoded report; each maps to
@@ -23,9 +24,16 @@ const (
 
 // clientEntry is the table's record of one station at one AP.
 type clientEntry struct {
+	id         string // cached "sta<N>" scheduler ID; stations are immutable
 	snrMilliDB int32
 	seq        uint32
 	seen       time.Time
+}
+
+// staID renders a station's scheduler ID. Computed once per entry and
+// cached so snapshot stays allocation-free on the query path.
+func staID(station uint32) string {
+	return "sta" + strconv.FormatUint(uint64(station), 10)
 }
 
 // clientTable is the daemon's bounded, staleness-evicting view of the
@@ -71,9 +79,12 @@ func (t *clientTable) upsert(r Report, now time.Time) upsertOutcome {
 		t.aps[r.AP] = ap
 	}
 	if e := ap[r.Station]; e != nil {
-		// Duplicate suppression: sequence numbers must advance. A replayed
-		// or re-ordered datagram is dropped; an advanced one refreshes.
-		if r.Seq <= e.seq {
+		// Duplicate suppression: sequence numbers must advance in the RFC
+		// 1982 serial sense (wrap-safe), with session.SeqAdvance also
+		// admitting a rebooted station restarting inside the reset window
+		// — previously such a station was locked out until TTL expiry.
+		adv, _ := session.SeqAdvance(e.seq, r.Seq)
+		if !adv {
 			return upsertDuplicate
 		}
 		e.seq, e.snrMilliDB, e.seen = r.Seq, r.SNRMilliDB, now
@@ -96,8 +107,53 @@ func (t *clientTable) upsert(r Report, now time.Time) upsertOutcome {
 		delete(ap, victim)
 		outcome = upsertEvicted
 	}
-	ap[r.Station] = &clientEntry{snrMilliDB: r.SNRMilliDB, seq: r.Seq, seen: now}
+	ap[r.Station] = &clientEntry{id: staID(r.Station), snrMilliDB: r.SNRMilliDB, seq: r.Seq, seen: now}
 	return outcome
+}
+
+// restore reinstalls one station recovered from the durable session layer,
+// respecting the same AP and client budgets as live traffic. Entries are
+// only installed when absent or older than the recovered state, so restore
+// after live reports have arrived is harmless. Reports whether the entry
+// was installed.
+func (t *clientTable) restore(station, apID uint32, snrMilliDB int32, seq uint32, seen time.Time) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ap := t.aps[apID]
+	if ap == nil {
+		if len(t.aps) >= t.maxAPs {
+			return false
+		}
+		ap = make(map[uint32]*clientEntry)
+		t.aps[apID] = ap
+	}
+	if e := ap[station]; e != nil {
+		if !seen.After(e.seen) {
+			return false
+		}
+		e.snrMilliDB, e.seq, e.seen = snrMilliDB, seq, seen
+		return true
+	}
+	if len(ap) >= t.maxClients {
+		return false
+	}
+	ap[station] = &clientEntry{id: staID(station), snrMilliDB: snrMilliDB, seq: seq, seen: seen}
+	return true
+}
+
+// remove drops one station from one AP — the cleanup half of a roam or a
+// completed hand-off to a peer daemon.
+func (t *clientTable) remove(apID, station uint32) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ap := t.aps[apID]
+	if ap == nil {
+		return
+	}
+	delete(ap, station)
+	if len(ap) == 0 {
+		delete(t.aps, apID)
+	}
 }
 
 // dropStaleLocked removes entries older than the TTL from one AP's map.
@@ -140,22 +196,25 @@ func (t *clientTable) snapshot(apID uint32, now time.Time) ([]sched.Client, []ui
 	for id := range ap {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	out := make([]sched.Client, len(ids))
 	for i, id := range ids {
+		e := ap[id]
 		out[i] = sched.Client{
-			ID:  fmt.Sprintf("sta%d", id),
-			SNR: phy.FromDB(float64(ap[id].snrMilliDB) / 1000),
+			ID:  e.id,
+			SNR: phy.FromDB(float64(e.snrMilliDB) / 1000),
 		}
 	}
 	return out, ids
 }
 
-// occupancy reports the table's current (apCount, clientCount) for health
-// queries; stale entries are counted as-is, eviction happens lazily.
-func (t *clientTable) occupancy() (aps, clients int) {
+// occupancy reports the table's (apCount, clientCount) for health queries,
+// evicting stale entries first so health reflects schedulable clients
+// rather than an inflated count of expired ones.
+func (t *clientTable) occupancy(now time.Time) (aps, clients int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.evictStaleAPsLocked(now)
 	for _, ap := range t.aps {
 		clients += len(ap)
 	}

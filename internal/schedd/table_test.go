@@ -57,8 +57,120 @@ func TestTableStalenessEviction(t *testing.T) {
 	if clients, _ := tb.snapshot(1, t0.Add(time.Hour)); clients != nil {
 		t.Fatalf("fully stale AP still schedulable: %v", clients)
 	}
-	if aps, _ := tb.occupancy(); aps != 0 {
+	if aps, _ := tb.occupancy(t0.Add(time.Hour)); aps != 0 {
 		t.Fatalf("stale AP still occupies the table: %d", aps)
+	}
+}
+
+// TestTableSeqReset: the regression this PR fixes — a rebooted station
+// restarting at a low sequence number was dropped as a duplicate until TTL
+// expiry. The reset window now readmits it immediately.
+func TestTableSeqReset(t *testing.T) {
+	tb := newClientTable(time.Hour, 8, 4)
+	tb.upsert(Report{AP: 1, Station: 10, Seq: 500, SNRMilliDB: 30_000}, t0)
+	if got := tb.upsert(Report{AP: 1, Station: 10, Seq: 1, SNRMilliDB: 28_000}, t0.Add(time.Second)); got != upsertOK {
+		t.Fatalf("rebooted station locked out: %v", got)
+	}
+	clients, _ := tb.snapshot(1, t0.Add(time.Second))
+	if len(clients) != 1 {
+		t.Fatalf("clients = %d", len(clients))
+	}
+	// The reset took: the next serial advance from the new epoch works.
+	if got := tb.upsert(Report{AP: 1, Station: 10, Seq: 2, SNRMilliDB: 28_500}, t0.Add(2*time.Second)); got != upsertOK {
+		t.Fatalf("post-reset advance dropped: %v", got)
+	}
+}
+
+// TestTableSeqWraparound: serial comparison keeps dedup working when the
+// sequence counter wraps uint32.
+func TestTableSeqWraparound(t *testing.T) {
+	tb := newClientTable(time.Hour, 8, 4)
+	tb.upsert(Report{AP: 1, Station: 10, Seq: ^uint32(0) - 1, SNRMilliDB: 30_000}, t0)
+	if got := tb.upsert(Report{AP: 1, Station: 10, Seq: 3, SNRMilliDB: 30_000}, t0.Add(time.Second)); got != upsertOK {
+		t.Fatalf("wraparound advance dropped: %v", got)
+	}
+	if got := tb.upsert(Report{AP: 1, Station: 10, Seq: ^uint32(0), SNRMilliDB: 30_000}, t0.Add(2*time.Second)); got != upsertDuplicate {
+		t.Fatalf("pre-wrap replay accepted: %v", got)
+	}
+}
+
+// TestTableOccupancyFresh: health numbers must count schedulable clients,
+// not expired ones.
+func TestTableOccupancyFresh(t *testing.T) {
+	tb := newClientTable(10*time.Second, 8, 4)
+	tb.upsert(Report{AP: 1, Station: 10, Seq: 1, SNRMilliDB: 30_000}, t0)
+	tb.upsert(Report{AP: 1, Station: 11, Seq: 1, SNRMilliDB: 20_000}, t0.Add(30*time.Second))
+	tb.upsert(Report{AP: 2, Station: 12, Seq: 1, SNRMilliDB: 10_000}, t0)
+	// At t0+35s: station 10 and all of AP 2 are stale.
+	aps, clients := tb.occupancy(t0.Add(35 * time.Second))
+	if aps != 1 || clients != 1 {
+		t.Fatalf("occupancy = (%d aps, %d clients), want (1, 1)", aps, clients)
+	}
+}
+
+func TestTableRestoreAndRemove(t *testing.T) {
+	tb := newClientTable(time.Hour, 2, 2)
+	if !tb.restore(10, 1, 30_000, 5, t0) {
+		t.Fatal("restore into empty table failed")
+	}
+	// Restore never clobbers a fresher live entry.
+	tb.upsert(Report{AP: 1, Station: 11, Seq: 9, SNRMilliDB: 20_000}, t0.Add(time.Minute))
+	if tb.restore(11, 1, 1_000, 2, t0) {
+		t.Fatal("stale restore overwrote a live entry")
+	}
+	clients, ids := tb.snapshot(1, t0.Add(time.Minute))
+	if len(clients) != 2 || ids[1] != 11 {
+		t.Fatalf("snapshot after restore: %v", ids)
+	}
+	if clients[1].SNR < clients[0].SNR/100 {
+		t.Fatalf("restore clobbered SNR: %v", clients)
+	}
+	// Budgets hold: a third restore into a 2-client AP is refused.
+	if tb.restore(12, 1, 5_000, 1, t0.Add(time.Minute)) {
+		t.Fatal("restore ignored the client budget")
+	}
+	tb.remove(1, 10)
+	_, ids = tb.snapshot(1, t0.Add(time.Minute))
+	if len(ids) != 1 || ids[0] != 11 {
+		t.Fatalf("remove failed: %v", ids)
+	}
+	// Removing the last station drops the AP entry itself.
+	tb.remove(1, 11)
+	if aps, _ := tb.occupancy(t0.Add(time.Minute)); aps != 0 {
+		t.Fatalf("empty AP lingers: %d", aps)
+	}
+}
+
+// TestSnapshotAllocs pins the query path's allocation budget: the ids
+// slice and the clients slice, nothing per-entry (IDs are cached strings).
+func TestSnapshotAllocs(t *testing.T) {
+	tb := newClientTable(time.Hour, 64, 4)
+	for i := uint32(0); i < 24; i++ {
+		tb.upsert(Report{AP: 1, Station: 100 + i, Seq: 1, SNRMilliDB: int32(10_000 + i)}, t0)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		clients, ids := tb.snapshot(1, t0)
+		if len(clients) != 24 || len(ids) != 24 {
+			t.Fatalf("snapshot shrank: %d/%d", len(clients), len(ids))
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("snapshot allocates %.0f objects per call, budget is 2", allocs)
+	}
+}
+
+func BenchmarkTableSnapshot(b *testing.B) {
+	tb := newClientTable(time.Hour, 64, 4)
+	for i := uint32(0); i < 32; i++ {
+		tb.upsert(Report{AP: 1, Station: 100 + i, Seq: 1, SNRMilliDB: int32(10_000 + i)}, t0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clients, _ := tb.snapshot(1, t0)
+		if len(clients) != 32 {
+			b.Fatal("snapshot shrank")
+		}
 	}
 }
 

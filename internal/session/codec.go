@@ -1,0 +1,382 @@
+package session
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// Binary layouts, all big-endian, in the style of the daemon's report
+// codec: explicit magics, length prefixes and CRC-32 (IEEE) guards, with
+// every decode failure mapped to a named error so callers can count it.
+
+const (
+	// HandoffMagic identifies AP-to-AP session-transfer messages;
+	// deliberately distinct from the report and frame magics so a
+	// misdirected datagram is rejected at the first two bytes.
+	HandoffMagic = 0x51D0
+	// HandoffVersion is the current transfer wire version.
+	HandoffVersion = 1
+	// handoffTypeSession is the only message type so far.
+	handoffTypeSession = 1
+	// handoffOverhead: magic(2) version(1) type(1) length(4) transfer(8)
+	// + trailing CRC(4).
+	handoffOverhead = 20
+
+	// maxHistoryWire caps the history entries one encoded state may carry;
+	// anything larger in a count byte is corruption or an attack.
+	maxHistoryWire = 64
+
+	// stateFixedLen is the encoded size of a history-free state.
+	stateFixedLen = 50
+
+	// snapMagic/snapVersion head the snapshot file.
+	snapMagic   = 0x53455353 // "SESS"
+	snapVersion = 1
+)
+
+// Decode reject reasons.
+var (
+	ErrHandoffShort    = errors.New("session: handoff message too short")
+	ErrHandoffMagic    = errors.New("session: bad handoff magic")
+	ErrHandoffVersion  = errors.New("session: unsupported handoff version")
+	ErrHandoffType     = errors.New("session: unknown handoff type")
+	ErrHandoffLength   = errors.New("session: handoff length prefix inconsistent with message")
+	ErrHandoffCRC      = errors.New("session: handoff CRC mismatch")
+	ErrStateCorrupt    = errors.New("session: corrupt session state")
+	ErrSnapshotCorrupt = errors.New("session: corrupt snapshot")
+	ErrRecordCorrupt   = errors.New("session: corrupt WAL record")
+)
+
+// appendState encodes st after buf. Layout:
+//
+//	offset  size  field
+//	0       4     station
+//	4       4     AP
+//	8       4     epoch
+//	12      4     seq
+//	16      4     SNR milli-dB (signed)
+//	20      8     first seen (unix nanos, signed)
+//	28      8     last seen
+//	36      4     resumes
+//	40      4     handoffs
+//	44      4     last partner
+//	48      1     last level
+//	49      1     history length H (<= 64)
+//	50      12H   history entries: SNR milli-dB (4) + unix nanos (8)
+func appendState(buf []byte, st *State) []byte {
+	var fixed [stateFixedLen]byte
+	binary.BigEndian.PutUint32(fixed[0:4], st.Station)
+	binary.BigEndian.PutUint32(fixed[4:8], st.AP)
+	binary.BigEndian.PutUint32(fixed[8:12], st.Epoch)
+	binary.BigEndian.PutUint32(fixed[12:16], st.Seq)
+	binary.BigEndian.PutUint32(fixed[16:20], uint32(st.SNRMilliDB))
+	binary.BigEndian.PutUint64(fixed[20:28], uint64(st.FirstSeen))
+	binary.BigEndian.PutUint64(fixed[28:36], uint64(st.LastSeen))
+	binary.BigEndian.PutUint32(fixed[36:40], st.Resumes)
+	binary.BigEndian.PutUint32(fixed[40:44], st.Handoffs)
+	binary.BigEndian.PutUint32(fixed[44:48], st.LastPartner)
+	fixed[48] = st.LastLevel
+	hist := st.History
+	if len(hist) > maxHistoryWire {
+		hist = hist[len(hist)-maxHistoryWire:]
+	}
+	fixed[49] = byte(len(hist))
+	buf = append(buf, fixed[:]...)
+	for _, h := range hist {
+		var e [12]byte
+		binary.BigEndian.PutUint32(e[0:4], uint32(h.SNRMilliDB))
+		binary.BigEndian.PutUint64(e[4:12], uint64(h.At))
+		buf = append(buf, e[:]...)
+	}
+	return buf
+}
+
+// decodeState parses one encoded state from the front of buf, returning it
+// and the bytes consumed.
+func decodeState(buf []byte) (State, int, error) {
+	if len(buf) < stateFixedLen {
+		return State{}, 0, ErrStateCorrupt
+	}
+	st := State{
+		Station:     binary.BigEndian.Uint32(buf[0:4]),
+		AP:          binary.BigEndian.Uint32(buf[4:8]),
+		Epoch:       binary.BigEndian.Uint32(buf[8:12]),
+		Seq:         binary.BigEndian.Uint32(buf[12:16]),
+		SNRMilliDB:  int32(binary.BigEndian.Uint32(buf[16:20])),
+		FirstSeen:   int64(binary.BigEndian.Uint64(buf[20:28])),
+		LastSeen:    int64(binary.BigEndian.Uint64(buf[28:36])),
+		Resumes:     binary.BigEndian.Uint32(buf[36:40]),
+		Handoffs:    binary.BigEndian.Uint32(buf[40:44]),
+		LastPartner: binary.BigEndian.Uint32(buf[44:48]),
+		LastLevel:   buf[48],
+	}
+	if st.Station == 0 || st.Station == ^uint32(0) {
+		return State{}, 0, ErrStateCorrupt
+	}
+	if st.SNRMilliDB > MaxSNRMilliDB || st.SNRMilliDB < -MaxSNRMilliDB {
+		return State{}, 0, ErrStateCorrupt
+	}
+	histLen := int(buf[49])
+	if histLen > maxHistoryWire {
+		return State{}, 0, ErrStateCorrupt
+	}
+	n := stateFixedLen + 12*histLen
+	if len(buf) < n {
+		return State{}, 0, ErrStateCorrupt
+	}
+	if histLen > 0 {
+		st.History = make([]HistObs, histLen)
+		for i := 0; i < histLen; i++ {
+			e := buf[stateFixedLen+12*i:]
+			st.History[i] = HistObs{
+				SNRMilliDB: int32(binary.BigEndian.Uint32(e[0:4])),
+				At:         int64(binary.BigEndian.Uint64(e[4:12])),
+			}
+		}
+	}
+	return st, n, nil
+}
+
+// EncodeHandoff serialises one session transfer:
+//
+//	offset  size  field
+//	0       2     magic 0x51D0
+//	2       1     version (1)
+//	3       1     type (1 = session transfer)
+//	4       4     total message length (length prefix)
+//	8       8     transfer ID (idempotency token; replays are detected by it)
+//	16      var   encoded session state
+//	end-4   4     CRC-32 (IEEE) over everything before it
+func EncodeHandoff(transfer uint64, st State) []byte {
+	buf := make([]byte, 16, handoffOverhead+stateFixedLen+12*len(st.History))
+	binary.BigEndian.PutUint16(buf[0:2], HandoffMagic)
+	buf[2] = HandoffVersion
+	buf[3] = handoffTypeSession
+	binary.BigEndian.PutUint64(buf[8:16], transfer)
+	buf = appendState(buf, &st)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(len(buf)+4))
+	sum := crc32.ChecksumIEEE(buf)
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], sum)
+	return append(buf, crc[:]...)
+}
+
+// DecodeHandoff parses and validates one transfer message. Every failure
+// maps to one of the Err* reasons above.
+func DecodeHandoff(buf []byte) (transfer uint64, st State, err error) {
+	if len(buf) < handoffOverhead+stateFixedLen {
+		return 0, State{}, ErrHandoffShort
+	}
+	if binary.BigEndian.Uint16(buf[0:2]) != HandoffMagic {
+		return 0, State{}, ErrHandoffMagic
+	}
+	if buf[2] != HandoffVersion {
+		return 0, State{}, ErrHandoffVersion
+	}
+	if buf[3] != handoffTypeSession {
+		return 0, State{}, ErrHandoffType
+	}
+	if binary.BigEndian.Uint32(buf[4:8]) != uint32(len(buf)) {
+		return 0, State{}, ErrHandoffLength
+	}
+	if crc32.ChecksumIEEE(buf[:len(buf)-4]) != binary.BigEndian.Uint32(buf[len(buf)-4:]) {
+		return 0, State{}, ErrHandoffCRC
+	}
+	transfer = binary.BigEndian.Uint64(buf[8:16])
+	st, n, err := decodeState(buf[16 : len(buf)-4])
+	if err != nil {
+		return 0, State{}, err
+	}
+	if 16+n+4 != len(buf) {
+		return 0, State{}, ErrHandoffLength
+	}
+	return transfer, st, nil
+}
+
+// WAL record payloads. The framing (length prefix + CRC, torn-tail
+// truncation) lives in atomicio.Log; these payloads carry a type byte and
+// the typed fields.
+const (
+	walObs     = 1 // one accepted observation
+	walPairing = 2 // last pairing outcome changed
+	walRemove  = 3 // session handed off away (or dropped)
+	walHandin  = 4 // session received from a peer
+)
+
+// walRecord is one decoded WAL payload; which fields are meaningful
+// depends on kind.
+type walRecord struct {
+	kind     byte
+	station  uint32
+	ap       uint32
+	seq      uint32
+	snr      int32
+	at       int64
+	partner  uint32
+	level    uint8
+	transfer uint64
+	state    State // walHandin only
+}
+
+func encodeObsRecord(o Obs) []byte {
+	buf := make([]byte, 25)
+	buf[0] = walObs
+	binary.BigEndian.PutUint32(buf[1:5], o.Station)
+	binary.BigEndian.PutUint32(buf[5:9], o.AP)
+	binary.BigEndian.PutUint32(buf[9:13], o.Seq)
+	binary.BigEndian.PutUint32(buf[13:17], uint32(o.SNRMilliDB))
+	binary.BigEndian.PutUint64(buf[17:25], uint64(o.At.UnixNano()))
+	return buf
+}
+
+func encodePairingRecord(station, partner uint32, level uint8, at int64) []byte {
+	buf := make([]byte, 18)
+	buf[0] = walPairing
+	binary.BigEndian.PutUint32(buf[1:5], station)
+	binary.BigEndian.PutUint32(buf[5:9], partner)
+	buf[9] = level
+	binary.BigEndian.PutUint64(buf[10:18], uint64(at))
+	return buf
+}
+
+func encodeRemoveRecord(station uint32, transfer uint64, at int64) []byte {
+	buf := make([]byte, 21)
+	buf[0] = walRemove
+	binary.BigEndian.PutUint32(buf[1:5], station)
+	binary.BigEndian.PutUint64(buf[5:13], transfer)
+	binary.BigEndian.PutUint64(buf[13:21], uint64(at))
+	return buf
+}
+
+func encodeHandinRecord(transfer uint64, at int64, st *State) []byte {
+	buf := make([]byte, 17, 17+stateFixedLen+12*len(st.History))
+	buf[0] = walHandin
+	binary.BigEndian.PutUint64(buf[1:9], transfer)
+	binary.BigEndian.PutUint64(buf[9:17], uint64(at))
+	return appendState(buf, st)
+}
+
+// decodeWALRecord parses one WAL payload. The framing CRC already rejected
+// bit rot; failures here mean version drift or a buggy writer, and the
+// replay loop skips (and counts) them rather than aborting recovery.
+func decodeWALRecord(p []byte) (walRecord, error) {
+	if len(p) == 0 {
+		return walRecord{}, ErrRecordCorrupt
+	}
+	r := walRecord{kind: p[0]}
+	body := p[1:]
+	switch r.kind {
+	case walObs:
+		if len(body) != 24 {
+			return walRecord{}, ErrRecordCorrupt
+		}
+		r.station = binary.BigEndian.Uint32(body[0:4])
+		r.ap = binary.BigEndian.Uint32(body[4:8])
+		r.seq = binary.BigEndian.Uint32(body[8:12])
+		r.snr = int32(binary.BigEndian.Uint32(body[12:16]))
+		r.at = int64(binary.BigEndian.Uint64(body[16:24]))
+	case walPairing:
+		if len(body) != 17 {
+			return walRecord{}, ErrRecordCorrupt
+		}
+		r.station = binary.BigEndian.Uint32(body[0:4])
+		r.partner = binary.BigEndian.Uint32(body[4:8])
+		r.level = body[8]
+		r.at = int64(binary.BigEndian.Uint64(body[9:17]))
+	case walRemove:
+		if len(body) != 20 {
+			return walRecord{}, ErrRecordCorrupt
+		}
+		r.station = binary.BigEndian.Uint32(body[0:4])
+		r.transfer = binary.BigEndian.Uint64(body[4:12])
+		r.at = int64(binary.BigEndian.Uint64(body[12:20]))
+	case walHandin:
+		if len(body) < 16+stateFixedLen {
+			return walRecord{}, ErrRecordCorrupt
+		}
+		r.transfer = binary.BigEndian.Uint64(body[0:8])
+		r.at = int64(binary.BigEndian.Uint64(body[8:16]))
+		st, n, err := decodeState(body[16:])
+		if err != nil {
+			return walRecord{}, err
+		}
+		if 16+n != len(body) {
+			return walRecord{}, ErrRecordCorrupt
+		}
+		r.state = st
+	default:
+		return walRecord{}, ErrRecordCorrupt
+	}
+	return r, nil
+}
+
+// encodeSnapshot serialises the whole session table plus the applied
+// transfer-ID set:
+//
+//	u32 magic "SESS" | u16 version | u32 #sessions | states... |
+//	u32 #transfers | u64 transfer IDs... | u32 CRC over all preceding bytes
+func encodeSnapshot(states []State, transfers []uint64) []byte {
+	buf := make([]byte, 10, 14+len(states)*(stateFixedLen+12*8)+8*len(transfers))
+	binary.BigEndian.PutUint32(buf[0:4], snapMagic)
+	binary.BigEndian.PutUint16(buf[4:6], snapVersion)
+	binary.BigEndian.PutUint32(buf[6:10], uint32(len(states)))
+	for i := range states {
+		buf = appendState(buf, &states[i])
+	}
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(transfers)))
+	buf = append(buf, n[:]...)
+	for _, tr := range transfers {
+		var t [8]byte
+		binary.BigEndian.PutUint64(t[:], tr)
+		buf = append(buf, t[:]...)
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
+	return append(buf, crc[:]...)
+}
+
+// decodeSnapshot parses a snapshot file. Any inconsistency returns
+// ErrSnapshotCorrupt: the caller starts cold (and replays the WAL) rather
+// than trusting a damaged image, since atomicio guarantees a snapshot is
+// either fully old or fully new — arbitrary damage means the disk, not a
+// torn write.
+func decodeSnapshot(data []byte) ([]State, []uint64, error) {
+	if len(data) < 18 {
+		return nil, nil, ErrSnapshotCorrupt
+	}
+	if binary.BigEndian.Uint32(data[0:4]) != snapMagic {
+		return nil, nil, ErrSnapshotCorrupt
+	}
+	if binary.BigEndian.Uint16(data[4:6]) != snapVersion {
+		return nil, nil, ErrSnapshotCorrupt
+	}
+	if crc32.ChecksumIEEE(data[:len(data)-4]) != binary.BigEndian.Uint32(data[len(data)-4:]) {
+		return nil, nil, ErrSnapshotCorrupt
+	}
+	nStates := binary.BigEndian.Uint32(data[6:10])
+	rest := data[10 : len(data)-4]
+	states := make([]State, 0, nStates)
+	for i := uint32(0); i < nStates; i++ {
+		st, n, err := decodeState(rest)
+		if err != nil {
+			return nil, nil, ErrSnapshotCorrupt
+		}
+		states = append(states, st)
+		rest = rest[n:]
+	}
+	if len(rest) < 4 {
+		return nil, nil, ErrSnapshotCorrupt
+	}
+	nTransfers := binary.BigEndian.Uint32(rest[0:4])
+	rest = rest[4:]
+	if uint32(len(rest)) != 8*nTransfers {
+		return nil, nil, ErrSnapshotCorrupt
+	}
+	transfers := make([]uint64, 0, nTransfers)
+	for i := uint32(0); i < nTransfers; i++ {
+		transfers = append(transfers, binary.BigEndian.Uint64(rest[8*i:8*i+8]))
+	}
+	return states, transfers, nil
+}

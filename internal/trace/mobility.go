@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/phy"
+	"repro/internal/topo"
+)
+
+// Mobility traces model the roaming the durable session layer exists for:
+// unlike GenerateUpload, where anonymous clients scatter fresh every
+// window, a roaming trace follows identified stations as they walk the
+// building, re-associating with whichever AP is nearest. Identities are
+// stable station IDs (starting at 1, matching the schedd wire's "station 0
+// is invalid" rule) so a driver can feed the steps straight into daemons
+// and watch sessions roam and hand off.
+
+// RoamObs is one station's report during one mobility step: the AP it is
+// associated with (nearest by path loss geometry) and its shadowed SNR
+// there.
+type RoamObs struct {
+	// Station is the stable station identity (>= 1).
+	Station uint32 `json:"station"`
+	// AP is the 1-based index of the associated access point.
+	AP uint32 `json:"ap"`
+	// SNRdB is the station's SNR at that AP.
+	SNRdB float64 `json:"snr_db"`
+}
+
+// RoamStep is one time step of a mobility trace: every station's
+// association and signal at that instant.
+type RoamStep struct {
+	// Unix is the step time in seconds since the epoch (simulated time).
+	Unix int64 `json:"unix"`
+	// Obs holds one observation per station, ordered by station ID.
+	Obs []RoamObs `json:"obs"`
+}
+
+// RoamConfig parameterises the mobility generator.
+type RoamConfig struct {
+	// Seed drives all randomness; identical configs generate identical
+	// traces.
+	Seed int64
+	// APs is the number of access points on the building grid.
+	APs int
+	// APSpacing is the grid spacing in meters.
+	APSpacing float64
+	// Clients is the number of roaming stations.
+	Clients int
+	// Steps is the number of time steps.
+	Steps int
+	// StepSeconds is the simulated seconds between steps.
+	StepSeconds int
+	// SpeedMPS is walking speed in meters per second (~1.4 for a person).
+	SpeedMPS float64
+	// PathLoss maps distance to SNR.
+	PathLoss phy.PathLoss
+	// ShadowSigmaDB is the log-normal shadowing deviation.
+	ShadowSigmaDB float64
+}
+
+// Validate reports the first problem with the configuration.
+func (c RoamConfig) Validate() error {
+	switch {
+	case c.APs <= 0:
+		return errors.New("trace: APs must be positive")
+	case c.APSpacing <= 0:
+		return errors.New("trace: APSpacing must be positive")
+	case c.Clients <= 0:
+		return errors.New("trace: Clients must be positive")
+	case c.Steps <= 0:
+		return errors.New("trace: Steps must be positive")
+	case c.StepSeconds <= 0:
+		return errors.New("trace: StepSeconds must be positive")
+	case c.SpeedMPS <= 0:
+		return errors.New("trace: SpeedMPS must be positive")
+	case c.PathLoss.RefSNR <= 0:
+		return errors.New("trace: PathLoss is required")
+	}
+	return nil
+}
+
+// DefaultRoamConfig is a small building with enough walking time that
+// stations cross cell boundaries: 4 APs, 6 stations, 10 simulated minutes.
+func DefaultRoamConfig(seed int64) RoamConfig {
+	pl, err := phy.NewPathLoss(3.5, 1, 55)
+	if err != nil {
+		panic(err) // constants above are valid by construction
+	}
+	return RoamConfig{
+		Seed:          seed,
+		APs:           4,
+		APSpacing:     30,
+		Clients:       6,
+		Steps:         60,
+		StepSeconds:   10,
+		SpeedMPS:      1.4,
+		PathLoss:      pl,
+		ShadowSigmaDB: 3,
+	}
+}
+
+// walker is one station's random-waypoint state: current position and the
+// waypoint it is walking toward.
+type walker struct {
+	pos, dst topo.Point
+}
+
+// GenerateRoaming produces a random-waypoint mobility trace: each station
+// walks toward a uniformly-chosen waypoint at the configured speed,
+// picking a new waypoint on arrival, associating each step with the AP of
+// strongest mean signal (nearest, under symmetric path loss).
+func GenerateRoaming(cfg RoamConfig) ([]RoamStep, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	aps := topo.Grid(cfg.APs, cfg.APSpacing, topo.Point{})
+	maxX, maxY := 0.0, 0.0
+	for _, p := range aps {
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	margin := cfg.APSpacing / 2
+	randPoint := func() topo.Point {
+		return topo.Point{
+			X: -margin + rng.Float64()*(maxX+2*margin),
+			Y: -margin + rng.Float64()*(maxY+2*margin),
+		}
+	}
+
+	walkers := make([]walker, cfg.Clients)
+	for i := range walkers {
+		walkers[i] = walker{pos: randPoint(), dst: randPoint()}
+	}
+
+	stepDist := cfg.SpeedMPS * float64(cfg.StepSeconds)
+	out := make([]RoamStep, 0, cfg.Steps)
+	for s := 0; s < cfg.Steps; s++ {
+		step := RoamStep{Unix: int64(s * cfg.StepSeconds)}
+		for i := range walkers {
+			w := &walkers[i]
+			// Advance toward the waypoint; on (or past) arrival, pick the
+			// next one and stop there this step.
+			dx, dy := w.dst.X-w.pos.X, w.dst.Y-w.pos.Y
+			dist := math.Hypot(dx, dy)
+			if dist <= stepDist {
+				w.pos = w.dst
+				w.dst = randPoint()
+			} else {
+				w.pos.X += dx / dist * stepDist
+				w.pos.Y += dy / dist * stepDist
+			}
+			// Associate with the nearest AP (strongest mean signal under
+			// symmetric path loss), then report shadowed SNR there.
+			best, bestDist := 0, math.Inf(1)
+			for a, p := range aps {
+				if d := math.Hypot(w.pos.X-p.X, w.pos.Y-p.Y); d < bestDist {
+					best, bestDist = a, d
+				}
+			}
+			snr := phy.DB(cfg.PathLoss.SNRAt(bestDist)) + rng.NormFloat64()*cfg.ShadowSigmaDB
+			step.Obs = append(step.Obs, RoamObs{
+				Station: uint32(i + 1),
+				AP:      uint32(best + 1),
+				SNRdB:   snr,
+			})
+		}
+		out = append(out, step)
+	}
+	return out, nil
+}

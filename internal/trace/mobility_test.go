@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGenerateRoamingDeterministic(t *testing.T) {
+	a, err := GenerateRoaming(DefaultRoamConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateRoaming(DefaultRoamConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	c, err := GenerateRoaming(DefaultRoamConfig(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateRoamingShape(t *testing.T) {
+	cfg := DefaultRoamConfig(7)
+	steps, err := GenerateRoaming(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != cfg.Steps {
+		t.Fatalf("steps = %d, want %d", len(steps), cfg.Steps)
+	}
+	roams := 0
+	lastAP := map[uint32]uint32{}
+	for i, st := range steps {
+		if st.Unix != int64(i*cfg.StepSeconds) {
+			t.Fatalf("step %d at %d, want %d", i, st.Unix, i*cfg.StepSeconds)
+		}
+		if len(st.Obs) != cfg.Clients {
+			t.Fatalf("step %d has %d obs, want %d", i, len(st.Obs), cfg.Clients)
+		}
+		for j, o := range st.Obs {
+			if o.Station != uint32(j+1) {
+				t.Fatalf("step %d obs %d station = %d, want %d (ordered, 1-based)", i, j, o.Station, j+1)
+			}
+			if o.AP < 1 || o.AP > uint32(cfg.APs) {
+				t.Fatalf("step %d station %d at AP %d, want 1..%d", i, o.Station, o.AP, cfg.APs)
+			}
+			if prev, ok := lastAP[o.Station]; ok && prev != o.AP {
+				roams++
+			}
+			lastAP[o.Station] = o.AP
+		}
+	}
+	// The whole point of the trace: stations must actually cross cells.
+	if roams == 0 {
+		t.Fatal("no station ever changed AP; mobility trace exercises no roaming")
+	}
+}
+
+func TestRoamConfigValidate(t *testing.T) {
+	cfg := DefaultRoamConfig(1)
+	cfg.Clients = 0
+	if _, err := GenerateRoaming(cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
