@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz bench bench-smoke bench-check figures ablations examples clean
+.PHONY: all build vet lint test race fuzz bench bench-smoke bench-check figures ablations examples soak-smoke clean
 
 all: build vet lint test
 
@@ -35,6 +35,7 @@ fuzz:
 	$(GO) test -fuzz='^FuzzLogParse$$' -fuzztime=10s ./internal/atomicio/
 	$(GO) test -fuzz='^FuzzDecodeHandoff$$' -fuzztime=10s ./internal/session/
 	$(GO) test -fuzz='^FuzzDecodeWALRecord$$' -fuzztime=10s ./internal/session/
+	$(GO) test -fuzz='^FuzzFastReject$$' -fuzztime=10s ./internal/gateway/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -67,6 +68,12 @@ examples:
 	@for e in quickstart uplink residential mesh adaptation live phy; do \
 		echo "== examples/$$e =="; $(GO) run ./examples/$$e || exit 1; echo; \
 	done
+
+# A short race-enabled soak of the gateway tier: two shards, one abrupt
+# kill and restart mid-run, fails on client-visible query errors.
+soak-smoke:
+	$(GO) run -race ./cmd/sicsoak -shards 2 -stations 24 -aps 3 \
+		-duration 15s -kill 5s -revive 8s -seed 42
 
 # BENCH_6.json is the committed baseline bench-check compares against; clean
 # removes only derived artifacts.

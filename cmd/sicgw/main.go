@@ -1,0 +1,156 @@
+// Command sicgw runs the fault-tolerant gateway tier in front of sicschedd
+// scheduler shards: stations stream SNR reports at one UDP address, access
+// points query one TCP address, and the gateway filters, deduplicates,
+// replicates and fans out across a consistent-hash ring of shards.
+//
+// Usage:
+//
+//	sicgw -udp 127.0.0.1:5700 -tcp 127.0.0.1:5701 \
+//	      -shard a=127.0.0.1:5601,127.0.0.1:5600 \
+//	      -shard b=127.0.0.1:5611,127.0.0.1:5610
+//
+// Each -shard names one sicschedd started with the matching -shard flag;
+// the first address is its TCP query listener, the second its UDP ingest.
+//
+// Query protocol (newline-delimited over TCP, one-line JSON replies):
+//
+//	SCHED <apID>   merged schedule across shards, with a degraded flag
+//	HEALTH         tier health: ring epoch, shard liveness, counters
+//	QUIT           close the connection
+//
+// The gateway probes every shard's HEALTH endpoint continuously. A shard
+// that misses -fail-threshold consecutive probes is ejected from the live
+// ring (its stations re-home to their replicas); once it answers
+// -recover-threshold consecutive probes it is re-admitted and its
+// sessions migrate back via MOVE handoffs. Schedule queries hedge to
+// replica shards when a primary is slow, and replies carry degraded=true
+// whenever any part of the answer may be incomplete.
+//
+// With -admin the gateway additionally serves an HTTP endpoint:
+//
+//	/metrics       Prometheus text exposition (tier counters, latencies)
+//	/healthz       JSON liveness with ring epoch and shard states
+//	/debug/pprof/  live profiling
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/obs"
+)
+
+func main() {
+	var shards []gateway.ShardAddr
+	flag.Func("shard", "scheduler shard as name=tcpAddr,udpAddr (repeatable)", func(v string) error {
+		name, addrs, ok := strings.Cut(v, "=")
+		if !ok {
+			return fmt.Errorf("want name=tcpAddr,udpAddr, got %q", v)
+		}
+		tcp, udp, ok := strings.Cut(addrs, ",")
+		if !ok || name == "" || tcp == "" || udp == "" {
+			return fmt.Errorf("want name=tcpAddr,udpAddr, got %q", v)
+		}
+		shards = append(shards, gateway.ShardAddr{Name: name, TCP: tcp, UDP: udp})
+		return nil
+	})
+	var (
+		udpAddr     = flag.String("udp", "127.0.0.1:5700", "UDP address for report ingest")
+		tcpAddr     = flag.String("tcp", "127.0.0.1:5701", "TCP address for schedule/health queries")
+		replication = flag.Int("replication", 2, "shards holding each station's report stream")
+		vnodes      = flag.Int("vnodes", 64, "virtual nodes per shard on the hash ring")
+		probeEvery  = flag.Duration("probe-interval", 500*time.Millisecond, "shard health probe cadence")
+		probeTime   = flag.Duration("probe-timeout", 250*time.Millisecond, "per-probe deadline")
+		failThresh  = flag.Int("fail-threshold", 3, "consecutive probe failures before ejection")
+		recThresh   = flag.Int("recover-threshold", 2, "consecutive probe successes before re-admission")
+		queryDL     = flag.Duration("query-deadline", 500*time.Millisecond, "overall merged-query deadline")
+		shardDL     = flag.Duration("shard-deadline", 150*time.Millisecond, "per-shard query attempt deadline")
+		retries     = flag.Int("shard-retries", 2, "query attempts per shard before giving up")
+		backoff     = flag.Duration("retry-backoff", 20*time.Millisecond, "initial shard retry backoff (doubled, capped)")
+		hedgeDelay  = flag.Duration("hedge-delay", 30*time.Millisecond, "silence before hedging a query to a replica shard")
+		inflight    = flag.Int("max-inflight", 64, "concurrent query bound before overload shedding")
+		drain       = flag.Duration("drain", 5*time.Second, "graceful shutdown drain budget")
+		admin       = flag.String("admin", "", "HTTP admin address for /metrics, /healthz and /debug/pprof (empty = disabled)")
+	)
+	flag.Parse()
+	if len(shards) == 0 {
+		fmt.Fprintln(os.Stderr, "sicgw: at least one -shard name=tcpAddr,udpAddr is required")
+		os.Exit(2)
+	}
+
+	gw, err := gateway.Start(gateway.Config{
+		UDPAddr:          *udpAddr,
+		TCPAddr:          *tcpAddr,
+		Shards:           shards,
+		Replication:      *replication,
+		VNodes:           *vnodes,
+		ProbeInterval:    *probeEvery,
+		ProbeTimeout:     *probeTime,
+		FailThreshold:    *failThresh,
+		RecoverThreshold: *recThresh,
+		QueryDeadline:    *queryDL,
+		ShardDeadline:    *shardDL,
+		ShardRetries:     *retries,
+		RetryBackoff:     *backoff,
+		HedgeDelay:       *hedgeDelay,
+		MaxInflight:      *inflight,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sicgw: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sicgw: reports on udp %s, queries on tcp %s, %d shards (replication %d)\n",
+		gw.UDPAddr(), gw.TCPAddr(), len(shards), *replication)
+
+	var adminSrv *http.Server
+	if *admin != "" {
+		adminSrv = &http.Server{
+			Addr: *admin,
+			Handler: obs.AdminMux(gw.Registry(), func() any {
+				return map[string]any{
+					"status":   "ok",
+					"epoch":    gw.Epoch(),
+					"stations": gw.Stations(),
+					"live":     gw.LiveShards(),
+				}
+			}),
+		}
+		go func() {
+			if err := adminSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "sicgw: admin endpoint: %v\n", err)
+			}
+		}()
+		fmt.Printf("sicgw: admin endpoint on http://%s/metrics\n", *admin)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "sicgw: %v, draining for up to %v\n", got, *drain)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	code := 0
+	if err := gw.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "sicgw: %v\n", err)
+		code = 1
+	}
+	if adminSrv != nil {
+		adminSrv.Close()
+	}
+	fmt.Printf("sicgw: final epoch %d, live shards %v\n", gw.Epoch(), gw.LiveShards())
+	fmt.Printf("sicgw: ingest: %s\n", gw.IngestEvents())
+	fmt.Printf("sicgw: drops: %s\n", gw.DropEvents())
+	fmt.Printf("sicgw: queries: %s\n", gw.QueryEvents())
+	fmt.Printf("sicgw: tier: %s\n", gw.TierEvents())
+	fmt.Printf("sicgw: rebalance: %s\n", gw.RebalanceEvents())
+	os.Exit(code)
+}

@@ -11,7 +11,13 @@
 //	HEALTH                  uptime, table occupancy and serving counters
 //	HANDOFF <base64>        install a session transferred from a peer daemon
 //	MOVE <station> <addr>   hand a station's session off to a peer daemon
+//	EPOCH <n>               record the gateway tier's ring epoch
 //	QUIT                    close the connection
+//
+// With -shard the daemon serves as one scheduler shard behind a sicgw
+// gateway: HEALTH responses carry the shard name, a per-boot instance
+// nonce and the last gateway-pushed ring epoch, which the gateway uses for
+// liveness probing and restart detection.
 //
 // With -data the daemon's client sessions are durable: every accepted
 // report lands in a write-ahead log and the session table is periodically
@@ -67,6 +73,7 @@ func main() {
 		hoBack   = flag.Duration("handoff-backoff", 50*time.Millisecond, "initial handoff retry backoff (doubled, jittered, capped)")
 		hoMax    = flag.Duration("handoff-max-backoff", time.Second, "handoff retry backoff cap")
 		hoTime   = flag.Duration("handoff-timeout", 2*time.Second, "per-attempt handoff deadline")
+		shardID  = flag.String("shard", "", "shard name when serving behind a sicgw gateway (echoed in HEALTH)")
 	)
 	flag.Parse()
 
@@ -88,6 +95,7 @@ func main() {
 		HandoffBackoff:    *hoBack,
 		HandoffMaxBackoff: *hoMax,
 		HandoffTimeout:    *hoTime,
+		ShardID:           *shardID,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sicschedd: %v\n", err)

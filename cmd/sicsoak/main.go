@@ -1,0 +1,294 @@
+// Command sicsoak soak-tests a sharded gateway deployment end to end: it
+// boots sicschedd shards and a sicgw gateway in-process, drives synthetic
+// station report traffic and AP schedule queries against the gateway, and
+// — on request — kills a shard abruptly mid-run and restarts it later, so
+// the whole ejection/degradation/re-admission/rebalance cycle runs under
+// load.
+//
+// Usage:
+//
+//	sicsoak -shards 2 -stations 48 -aps 4 -duration 30s \
+//	        -kill 10s -revive 15s -seed 42
+//
+// The run is seeded: report SNR jitter comes from -seed, so two runs with
+// the same flags drive identical traffic. At exit sicsoak prints
+// client-observed SCHED latency quantiles, the clean/degraded/error query
+// split, and the shards' cold-versus-migrated session totals — the number
+// that shows whether rebalancing actually moved sessions instead of
+// recreating them.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/obs"
+	"repro/internal/schedd"
+)
+
+// soakStats is what the query loop accumulates.
+type soakStats struct {
+	queries  atomic.Int64
+	clean    atomic.Int64
+	degraded atomic.Int64
+	empty    atomic.Int64
+	errors   atomic.Int64
+}
+
+// queryReply is the subset of the gateway's SCHED reply the soak inspects.
+type queryReply struct {
+	Error    string `json:"error"`
+	Degraded bool   `json:"degraded"`
+	Clients  int    `json:"clients"`
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sicsoak: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		nShards     = flag.Int("shards", 2, "scheduler shards to boot")
+		nStations   = flag.Int("stations", 48, "synthetic stations")
+		nAPs        = flag.Int("aps", 4, "APs the stations spread across")
+		duration    = flag.Duration("duration", 30*time.Second, "soak length")
+		seed        = flag.Int64("seed", 1, "SNR jitter seed (same seed, same traffic)")
+		reportEvery = flag.Duration("report-every", 25*time.Millisecond, "cadence of one full report round (one report per station)")
+		queryEvery  = flag.Duration("query-every", 10*time.Millisecond, "cadence of AP schedule queries")
+		replication = flag.Int("replication", 2, "shards holding each station's report stream")
+		killAt      = flag.Duration("kill", 0, "kill one shard this long into the run (0 = never)")
+		reviveAt    = flag.Duration("revive", 0, "restart the killed shard this long into the run (0 = never)")
+		killIdx     = flag.Int("kill-shard", 0, "index of the shard to kill")
+	)
+	flag.Parse()
+	if *killAt > 0 && (*killIdx < 0 || *killIdx >= *nShards) {
+		fatalf("-kill-shard %d out of range for %d shards", *killIdx, *nShards)
+	}
+	if *reviveAt > 0 && (*killAt == 0 || *reviveAt <= *killAt) {
+		fatalf("-revive must come after -kill")
+	}
+
+	// Boot the tier in-process: shards first, then the gateway over them.
+	shards := make([]*schedd.Server, *nShards)
+	var addrs []gateway.ShardAddr
+	for i := range shards {
+		name := fmt.Sprintf("shard-%d", i)
+		s, err := schedd.Start(schedd.Config{UDPAddr: "127.0.0.1:0", TCPAddr: "127.0.0.1:0", ShardID: name})
+		if err != nil {
+			fatalf("starting %s: %v", name, err)
+		}
+		shards[i] = s
+		addrs = append(addrs, gateway.ShardAddr{
+			Name: name, TCP: s.TCPAddr().String(), UDP: s.UDPAddr().String(),
+		})
+	}
+	gw, err := gateway.Start(gateway.Config{
+		UDPAddr:          "127.0.0.1:0",
+		TCPAddr:          "127.0.0.1:0",
+		Shards:           addrs,
+		Replication:      *replication,
+		ProbeInterval:    100 * time.Millisecond,
+		ProbeTimeout:     250 * time.Millisecond,
+		FailThreshold:    3,
+		RecoverThreshold: 2,
+		QueryDeadline:    time.Second,
+	})
+	if err != nil {
+		fatalf("starting gateway: %v", err)
+	}
+	fmt.Printf("sicsoak: %d shards behind gateway %s (reports) / %s (queries), %d stations on %d APs for %v\n",
+		*nShards, gw.UDPAddr(), gw.TCPAddr(), *nStations, *nAPs, *duration)
+
+	reg := obs.NewRegistry()
+	latency := reg.Histogram("sicsoak_query_seconds",
+		"client-observed gateway SCHED latency", obs.DefLatencyBuckets(), nil)
+	var stats soakStats
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+
+	loadDone := make(chan struct{})
+	go reportLoop(ctx, loadDone, gw.UDPAddr().String(), *nStations, *nAPs, *reportEvery, *seed)
+	queryDone := make(chan struct{})
+	go queryLoop(ctx, queryDone, gw.TCPAddr().String(), *nAPs, *queryEvery, latency, &stats)
+
+	// The chaos timeline: abrupt kill, later restart on the same addresses.
+	victimDead := false
+	if *killAt > 0 {
+		victim := shards[*killIdx]
+		vTCP, vUDP := victim.TCPAddr().String(), victim.UDPAddr().String()
+		select {
+		case <-ctx.Done():
+		case <-time.After(*killAt):
+			victim.Kill()
+			victimDead = true
+			fmt.Printf("sicsoak: killed shard-%d at +%v\n", *killIdx, *killAt)
+		}
+		if *reviveAt > 0 && ctx.Err() == nil {
+			select {
+			case <-ctx.Done():
+			case <-time.After(*reviveAt - *killAt):
+				s, err := schedd.Start(schedd.Config{
+					UDPAddr: vUDP, TCPAddr: vTCP,
+					ShardID: fmt.Sprintf("shard-%d", *killIdx),
+				})
+				if err != nil {
+					fatalf("reviving shard-%d: %v", *killIdx, err)
+				}
+				shards[*killIdx] = s
+				victimDead = false
+				fmt.Printf("sicsoak: revived shard-%d at +%v\n", *killIdx, *reviveAt)
+			}
+		}
+	}
+
+	<-ctx.Done()
+	<-loadDone
+	<-queryDone
+
+	sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer scancel()
+	if err := gw.Shutdown(sctx); err != nil {
+		fmt.Fprintf(os.Stderr, "sicsoak: gateway shutdown: %v\n", err)
+	}
+	var cold, migrated int64
+	for i, s := range shards {
+		if victimDead && i == *killIdx {
+			continue
+		}
+		cold += s.SessionEvents().Get("cold")
+		migrated += s.SessionEvents().Get("handoff_in")
+		dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		s.Shutdown(dctx)
+		dcancel()
+	}
+
+	fmt.Printf("sicsoak: queries=%d clean=%d degraded=%d empty=%d errors=%d\n",
+		stats.queries.Load(), stats.clean.Load(), stats.degraded.Load(),
+		stats.empty.Load(), stats.errors.Load())
+	fmt.Printf("sicsoak: latency p50<=%s p90<=%s p99<=%s\n",
+		quantile(latency, 0.5), quantile(latency, 0.9), quantile(latency, 0.99))
+	fmt.Printf("sicsoak: sessions cold=%d migrated=%d (shards), gateway epoch=%d\n",
+		cold, migrated, gw.Epoch())
+	fmt.Printf("sicsoak: gateway ingest: %s\n", gw.IngestEvents())
+	fmt.Printf("sicsoak: gateway queries: %s\n", gw.QueryEvents())
+	fmt.Printf("sicsoak: gateway tier: %s\n", gw.TierEvents())
+	fmt.Printf("sicsoak: gateway rebalance: %s\n", gw.RebalanceEvents())
+
+	if stats.queries.Load() == 0 || stats.errors.Load() > stats.queries.Load()/2 {
+		fatalf("unhealthy run: %d queries, %d errors", stats.queries.Load(), stats.errors.Load())
+	}
+}
+
+// reportLoop streams one report per station per round into the gateway.
+// Station i sits on AP 1+i%aps with a stable SNR base plus seeded jitter,
+// so the schedule content is deterministic for a given seed.
+func reportLoop(ctx context.Context, done chan<- struct{}, addr string, stations, aps int, every time.Duration, seed int64) {
+	defer close(done)
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sicsoak: report socket: %v\n", err)
+		return
+	}
+	defer conn.Close()
+	rng := rand.New(rand.NewSource(seed))
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	seq := uint32(0)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		seq++
+		for i := 0; i < stations; i++ {
+			r := schedd.Report{
+				AP:         uint32(1 + i%aps),
+				Station:    uint32(1000 + i),
+				Seq:        seq,
+				SNRMilliDB: int32(9000 + (i%32)*500 + rng.Intn(1000)),
+			}
+			buf, err := r.Marshal()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sicsoak: marshal: %v\n", err)
+				return
+			}
+			conn.Write(buf)
+		}
+	}
+}
+
+// queryLoop round-robins SCHED queries over the APs and records the
+// client-observed outcome and latency of each.
+func queryLoop(ctx context.Context, done chan<- struct{}, addr string, aps int, every time.Duration, latency *obs.Histogram, stats *soakStats) {
+	defer close(done)
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for n := 0; ; n++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		ap := 1 + n%aps
+		start := time.Now()
+		reply, err := oneQuery(addr, ap)
+		latency.Observe(time.Since(start).Seconds())
+		stats.queries.Add(1)
+		switch {
+		case err != nil || reply.Error != "":
+			stats.errors.Add(1)
+		case reply.Clients == 0:
+			stats.empty.Add(1)
+		case reply.Degraded:
+			stats.degraded.Add(1)
+		default:
+			stats.clean.Add(1)
+		}
+	}
+}
+
+// oneQuery runs a single SCHED round trip on a fresh connection, the way a
+// real AP client would.
+func oneQuery(addr string, ap int) (queryReply, error) {
+	var out queryReply
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return out, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := fmt.Fprintf(conn, "SCHED %d\n", ap); err != nil {
+		return out, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return out, fmt.Errorf("no reply: %w", sc.Err())
+	}
+	if err := json.Unmarshal(sc.Bytes(), &out); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// quantile renders a histogram quantile as a duration bound (the histogram
+// answers with a bucket upper bound, hence "<=" at the call sites).
+func quantile(h *obs.Histogram, q float64) string {
+	v := h.Quantile(q)
+	if math.IsInf(v, 1) {
+		return "overflow"
+	}
+	return time.Duration(v * float64(time.Second)).String()
+}

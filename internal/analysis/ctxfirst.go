@@ -16,6 +16,7 @@ var ctxPackages = map[string]bool{
 	"sched":    true,
 	"schedd":   true,
 	"runner":   true,
+	"gateway":  true,
 }
 
 // CtxFirst enforces context discipline in the scheduling packages:

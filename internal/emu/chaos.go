@@ -1,6 +1,8 @@
 package emu
 
 import (
+	"sync/atomic"
+
 	"repro/internal/frame"
 	"repro/internal/mac"
 )
@@ -15,9 +17,33 @@ import (
 //
 // Only the Loss, Corrupt, Stall and StallSlots fields of the FaultModel are
 // consulted; LossByType does not apply to untyped datagrams.
+//
+// On top of the probabilistic model, WireChaos carries an asymmetric
+// partition switch: SetPartition(dir) makes every datagram travelling in
+// dir vanish deterministically until ClearPartition, while the opposite
+// direction stays governed by the model alone. This is the "one-way-deaf
+// node" failure — it hears you, you never hear it — that health probers
+// and hedged requests exist to mask. Partition drops are tallied
+// separately from the model's Injected counters so the probabilistic tally
+// stays a pure function of the seed.
 type WireChaos struct {
 	fs *faultState // nil when the model injects nothing
+
+	// partMask holds the Dir bits currently partitioned; partDrops counts
+	// datagrams the partition swallowed.
+	partMask  atomic.Uint32
+	partDrops atomic.Int64
 }
+
+// Dir labels a datagram's direction for asymmetric partitions. The names
+// are relative to the component under test: DirIn is traffic it receives,
+// DirOut traffic it sends.
+type Dir uint32
+
+const (
+	DirIn Dir = 1 << iota
+	DirOut
+)
 
 // NewWireChaos validates the model and binds it to a seed.
 func NewWireChaos(model FaultModel, seed int64) (*WireChaos, error) {
@@ -26,6 +52,37 @@ func NewWireChaos(model FaultModel, seed int64) (*WireChaos, error) {
 	}
 	return &WireChaos{fs: newFaultState(model, seed)}, nil
 }
+
+// SetPartition starts dropping every datagram travelling in the given
+// direction(s); OR Dir values to cut both ways. Safe for concurrent use
+// with traffic.
+func (c *WireChaos) SetPartition(dir Dir) {
+	for {
+		old := c.partMask.Load()
+		if old|uint32(dir) == old || c.partMask.CompareAndSwap(old, old|uint32(dir)) {
+			return
+		}
+	}
+}
+
+// ClearPartition heals all partitions; the probabilistic model stays.
+func (c *WireChaos) ClearPartition() { c.partMask.Store(0) }
+
+// DropDir reports whether the datagram identified by (station, seq)
+// travelling in dir is lost: deterministically if dir is partitioned,
+// otherwise by the seeded model exactly as Drop would decide (direction
+// does not enter the hash, so a partition toggled mid-run never perturbs
+// the model's same-seed decisions).
+func (c *WireChaos) DropDir(dir Dir, station, seq uint32) bool {
+	if Dir(c.partMask.Load())&dir != 0 {
+		c.partDrops.Add(1)
+		return true
+	}
+	return c.Drop(station, seq)
+}
+
+// PartitionDrops reports how many datagrams partitions have swallowed.
+func (c *WireChaos) PartitionDrops() int64 { return c.partDrops.Load() }
 
 // Drop reports whether the datagram identified by (station, seq) is lost in
 // transit, tallying the loss.

@@ -103,3 +103,74 @@ func TestWireChaosValidates(t *testing.T) {
 		t.Fatal("Stall=-0.1 accepted")
 	}
 }
+
+// TestWireChaosAsymmetricPartition: a partition in one direction swallows
+// every datagram in that direction, leaves the other direction to the
+// seeded model, tallies its drops separately, and never perturbs the
+// model's same-seed decisions.
+func TestWireChaosAsymmetricPartition(t *testing.T) {
+	model := FaultModel{Loss: 0.3}
+	free, err := NewWireChaos(model, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parted, err := NewWireChaos(model, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parted.SetPartition(DirOut)
+
+	const n = 500
+	outDropped := 0
+	for seq := uint32(1); seq <= n; seq++ {
+		if !parted.DropDir(DirOut, 1, seq) {
+			t.Fatalf("seq %d crossed an outbound partition", seq)
+		}
+		outDropped++
+		// The inbound direction still follows the model, and its verdicts
+		// match an un-partitioned instance with the same seed exactly.
+		if parted.DropDir(DirIn, 1, seq) != free.Drop(1, seq) {
+			t.Fatalf("seq %d: partition perturbed the seeded model", seq)
+		}
+	}
+	if got := parted.PartitionDrops(); got != int64(outDropped) {
+		t.Fatalf("PartitionDrops = %d, want %d", got, outDropped)
+	}
+	// Partition drops are deterministic overrides, not model faults: both
+	// instances rolled the same n inbound fates, so their tallies agree
+	// even though one also swallowed n outbound datagrams.
+	if p, f := parted.Injected().FramesLost, free.Injected().FramesLost; p != f {
+		t.Fatalf("partition drops leaked into the model tally: %d vs %d", p, f)
+	}
+
+	parted.ClearPartition()
+	crossed := false
+	for seq := uint32(n + 1); seq <= 2*n; seq++ {
+		if !parted.DropDir(DirOut, 1, seq) {
+			crossed = true
+		}
+	}
+	if !crossed {
+		t.Fatal("healed partition still drops everything")
+	}
+
+	// Both directions at once.
+	parted.SetPartition(DirIn)
+	parted.SetPartition(DirOut)
+	if !parted.DropDir(DirIn, 1, 1) || !parted.DropDir(DirOut, 1, 1) {
+		t.Fatal("two-way partition let a datagram through")
+	}
+
+	// A zero model still supports partitions: DropDir is the only fault.
+	quiet, err := NewWireChaos(FaultModel{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.DropDir(DirIn, 1, 1) {
+		t.Fatal("zero model dropped without a partition")
+	}
+	quiet.SetPartition(DirIn)
+	if !quiet.DropDir(DirIn, 1, 1) || quiet.DropDir(DirOut, 1, 1) {
+		t.Fatal("partition direction filter wrong on zero model")
+	}
+}

@@ -1,0 +1,44 @@
+package gateway
+
+import (
+	"encoding/binary"
+
+	"repro/internal/schedd"
+)
+
+// FastReject is the gateway's cheap first-pass datagram filter: it checks
+// only the fixed 8-byte prefix of a report (magic, version, type, length)
+// plus the datagram size, touching no checksum and allocating nothing, so
+// a flood of junk — misdirected MAC frames, port scans, stale protocol
+// versions — is turned away for a few compares per datagram before the
+// CRC pass runs.
+//
+// Its contract with the full decoder is strict and fuzz-enforced
+// (FuzzFastReject): FastReject(buf) != nil implies
+// schedd.DecodeReport(buf) fails with the same error. FastReject returning
+// nil promises nothing — the datagram may still die on CRC or field
+// validation — so accepted datagrams always continue to the full decode.
+func FastReject(buf []byte) error {
+	if len(buf) < schedd.ReportLen {
+		return schedd.ErrReportShort
+	}
+	if len(buf) > schedd.ReportLen {
+		return schedd.ErrReportOversize
+	}
+	if binary.BigEndian.Uint16(buf[0:2]) != schedd.ReportMagic {
+		return schedd.ErrReportMagic
+	}
+	if buf[2] != schedd.ReportVersion {
+		return schedd.ErrReportVersion
+	}
+	// Byte 3 is the report type; 1 (RSSI) is the only one defined. The
+	// constant is unexported in schedd, so the contract fuzz target is what
+	// keeps this literal honest.
+	if buf[3] != 1 {
+		return schedd.ErrReportType
+	}
+	if binary.BigEndian.Uint32(buf[4:8]) != schedd.ReportLen {
+		return schedd.ErrReportLength
+	}
+	return nil
+}

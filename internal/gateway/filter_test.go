@@ -1,0 +1,84 @@
+package gateway
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/schedd"
+)
+
+func validReport(t *testing.T) []byte {
+	t.Helper()
+	buf, err := schedd.Report{AP: 1, Station: 9, Seq: 1, SNRMilliDB: 20000}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestFastRejectVerdicts: each prefix defect maps to the decoder's error.
+func TestFastRejectVerdicts(t *testing.T) {
+	good := validReport(t)
+	if err := FastReject(good); err != nil {
+		t.Fatalf("valid report fast-rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"short", func(b []byte) []byte { return b[:10] }, schedd.ErrReportShort},
+		{"oversize", func(b []byte) []byte { return append(b, 0) }, schedd.ErrReportOversize},
+		{"magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, schedd.ErrReportMagic},
+		{"version", func(b []byte) []byte { b[2] = 99; return b }, schedd.ErrReportVersion},
+		{"type", func(b []byte) []byte { b[3] = 7; return b }, schedd.ErrReportType},
+		{"length", func(b []byte) []byte { b[7] = 200; return b }, schedd.ErrReportLength},
+	}
+	for _, tc := range cases {
+		buf := append([]byte(nil), good...)
+		buf = tc.mutate(buf)
+		if err := FastReject(buf); !errors.Is(err, tc.wantErr) {
+			t.Errorf("%s: FastReject = %v, want %v", tc.name, err, tc.wantErr)
+		}
+	}
+	// A CRC defect is past the prefix: FastReject passes it through for the
+	// full decoder to kill.
+	crc := append([]byte(nil), good...)
+	crc[25] ^= 0x01
+	if err := FastReject(crc); err != nil {
+		t.Fatalf("FastReject rejected a CRC-only defect: %v", err)
+	}
+	if _, err := schedd.DecodeReport(crc); !errors.Is(err, schedd.ErrReportCRC) {
+		t.Fatalf("decoder verdict on CRC defect = %v", err)
+	}
+}
+
+// FuzzFastReject enforces the filter's contract with the full decoder:
+// a fast reject must mean the decoder rejects with the identical error
+// (never a false positive), and a fast accept must never hide a defect
+// the filter claims to check.
+func FuzzFastReject(f *testing.F) {
+	good, _ := schedd.Report{AP: 1, Station: 9, Seq: 1, SNRMilliDB: 20000}.Marshal()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0x51, 0xCD})
+	short := append([]byte(nil), good[:27]...)
+	f.Add(short)
+	long := append(append([]byte(nil), good...), 0xAA)
+	f.Add(long)
+	bad := append([]byte(nil), good...)
+	bad[2] = 3
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		fastErr := FastReject(buf)
+		_, slowErr := schedd.DecodeReport(buf)
+		if fastErr != nil {
+			if slowErr == nil {
+				t.Fatalf("FastReject rejected (%v) a datagram DecodeReport accepts", fastErr)
+			}
+			if !errors.Is(slowErr, fastErr) {
+				t.Fatalf("verdicts disagree: FastReject %v, DecodeReport %v", fastErr, slowErr)
+			}
+		}
+	})
+}

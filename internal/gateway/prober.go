@@ -1,0 +1,243 @@
+package gateway
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// shardHealth is the slice of the daemon's HEALTH reply the prober cares
+// about: identity and epoch. Instance is a per-boot nonce; RingEpoch is
+// the last epoch the gateway pushed, which an in-memory restart resets to
+// zero — together they let the prober tell "healthy", "restarted and lost
+// its sessions" and "never saw my ring" apart.
+type shardHealth struct {
+	Instance  string `json:"instance"`
+	RingEpoch uint64 `json:"ring_epoch"`
+}
+
+// probeLoop probes one shard at the configured interval until shutdown.
+func (s *Server) probeLoop(sh *shardState) {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			s.probeOnce(s.baseCtx, sh)
+		}
+	}
+}
+
+// probeOnce runs one HEALTH round trip and applies the verdict to the
+// shard's state machine.
+func (s *Server) probeOnce(ctx context.Context, sh *shardState) {
+	s.tierEvents.Inc("probes")
+	sh.probes.Inc()
+	health, err := s.probeHealth(ctx, sh.addr.TCP)
+	if err != nil {
+		s.tierEvents.Inc("probe_fail")
+		sh.probeFails.Inc()
+	}
+	s.applyProbe(ctx, sh, health, err == nil)
+}
+
+// probeHealth dials the shard and reads one HEALTH reply under the probe
+// timeout.
+func (s *Server) probeHealth(ctx context.Context, addr string) (shardHealth, error) {
+	pctx, cancel := context.WithTimeout(ctx, s.cfg.ProbeTimeout)
+	defer cancel()
+	var d net.Dialer
+	conn, err := d.DialContext(pctx, "tcp", addr)
+	if err != nil {
+		return shardHealth{}, err
+	}
+	defer conn.Close()
+	if dl, ok := pctx.Deadline(); ok {
+		if err := conn.SetDeadline(dl); err != nil {
+			return shardHealth{}, err
+		}
+	}
+	if _, err := conn.Write([]byte("HEALTH\n")); err != nil {
+		return shardHealth{}, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<16), 1<<16)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return shardHealth{}, err
+		}
+		return shardHealth{}, fmt.Errorf("gateway: %s closed before replying", addr)
+	}
+	var h shardHealth
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return shardHealth{}, err
+	}
+	if h.Instance == "" {
+		return shardHealth{}, fmt.Errorf("gateway: %s HEALTH reply carries no instance nonce", addr)
+	}
+	return h, nil
+}
+
+// applyProbe advances one shard's state machine under the ring lock.
+// The interesting transitions:
+//
+//   - live, FailThreshold consecutive failures → ejected: the ring is
+//     rebuilt without the shard, the epoch bumps, and ownership diffs are
+//     migrated. MOVEs sourced at the dead shard are skipped (counted) —
+//     its successor already holds the replica stream.
+//   - ejected, RecoverThreshold consecutive successes → re-admitted: ring
+//     rebuilt with the shard back, epoch bumps, and the interim owners
+//     MOVE its sessions home.
+//   - live, instance nonce changed → the shard restarted between probes
+//     without ever failing one. Its table is empty, so its stations are
+//     re-pulled from their replica shards.
+func (s *Server) applyProbe(ctx context.Context, sh *shardState, health shardHealth, ok bool) {
+	s.ringMu.Lock()
+	var (
+		oldRing, newRing *hashRing
+		restarted        bool
+	)
+	switch {
+	case sh.live && ok:
+		sh.fails = 0
+		if sh.instance != "" && sh.instance != health.Instance {
+			restarted = true
+			s.tierEvents.Inc("restarts")
+			sh.restarts.Inc()
+		}
+		sh.instance = health.Instance
+	case sh.live && !ok:
+		sh.fails++
+		if sh.fails >= s.cfg.FailThreshold {
+			sh.live = false
+			sh.oks = 0
+			sh.up.Set(0)
+			s.tierEvents.Inc("ejections")
+			sh.ejectedCount.Inc()
+			oldRing, newRing = s.rebuildLocked()
+		}
+	case !sh.live && ok:
+		sh.oks++
+		if sh.oks >= s.cfg.RecoverThreshold {
+			sh.live = true
+			sh.fails = 0
+			sh.up.Set(1)
+			// Probation re-admits a shard whether it was partitioned (kept
+			// its state) or restarted (lost it); either way the readmit
+			// rebalance MOVEs every one of its stations home, which covers
+			// both cases. Record the fresh instance so a later restart is
+			// still detectable.
+			sh.instance = health.Instance
+			s.tierEvents.Inc("readmits")
+			sh.readmits.Inc()
+			oldRing, newRing = s.rebuildLocked()
+		}
+	case !sh.live && !ok:
+		sh.oks = 0
+	}
+	epoch := s.epoch
+	staleEpoch := ok && sh.live && !restarted && newRing == nil && health.RingEpoch < epoch
+	s.ringMu.Unlock()
+
+	if newRing != nil {
+		s.pushEpochAll(ctx)
+		s.startRebalance(ctx, func(rctx context.Context) {
+			s.rebalanceRings(rctx, oldRing, newRing)
+		})
+		return
+	}
+	if restarted {
+		// Membership did not change, so no epoch bump — but the restarted
+		// shard forgot the current epoch and its sessions. Re-push and
+		// re-migrate.
+		s.pushEpoch(ctx, sh, epoch)
+		s.startRebalance(ctx, func(rctx context.Context) {
+			s.remigrate(rctx, sh.idx)
+		})
+		return
+	}
+	if staleEpoch {
+		s.pushEpoch(ctx, sh, epoch)
+	}
+}
+
+// rebuildLocked rebuilds the live ring from current shard liveness under a
+// bumped epoch. Caller holds ringMu; returns the old and new rings for
+// migration planning.
+func (s *Server) rebuildLocked() (oldRing, newRing *hashRing) {
+	oldRing = s.live
+	live := make([]bool, len(s.shards))
+	for i, sh := range s.shards {
+		live[i] = sh.live
+	}
+	s.epoch++
+	s.live = buildRing(s.shardNames(), live, s.cfg.VNodes, s.epoch)
+	s.epochGauge.Set(float64(s.epoch))
+	return oldRing, s.live
+}
+
+// pushEpochAll pushes the current epoch to every live shard.
+func (s *Server) pushEpochAll(ctx context.Context) {
+	s.ringMu.Lock()
+	epoch := s.epoch
+	var targets []*shardState
+	for _, sh := range s.shards {
+		if sh.live {
+			targets = append(targets, sh)
+		}
+	}
+	s.ringMu.Unlock()
+	for _, sh := range targets {
+		s.pushEpoch(ctx, sh, epoch)
+	}
+}
+
+// pushEpoch tells one shard the current ring epoch via the EPOCH command.
+// Best-effort: a failed push is counted and retried implicitly by the next
+// probe's stale-epoch check.
+func (s *Server) pushEpoch(ctx context.Context, sh *shardState, epoch uint64) {
+	if err := s.roundTrip(ctx, sh.addr.TCP, fmt.Sprintf("EPOCH %d\n", epoch), s.cfg.ProbeTimeout, nil); err != nil {
+		s.tierEvents.Inc("epoch_push_err")
+		return
+	}
+	s.tierEvents.Inc("epoch_push")
+}
+
+// roundTrip dials addr, writes one command line and decodes the one-line
+// JSON reply into out (discarded when out is nil), all under timeout.
+func (s *Server) roundTrip(ctx context.Context, addr, line string, timeout time.Duration, out any) error {
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	var d net.Dialer
+	conn, err := d.DialContext(rctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if dl, ok := rctx.Deadline(); ok {
+		if err := conn.SetDeadline(dl); err != nil {
+			return err
+		}
+	}
+	if _, err := conn.Write([]byte(line)); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("gateway: %s closed before replying", addr)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(sc.Bytes(), out)
+}

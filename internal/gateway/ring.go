@@ -1,0 +1,111 @@
+package gateway
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// hashRing is a consistent-hash ring mapping stations onto shard indices.
+// Each member contributes vnodes points, placed by hashing (shard name,
+// vnode) — name-keyed so a shard keeps its arc across gateway restarts and
+// config reorderings — and a station lands on the first point clockwise of
+// its own hash. Rings are immutable once built: membership changes build a
+// new ring under a new epoch, which is what makes "diff two rings to find
+// the stations that moved" a safe, lock-free operation.
+type hashRing struct {
+	points []ringPoint // sorted by hash
+	// live[i] reports whether shard i contributed points to this ring.
+	live []bool
+	// epoch is the generation of tier membership this ring encodes.
+	epoch uint64
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// splitmix is the SplitMix64 finalizer (same construction as the fault
+// model's hash): a cheap strong mixer turning IDs into uniform points.
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// buildRing places vnodes points per live shard. names indexes shards by
+// their tier position; live selects the members. Epoch is stamped by the
+// caller.
+func buildRing(names []string, live []bool, vnodes int, epoch uint64) *hashRing {
+	r := &hashRing{live: append([]bool(nil), live...), epoch: epoch}
+	for i, name := range names {
+		if !live[i] {
+			continue
+		}
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		base := h.Sum64()
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: splitmix(base + uint64(v)), shard: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].shard < r.points[b].shard
+	})
+	return r
+}
+
+// stationPoint hashes a station onto the ring's keyspace.
+func stationPoint(station uint32) uint64 {
+	return splitmix(0xC0FFEE ^ uint64(station))
+}
+
+// owner returns the shard index owning the station, or ok=false on an
+// empty ring.
+func (r *hashRing) owner(station uint32) (int, bool) {
+	if len(r.points) == 0 {
+		return 0, false
+	}
+	h := stationPoint(station)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard, true
+}
+
+// successors returns up to n distinct shards clockwise of the station,
+// starting with its owner: successors(sta, 2) is the owner plus its first
+// replica. Fewer are returned when the ring has fewer distinct members.
+func (r *hashRing) successors(station uint32, n int) []int {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	h := stationPoint(station)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for k := 0; k < len(r.points) && len(out) < n; k++ {
+		p := r.points[(i+k)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}
+
+// memberCount returns how many shards contributed points.
+func (r *hashRing) memberCount() int {
+	n := 0
+	for _, l := range r.live {
+		if l {
+			n++
+		}
+	}
+	return n
+}

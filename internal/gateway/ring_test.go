@@ -1,0 +1,108 @@
+package gateway
+
+import "testing"
+
+func allLive(n int) []bool {
+	live := make([]bool, n)
+	for i := range live {
+		live[i] = true
+	}
+	return live
+}
+
+// TestRingDeterministicAndStable: the same membership always builds the
+// same ring, and ownership follows shard names, not config order context.
+func TestRingDeterministicAndStable(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	r1 := buildRing(names, allLive(3), 64, 1)
+	r2 := buildRing(names, allLive(3), 64, 1)
+	for st := uint32(1); st <= 1000; st++ {
+		o1, ok1 := r1.owner(st)
+		o2, ok2 := r2.owner(st)
+		if !ok1 || !ok2 || o1 != o2 {
+			t.Fatalf("station %d: owners diverge across identical builds (%d vs %d)", st, o1, o2)
+		}
+	}
+}
+
+// TestRingBalance: vnodes spread ownership so no shard owns everything.
+func TestRingBalance(t *testing.T) {
+	r := buildRing([]string{"a", "b", "c"}, allLive(3), 64, 1)
+	counts := make([]int, 3)
+	for st := uint32(1); st <= 3000; st++ {
+		o, _ := r.owner(st)
+		counts[o]++
+	}
+	for i, c := range counts {
+		if c < 300 {
+			t.Fatalf("shard %d owns only %d of 3000 stations; ring badly unbalanced: %v", i, c, counts)
+		}
+	}
+}
+
+// TestRingMinimalDisruption: ejecting one shard moves only its stations —
+// every other station keeps its owner. This is the property that makes
+// rebalances proportional to the failure, not the fleet.
+func TestRingMinimalDisruption(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	before := buildRing(names, allLive(4), 64, 1)
+	live := allLive(4)
+	live[1] = false
+	after := buildRing(names, live, 64, 2)
+	moved, kept := 0, 0
+	for st := uint32(1); st <= 2000; st++ {
+		ob, _ := before.owner(st)
+		oa, _ := after.owner(st)
+		if ob != 1 {
+			if oa != ob {
+				t.Fatalf("station %d moved from live shard %d to %d on an unrelated ejection", st, ob, oa)
+			}
+			kept++
+			continue
+		}
+		if oa == 1 {
+			t.Fatalf("station %d still owned by the ejected shard", st)
+		}
+		moved++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate split: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// TestRingSuccessorsDistinct: successors never repeat a shard and start
+// with the owner, so owner+replica targeting is well defined.
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r := buildRing([]string{"a", "b", "c"}, allLive(3), 64, 1)
+	for st := uint32(1); st <= 500; st++ {
+		succ := r.successors(st, 3)
+		if len(succ) != 3 {
+			t.Fatalf("station %d: got %d successors from a 3-shard ring", st, len(succ))
+		}
+		owner, _ := r.owner(st)
+		if succ[0] != owner {
+			t.Fatalf("station %d: successors start at %d, owner is %d", st, succ[0], owner)
+		}
+		seen := map[int]bool{}
+		for _, idx := range succ {
+			if seen[idx] {
+				t.Fatalf("station %d: duplicate shard %d in successors %v", st, idx, succ)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+// TestRingEmpty: an all-dead ring answers ok=false rather than panicking.
+func TestRingEmpty(t *testing.T) {
+	r := buildRing([]string{"a"}, []bool{false}, 64, 1)
+	if _, ok := r.owner(7); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if succ := r.successors(7, 2); len(succ) != 0 {
+		t.Fatalf("empty ring returned successors %v", succ)
+	}
+	if r.memberCount() != 0 {
+		t.Fatal("empty ring counts members")
+	}
+}

@@ -217,7 +217,7 @@ func TestChaosKillRestart(t *testing.T) {
 		if prevSessions == 0 {
 			t.Fatalf("cycle %d: no sessions formed", cycle)
 		}
-		s.kill()
+		s.Kill()
 	}
 
 	// Final restart proves the last kill is recoverable too.

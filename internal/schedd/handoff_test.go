@@ -258,7 +258,7 @@ func TestKill9MidHandoff(t *testing.T) {
 		t.Fatalf("transfer not applied: %v", resp)
 	}
 	c.close()
-	b.kill() // crash before any snapshot
+	b.Kill() // crash before any snapshot
 
 	b2, err := Start(Config{DataDir: dir})
 	if err != nil {

@@ -90,7 +90,7 @@ func TestKillRecoversFromWAL(t *testing.T) {
 	c := dialQuery(t, s)
 	before := schedJSON(t, c.roundTrip(t, "SCHED 1"))
 	c.close()
-	s.kill()
+	s.Kill()
 
 	s2, err := Start(Config{DataDir: dir})
 	if err != nil {
@@ -122,7 +122,7 @@ func TestTornWALStartsCleanly(t *testing.T) {
 		t.Fatal(err)
 	}
 	seedStations(t, s)
-	s.kill()
+	s.Kill()
 
 	// Tear the tail: chop bytes off the last record, as a crash mid-write
 	// would.
@@ -360,7 +360,7 @@ func TestDurabilityMatrix(t *testing.T) {
 		return ids
 	}
 	clean := build(t, func(s *Server) { shutdown(t, s) })
-	crashed := build(t, func(s *Server) { s.kill() })
+	crashed := build(t, func(s *Server) { s.Kill() })
 	if !reflect.DeepEqual(clean, crashed) {
 		t.Fatalf("recovery differs: clean %v vs crash %v", clean, crashed)
 	}

@@ -83,6 +83,12 @@ type Config struct {
 	// HandoffTimeout is the per-attempt deadline covering dial, write and
 	// response. Default 2s.
 	HandoffTimeout time.Duration
+	// ShardID names this daemon inside a sharded gateway tier; it is
+	// echoed (with a per-boot instance nonce and the last ring epoch the
+	// gateway pushed) in HEALTH responses so a gateway can tell a healthy
+	// shard from a restarted one that lost its sessions. Empty means the
+	// daemon is standalone; the fields are still served.
+	ShardID string
 
 	// now is the daemon's clock: table staleness, uptime, read deadlines,
 	// rung timing. A test hook — every time read in the daemon goes
@@ -205,8 +211,15 @@ type Server struct {
 	// random base keeps IDs from colliding across daemon restarts.
 	transferBase uint64
 	transferSeq  atomic.Uint64
-	jitterMu     sync.Mutex
-	jitter       *rand.Rand
+	// instance is a per-boot random nonce echoed in HEALTH; a gateway that
+	// sees it change knows the shard restarted (and, without a data dir,
+	// lost its sessions). ringEpoch is the last epoch a gateway pushed via
+	// the EPOCH command — in-memory only, so a restart resets it to 0,
+	// which is the second restart tell.
+	instance  string
+	ringEpoch atomic.Uint64
+	jitterMu  sync.Mutex
+	jitter    *rand.Rand
 
 	// baseCtx parents every per-query deadline context. It lives as long
 	// as the server and is cancelled only when a shutdown drain is cut
@@ -258,6 +271,7 @@ func counterNames() []string {
 		"query_bad",        // malformed query lines
 		"query_failed",     // ladder returned an error (validation failure)
 		"health_queries",   // HEALTH commands
+		"epoch_updates",    // EPOCH commands that advanced the ring epoch
 	)
 	return names
 }
@@ -326,14 +340,15 @@ func Start(cfg Config) (*Server, error) {
 		"startup session recovery time (snapshot load + WAL replay + table restore)",
 		obs.DefLatencyBuckets(), nil)
 
-	var seed [8]byte
+	var seed [16]byte
 	if _, err := cryptorand.Read(seed[:]); err != nil {
 		udp.Close()
 		tcp.Close()
 		return nil, fmt.Errorf("schedd: seeding transfer IDs: %w", err)
 	}
-	s.transferBase = binary.BigEndian.Uint64(seed[:])
+	s.transferBase = binary.BigEndian.Uint64(seed[:8])
 	s.jitter = rand.New(rand.NewSource(int64(s.transferBase)))
+	s.instance = fmt.Sprintf("%016x", binary.BigEndian.Uint64(seed[8:]))
 
 	// Recover the durable session layer and rebuild the scheduling table
 	// from it, so the first post-restart SCHED answers with pre-crash
@@ -594,6 +609,7 @@ func (s *Server) armRead(conn net.Conn) bool {
 //	HEALTH                  -> one-line JSON counters + table occupancy
 //	HANDOFF <base64>        -> install a session transferred from a peer
 //	MOVE <station> <addr>   -> hand this station's session off to a peer
+//	EPOCH <n>               -> record the gateway's ring epoch (monotonic)
 //	QUIT                    -> close the connection
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.connWG.Done()
@@ -625,12 +641,40 @@ func (s *Server) handleConn(conn net.Conn) {
 			s.counters.Inc("health_queries")
 			aps, clients := s.table.occupancy(s.cfg.now())
 			enc.Encode(healthResponse{
-				UptimeMS: s.cfg.now().Sub(s.started).Milliseconds(),
-				APs:      aps,
-				Clients:  clients,
-				Sessions: s.sessions.Len(),
-				Counters: s.counters.Snapshot(),
+				UptimeMS:  s.cfg.now().Sub(s.started).Milliseconds(),
+				APs:       aps,
+				Clients:   clients,
+				Sessions:  s.sessions.Len(),
+				Counters:  s.counters.Snapshot(),
+				Shard:     s.cfg.ShardID,
+				Instance:  s.instance,
+				RingEpoch: s.ringEpoch.Load(),
 			})
+		case "EPOCH":
+			if len(fields) != 2 {
+				s.counters.Inc("query_bad")
+				enc.Encode(errorResponse{Error: "usage: EPOCH <n>"})
+				continue
+			}
+			epoch, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				s.counters.Inc("query_bad")
+				enc.Encode(errorResponse{Error: "bad epoch: " + fields[1]})
+				continue
+			}
+			// Epochs only advance: a delayed push from a gateway that
+			// already moved on cannot rewind the shard's view.
+			for {
+				cur := s.ringEpoch.Load()
+				if epoch <= cur {
+					break
+				}
+				if s.ringEpoch.CompareAndSwap(cur, epoch) {
+					s.counters.Inc("epoch_updates")
+					break
+				}
+			}
+			enc.Encode(epochResponse{RingEpoch: s.ringEpoch.Load()})
 		case "HANDOFF":
 			if len(fields) != 2 {
 				s.counters.Inc("query_bad")
@@ -706,12 +750,26 @@ type schedResponse struct {
 
 // healthResponse answers HEALTH. APs/Clients count fresh schedulable
 // entries; Sessions counts durable sessions (which outlive freshness).
+// Shard/Instance/RingEpoch were appended for the gateway tier — appended
+// JSON fields, so pre-gateway clients parse the response unchanged. A
+// gateway watches Instance (fresh random nonce per boot) and RingEpoch
+// (resets to 0 on restart, since EPOCH pushes are in-memory) to detect a
+// restarted shard that lost its sessions.
 type healthResponse struct {
-	UptimeMS int64            `json:"uptime_ms"`
-	APs      int              `json:"aps"`
-	Clients  int              `json:"clients"`
-	Sessions int              `json:"sessions"`
-	Counters map[string]int64 `json:"counters"`
+	UptimeMS  int64            `json:"uptime_ms"`
+	APs       int              `json:"aps"`
+	Clients   int              `json:"clients"`
+	Sessions  int              `json:"sessions"`
+	Counters  map[string]int64 `json:"counters"`
+	Shard     string           `json:"shard,omitempty"`
+	Instance  string           `json:"instance"`
+	RingEpoch uint64           `json:"ring_epoch"`
+}
+
+// epochResponse answers EPOCH with the (possibly already newer) stored
+// ring epoch.
+type epochResponse struct {
+	RingEpoch uint64 `json:"ring_epoch"`
 }
 
 // handoffResponse answers an inbound HANDOFF; Applied is false when the
@@ -883,11 +941,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// kill simulates an abrupt crash for recovery tests: sockets close and
-// goroutines stop, but the ingest queue is not flushed, no session
-// snapshot is written, and connections are severed mid-stream. Recovery
-// must come from the WAL alone.
-func (s *Server) kill() {
+// Instance returns the per-boot random nonce echoed in HEALTH responses.
+func (s *Server) Instance() string { return s.instance }
+
+// RingEpoch returns the last ring epoch pushed by a gateway via EPOCH.
+func (s *Server) RingEpoch() uint64 { return s.ringEpoch.Load() }
+
+// Kill simulates an abrupt crash, for recovery tests and chaos tooling
+// (cmd/sicsoak kills shards mid-run with it): sockets close and goroutines
+// stop, but the ingest queue is not flushed, no session snapshot is
+// written, and connections are severed mid-stream. Recovery must come from
+// the WAL alone.
+//
+//lint:allow ctxfirst a simulated crash must not be cancellable: the waits here are process teardown, and a ctx would soften the failure being modelled
+func (s *Server) Kill() {
 	s.killed.Store(true)
 	if s.closing.Swap(true) {
 		return

@@ -439,3 +439,62 @@ func TestServerShutdownWithIdleConns(t *testing.T) {
 	}
 	waitGoroutinesBack(t, baseline)
 }
+
+// TestHealthShardIdentityAndEpoch covers the gateway-facing HEALTH
+// extension: shard name and per-boot instance are echoed, the ring epoch
+// starts at 0, EPOCH advances it monotonically (never backwards), and a
+// restart resets it while changing the instance — the two signals a
+// gateway uses to spot a shard that lost its sessions.
+func TestHealthShardIdentityAndEpoch(t *testing.T) {
+	s, err := Start(Config{ShardID: "shard-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dialQuery(t, s)
+	h := c.roundTrip(t, "HEALTH")
+	if h["shard"] != "shard-a" {
+		t.Fatalf("shard = %v, want shard-a", h["shard"])
+	}
+	inst, _ := h["instance"].(string)
+	if len(inst) != 16 || inst != s.Instance() {
+		t.Fatalf("instance = %q, want the server's 16-hex nonce %q", inst, s.Instance())
+	}
+	if h["ring_epoch"] != float64(0) {
+		t.Fatalf("fresh ring_epoch = %v, want 0", h["ring_epoch"])
+	}
+
+	if r := c.roundTrip(t, "EPOCH 7"); r["ring_epoch"] != float64(7) {
+		t.Fatalf("EPOCH 7 reply = %v", r)
+	}
+	// A stale push cannot rewind.
+	if r := c.roundTrip(t, "EPOCH 3"); r["ring_epoch"] != float64(7) {
+		t.Fatalf("stale EPOCH rewound the epoch: %v", r)
+	}
+	if r := c.roundTrip(t, "EPOCH x"); r["error"] == nil {
+		t.Fatalf("malformed EPOCH accepted: %v", r)
+	}
+	if h := c.roundTrip(t, "HEALTH"); h["ring_epoch"] != float64(7) {
+		t.Fatalf("HEALTH ring_epoch = %v, want 7", h["ring_epoch"])
+	}
+	if got := s.Counters().Get("epoch_updates"); got != 1 {
+		t.Fatalf("epoch_updates = %d, want 1 (only the advance counts)", got)
+	}
+	c.close()
+	shutdown(t, s)
+
+	// A restarted shard forgets the pushed epoch and mints a new instance.
+	s2, err := Start(Config{ShardID: "shard-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, s2)
+	c2 := dialQuery(t, s2)
+	defer c2.close()
+	h2 := c2.roundTrip(t, "HEALTH")
+	if h2["ring_epoch"] != float64(0) {
+		t.Fatalf("restarted ring_epoch = %v, want 0", h2["ring_epoch"])
+	}
+	if h2["instance"] == inst {
+		t.Fatal("restarted shard reused its instance nonce")
+	}
+}

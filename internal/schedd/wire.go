@@ -172,6 +172,11 @@ func DropReason(err error) string {
 	}
 }
 
+// DropReasons enumerates every counter name DropReason can return, so other
+// tiers (the sicgw gateway) can build drop-counter sets that stay aligned
+// with the daemon's as reject reasons are added.
+func DropReasons() []string { return dropReasons() }
+
 // dropReasons enumerates every counter DropReason can return, for counter
 // set construction.
 func dropReasons() []string {

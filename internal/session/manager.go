@@ -25,6 +25,13 @@ type Config struct {
 	// MaxTransfers bounds the applied transfer-ID dedup set (FIFO).
 	// Default 1024.
 	MaxTransfers int
+	// TransferTTL is the age cap on dedup entries: an applied transfer ID
+	// older than this is evicted the next time an ID is admitted, so a
+	// long-lived shard's dedup set cannot grow (or pin memory) without
+	// limit even below MaxTransfers. A replay arriving after its ID aged
+	// out is re-applied — the designed bound, not a bug; peers stop
+	// retrying long before this. Default 1h.
+	TransferTTL time.Duration
 	// SnapshotEvery compacts (snapshot + WAL reset) after this many WAL
 	// appends. Default 4096.
 	SnapshotEvery int
@@ -45,6 +52,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxTransfers <= 0 {
 		c.MaxTransfers = 1024
+	}
+	if c.TransferTTL <= 0 {
+		c.TransferTTL = time.Hour
 	}
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 4096
@@ -77,13 +87,24 @@ type Manager struct {
 
 	mu       sync.Mutex
 	sessions map[uint32]*State
-	// transfers is the applied-transfer dedup set; order is its FIFO
-	// eviction queue.
-	transfers map[uint64]struct{}
-	order     []uint64
-	log       *atomicio.Log // nil when persistence is off
-	dirty     int           // WAL appends since last snapshot
-	recovery  RecoveryStats
+	// transfers is the applied-transfer dedup set, each ID mapped to its
+	// admit time (Unix nanos); order is its FIFO eviction queue. Entries
+	// are evicted by age (TransferTTL) and by size (MaxTransfers), each
+	// eviction counted so a dedup set under pressure is visible.
+	transfers        map[uint64]int64
+	order            []uint64
+	evictedTransfers TransferEvictions
+	log              *atomicio.Log // nil when persistence is off
+	dirty            int           // WAL appends since last snapshot
+	recovery         RecoveryStats
+}
+
+// TransferEvictions counts dedup-set evictions by cause.
+type TransferEvictions struct {
+	// Age counts IDs evicted because they outlived TransferTTL.
+	Age int64
+	// Size counts IDs evicted because the set hit MaxTransfers.
+	Size int64
 }
 
 const (
@@ -101,7 +122,7 @@ func Open(cfg Config, now time.Time) (*Manager, error) {
 	m := &Manager{
 		cfg:       cfg,
 		sessions:  make(map[uint32]*State),
-		transfers: make(map[uint64]struct{}),
+		transfers: make(map[uint64]int64),
 	}
 	if cfg.Dir == "" {
 		return m, nil
@@ -120,8 +141,11 @@ func Open(cfg Config, now time.Time) (*Manager, error) {
 				st := states[i]
 				m.sessions[st.Station] = &st
 			}
+			// The snapshot stores IDs without admit times; restored entries
+			// age from the recovery timestamp, so they are deduplicated for
+			// at least TransferTTL after every restart.
 			for _, tr := range transfers {
-				m.noteTransferLocked(tr)
+				m.noteTransferLocked(tr, now.UnixNano())
 			}
 			m.recovery.SnapshotSessions = len(states)
 		}
@@ -181,11 +205,11 @@ func (m *Manager) replayLocked(rec walRecord) {
 	case walPairing:
 		m.applyPairingLocked(rec.station, rec.partner, rec.level, rec.at)
 	case walRemove:
-		m.applyRemoveLocked(rec.station, rec.transfer)
+		m.applyRemoveLocked(rec.station, rec.transfer, rec.at)
 	case walHandin:
 		// The record stores the post-install state (Handoffs already
 		// bumped, history already trimmed); install it verbatim.
-		m.applyHandinLocked(rec.transfer, rec.state, false)
+		m.applyHandinLocked(rec.transfer, rec.state, false, rec.at)
 	}
 }
 
@@ -305,18 +329,18 @@ func (m *Manager) applyPairingLocked(station, partner uint32, level uint8, at in
 func (m *Manager) Remove(station uint32, transfer uint64, at time.Time) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if !m.applyRemoveLocked(station, transfer) {
+	if !m.applyRemoveLocked(station, transfer, at.UnixNano()) {
 		return false
 	}
 	m.appendLocked(encodeRemoveRecord(station, transfer, at.UnixNano()))
 	return true
 }
 
-func (m *Manager) applyRemoveLocked(station uint32, transfer uint64) bool {
+func (m *Manager) applyRemoveLocked(station uint32, transfer uint64, at int64) bool {
 	if _, dup := m.transfers[transfer]; dup {
 		return false
 	}
-	m.noteTransferLocked(transfer)
+	m.noteTransferLocked(transfer, at)
 	if _, ok := m.sessions[station]; !ok {
 		return false
 	}
@@ -330,7 +354,7 @@ func (m *Manager) applyRemoveLocked(station uint32, transfer uint64) bool {
 func (m *Manager) ApplyHandoff(transfer uint64, in State, at time.Time) (applied bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if !m.applyHandinLocked(transfer, in, true) {
+	if !m.applyHandinLocked(transfer, in, true, at.UnixNano()) {
 		return false
 	}
 	st := m.sessions[in.Station]
@@ -338,11 +362,11 @@ func (m *Manager) ApplyHandoff(transfer uint64, in State, at time.Time) (applied
 	return true
 }
 
-func (m *Manager) applyHandinLocked(transfer uint64, in State, bump bool) bool {
+func (m *Manager) applyHandinLocked(transfer uint64, in State, bump bool, at int64) bool {
 	if _, dup := m.transfers[transfer]; dup {
 		return false
 	}
-	m.noteTransferLocked(transfer)
+	m.noteTransferLocked(transfer, at)
 	if cur, ok := m.sessions[in.Station]; ok && cur.LastSeen > in.LastSeen {
 		// The station already reported here with fresher state than the
 		// peer is sending; the transfer is consumed but the newer local
@@ -365,18 +389,35 @@ func (m *Manager) applyHandinLocked(transfer uint64, in State, bump bool) bool {
 	return true
 }
 
-// noteTransferLocked admits a transfer ID to the dedup set, evicting FIFO
-// at the bound.
-func (m *Manager) noteTransferLocked(tr uint64) {
+// noteTransferLocked admits a transfer ID to the dedup set at time `at`
+// (Unix nanos), first evicting entries that outlived TransferTTL and then
+// evicting FIFO at the size bound. Admit times are non-decreasing in
+// practice (callers pass wall or recovery time), so the FIFO order doubles
+// as age order; a backwards caller clock merely prunes less eagerly.
+func (m *Manager) noteTransferLocked(tr uint64, at int64) {
 	if _, ok := m.transfers[tr]; ok {
 		return
+	}
+	ttl := int64(m.cfg.TransferTTL)
+	for len(m.order) > 0 && at-m.transfers[m.order[0]] > ttl {
+		delete(m.transfers, m.order[0])
+		m.order = m.order[1:]
+		m.evictedTransfers.Age++
 	}
 	if len(m.order) >= m.cfg.MaxTransfers {
 		delete(m.transfers, m.order[0])
 		m.order = m.order[1:]
+		m.evictedTransfers.Size++
 	}
-	m.transfers[tr] = struct{}{}
+	m.transfers[tr] = at
 	m.order = append(m.order, tr)
+}
+
+// Transfers reports the live dedup-set size and the evictions so far.
+func (m *Manager) Transfers() (live int, evicted TransferEvictions) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.transfers), m.evictedTransfers
 }
 
 // Get returns a copy of one station's session.
