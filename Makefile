@@ -13,10 +13,12 @@ vet:
 	$(GO) vet ./...
 	@test -z "$$(gofmt -l .)" || { echo 'gofmt needed on:'; gofmt -l .; exit 1; }
 
-# Repo-specific invariants (determinism, dB/linear units, cancellation,
-# close-error, lock-copy) enforced by the custom analyzer suite; see the
-# "Static analysis" section of README.md.
+# go vet first for the generic correctness checks, then the custom suite
+# for repo-specific invariants (determinism, dB/linear units, cancellation,
+# close-error, lock-copy, lock-hold, conn deadlines, metric discipline);
+# see the "Static analysis" section of README.md for the split.
 lint:
+	$(GO) vet ./...
 	$(GO) run ./cmd/siclint ./...
 
 test:

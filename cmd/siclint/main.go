@@ -1,10 +1,12 @@
 // Command siclint runs the repository's custom static-analysis suite
 // (package internal/analysis) over the given package patterns and prints
-// findings as "file:line:col: analyzer: message".
+// findings as "file:line:col: analyzer: message", or — with -json — as
+// one JSON object per line carrying file, line, col, analyzer, and
+// message (the format CI turns into GitHub Actions annotations).
 //
 // Usage:
 //
-//	siclint [-only name,name] [-list] [patterns ...]
+//	siclint [-only name,name] [-list] [-json] [patterns ...]
 //
 // With no patterns it analyzes ./... from the current directory. The exit
 // code is 0 when the tree is clean, 1 when findings were reported, and 2
@@ -13,9 +15,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/analysis"
@@ -24,8 +28,9 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list the available analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON objects, one per line")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: siclint [-only name,name] [-list] [patterns ...]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: siclint [-only name,name] [-list] [-json] [patterns ...]\n\nAnalyzers:\n")
 		for _, az := range analysis.All() {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", az.Name, az.Doc)
 		}
@@ -70,11 +75,38 @@ func main() {
 	}
 
 	findings := analysis.Run(pkgs, analyzers)
-	for _, f := range findings {
-		fmt.Println(f)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, f := range findings {
+			rec := struct {
+				File     string `json:"file"`
+				Line     int    `json:"line"`
+				Col      int    `json:"col"`
+				Analyzer string `json:"analyzer"`
+				Message  string `json:"message"`
+			}{relTo(cwd, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message}
+			if err := enc.Encode(&rec); err != nil {
+				fmt.Fprintf(os.Stderr, "siclint: %v\n", err)
+				os.Exit(2)
+			}
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "siclint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// relTo makes a finding path relative to the invocation directory when
+// possible — what CI annotations need — and leaves it absolute otherwise.
+func relTo(base, path string) string {
+	rel, err := filepath.Rel(base, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
 }

@@ -8,7 +8,10 @@
 // depends on: same-seed reproducibility (rngdeterminism), correct
 // dB↔linear unit handling (dbunits), and context-threaded cancellation
 // (ctxfirst), plus two durability/aliasing guards (closecheck,
-// counterset).
+// counterset) and three flow-sensitive serving-tier guards built on the
+// CFG/dataflow framework in cfg.go: no blocking while a mutex is held
+// (lockhold), deadline-dominated conn I/O (conndeadline), and bounded
+// literal metric names/labels (metricdiscipline).
 //
 // A finding can be suppressed — never silenced wholesale — with an inline
 // directive on the offending line or the line immediately above it:
@@ -37,12 +40,21 @@ type Analyzer struct {
 	Doc string
 	// Run inspects pass.Pkg and calls pass.Reportf for each violation.
 	Run func(pass *Pass)
+	// NewState, when non-nil, allocates per-Run state shared by this
+	// analyzer across every package of one Run call — the hook that lets
+	// metricdiscipline check global metric-name uniqueness. The state is
+	// created fresh each Run, so repeated runs (tests, corpora) do not
+	// leak observations into each other.
+	NewState func() any
 }
 
 // Pass carries one analyzer's view of one typed package.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// State is the value NewState returned for this Run, shared across
+	// packages; nil for stateless analyzers.
+	State any
 
 	findings *[]Finding
 }
@@ -76,6 +88,9 @@ func All() []*Analyzer {
 		CtxFirst,
 		CloseCheck,
 		CounterSet,
+		LockHold,
+		ConnDeadline,
+		MetricDiscipline,
 	}
 }
 
@@ -88,11 +103,17 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	for _, az := range analyzers {
 		known[az.Name] = true
 	}
+	states := make(map[*Analyzer]any, len(analyzers))
+	for _, az := range analyzers {
+		if az.NewState != nil {
+			states[az] = az.NewState()
+		}
+	}
 	var out []Finding
 	for _, pkg := range pkgs {
 		var findings []Finding
 		for _, az := range analyzers {
-			az.Run(&Pass{Analyzer: az, Pkg: pkg, findings: &findings})
+			az.Run(&Pass{Analyzer: az, Pkg: pkg, State: states[az], findings: &findings})
 		}
 		allows, bad := collectAllows(pkg, known)
 		out = append(out, bad...)

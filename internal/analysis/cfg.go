@@ -1,0 +1,619 @@
+package analysis
+
+// Intra-procedural control-flow analysis for the flow-sensitive analyzers
+// (lockhold, conndeadline). The CFG is deliberately small: basic blocks of
+// statement/expression elements linked by edges, an iterative dominator
+// computation, and a forward dataflow engine over per-object bitmask
+// states. Function literals are never inlined — each body (declaration or
+// literal) is its own flat graph — so analyses reason only about what runs
+// on the current goroutine's spine, matching firstBlockingOp's convention.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"maps"
+)
+
+// elemKind tells a dataflow step how to interpret a CFG element.
+type elemKind uint8
+
+const (
+	// elemStmt is a plain statement or expression: steps inspect it for
+	// calls and channel operations.
+	elemStmt elemKind = iota
+	// elemSelect marks a select statement header. Clause bodies live in
+	// successor blocks; hasDefault says whether the select can complete
+	// without blocking. Steps must not descend into the node.
+	elemSelect
+	// elemComm is the communication operation of a select clause that was
+	// chosen. Its channel op has already "won", so steps must not count it
+	// as a fresh blocking point, but calls nested in it still execute.
+	elemComm
+	// elemRange marks a range-loop header. Steps must not descend into
+	// the node (the body lives in a successor block); a range over a
+	// channel blocks on every iteration.
+	elemRange
+	// elemDefer is a deferred or go'd call: it does not run at this
+	// program point, so steps skip it entirely. In particular a deferred
+	// Unlock does not release the mutex for the statements that follow.
+	elemDefer
+)
+
+type cfgElem struct {
+	node       ast.Node
+	kind       elemKind
+	hasDefault bool // elemSelect only
+}
+
+// block is one basic block. cond/condTrue record the controlling if- or
+// loop-condition for branch blocks so analyses can assume, e.g., that
+// mu.TryLock() succeeded on the true edge.
+type block struct {
+	idx   int
+	elems []cfgElem
+	succs []*block
+	preds []*block
+
+	cond     ast.Expr
+	condTrue bool
+}
+
+type cfg struct {
+	entry  *block
+	exit   *block
+	blocks []*block
+}
+
+// cfgBuilder threads the current insertion point through the statement
+// walk. cur == nil means the walk just passed a terminating statement
+// (return, break, goto); any code after it is unreachable and lands in a
+// fresh predecessor-less block.
+type cfgBuilder struct {
+	g   *cfg
+	cur *block
+
+	targets    []branchTarget
+	fallTarget *block
+	labels     map[string]*block
+	gotos      []pendingGoto
+}
+
+// branchTarget is one enclosing breakable construct. cont is nil for
+// switch/select, which break but do not continue.
+type branchTarget struct {
+	label     string
+	brk, cont *block
+}
+
+type pendingGoto struct {
+	from  *block
+	label string
+}
+
+func buildCFG(body *ast.BlockStmt) *cfg {
+	g := &cfg{}
+	b := &cfgBuilder{g: g}
+	g.entry = b.newBlock()
+	g.exit = b.newBlock()
+	b.cur = g.entry
+	b.stmt(body)
+	if b.cur != nil {
+		edge(b.cur, g.exit)
+	}
+	for _, pg := range b.gotos {
+		if t := b.labels[pg.label]; t != nil {
+			edge(pg.from, t)
+		}
+	}
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *block {
+	blk := &block{idx: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func edge(from, to *block) {
+	from.succs = append(from.succs, to)
+	to.preds = append(to.preds, from)
+}
+
+func (b *cfgBuilder) emit(n ast.Node, kind elemKind) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.elems = append(b.cur.elems, cfgElem{node: n, kind: kind})
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+	case *ast.SwitchStmt:
+		b.switchStmt(s, "")
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, "")
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+	case *ast.ReturnStmt:
+		b.emit(s, elemStmt)
+		edge(b.cur, b.g.exit)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.DeferStmt:
+		b.emit(s, elemDefer)
+	case *ast.GoStmt:
+		b.emit(s, elemDefer)
+	default:
+		// ExprStmt, AssignStmt, SendStmt, IncDecStmt, DeclStmt, EmptyStmt.
+		b.emit(s, elemStmt)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	b.emit(s.Init, elemStmt)
+	b.emit(s.Cond, elemStmt)
+	header := b.cur
+	join := b.newBlock()
+
+	thenB := b.newBlock()
+	thenB.cond, thenB.condTrue = s.Cond, true
+	edge(header, thenB)
+	b.cur = thenB
+	b.stmt(s.Body)
+	if b.cur != nil {
+		edge(b.cur, join)
+	}
+
+	if s.Else != nil {
+		elseB := b.newBlock()
+		elseB.cond, elseB.condTrue = s.Cond, false
+		edge(header, elseB)
+		b.cur = elseB
+		b.stmt(s.Else)
+		if b.cur != nil {
+			edge(b.cur, join)
+		}
+	} else {
+		edge(header, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	b.emit(s.Init, elemStmt)
+	header := b.newBlock()
+	if b.cur != nil {
+		edge(b.cur, header)
+	}
+	b.cur = header
+	b.emit(s.Cond, elemStmt)
+
+	join := b.newBlock()
+	post := b.newBlock()
+	body := b.newBlock()
+	if s.Cond != nil {
+		body.cond, body.condTrue = s.Cond, true
+		edge(header, join)
+	}
+	edge(header, body)
+	b.cur = body
+	b.push(label, join, post)
+	b.stmt(s.Body)
+	b.pop()
+	if b.cur != nil {
+		edge(b.cur, post)
+	}
+	b.cur = post
+	b.emit(s.Post, elemStmt)
+	edge(post, header)
+	b.cur = join
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	b.emit(s.X, elemStmt)
+	header := b.newBlock()
+	if b.cur != nil {
+		edge(b.cur, header)
+	}
+	header.elems = append(header.elems, cfgElem{node: s, kind: elemRange})
+	join := b.newBlock()
+	edge(header, join)
+	body := b.newBlock()
+	edge(header, body)
+	b.cur = body
+	b.push(label, join, header)
+	b.stmt(s.Body)
+	b.pop()
+	if b.cur != nil {
+		edge(b.cur, header)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt, label string) {
+	b.emit(s.Init, elemStmt)
+	b.emit(s.Tag, elemStmt)
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	header := b.cur
+	b.caseClauses(s.Body, header, label, func(c *ast.CaseClause) {
+		for _, e := range c.List {
+			b.emit(e, elemStmt)
+		}
+	})
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	b.emit(s.Init, elemStmt)
+	b.emit(s.Assign, elemStmt)
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	header := b.cur
+	b.caseClauses(s.Body, header, label, func(*ast.CaseClause) {})
+}
+
+// caseClauses builds the shared case-dispatch shape of switch and type
+// switch: one body block per clause (created up-front so fallthrough can
+// target the next clause), all fed from the header, all draining to a
+// join. Without a default clause the header also reaches the join.
+func (b *cfgBuilder) caseClauses(body *ast.BlockStmt, header *block, label string, emitCase func(*ast.CaseClause)) {
+	join := b.newBlock()
+	b.push(label, join, nil)
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	for _, c := range body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	bodies := make([]*block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	hasDefault := false
+	for i, c := range clauses {
+		if c.List == nil {
+			hasDefault = true
+		}
+		edge(header, bodies[i])
+		b.cur = bodies[i]
+		emitCase(c)
+		savedFall := b.fallTarget
+		b.fallTarget = nil
+		if i+1 < len(clauses) {
+			b.fallTarget = bodies[i+1]
+		}
+		for _, st := range c.Body {
+			b.stmt(st)
+		}
+		b.fallTarget = savedFall
+		if b.cur != nil {
+			edge(b.cur, join)
+		}
+	}
+	if !hasDefault {
+		edge(header, join)
+	}
+	b.pop()
+	b.cur = join
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	hasDefault := false
+	for _, c := range s.Body.List {
+		if cc := c.(*ast.CommClause); cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.elems = append(b.cur.elems, cfgElem{node: s, kind: elemSelect, hasDefault: hasDefault})
+	header := b.cur
+	join := b.newBlock()
+	b.push(label, join, nil)
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		clauseB := b.newBlock()
+		edge(header, clauseB)
+		b.cur = clauseB
+		if cc.Comm != nil {
+			b.emit(cc.Comm, elemComm)
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		if b.cur != nil {
+			edge(b.cur, join)
+		}
+	}
+	b.pop()
+	b.cur = join
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			if label == "" || b.targets[i].label == label {
+				edge(b.cur, b.targets[i].brk)
+				break
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if t.cont != nil && (label == "" || t.label == label) {
+				edge(b.cur, t.cont)
+				break
+			}
+		}
+	case token.FALLTHROUGH:
+		if b.fallTarget != nil {
+			edge(b.cur, b.fallTarget)
+		}
+	case token.GOTO:
+		b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+	}
+	b.cur = nil
+}
+
+func (b *cfgBuilder) labeledStmt(s *ast.LabeledStmt) {
+	// Every label is a potential goto target: give it its own block.
+	lb := b.newBlock()
+	if b.cur != nil {
+		edge(b.cur, lb)
+	}
+	b.cur = lb
+	if b.labels == nil {
+		b.labels = make(map[string]*block)
+	}
+	b.labels[s.Label.Name] = lb
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(inner, s.Label.Name)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, s.Label.Name)
+	case *ast.SwitchStmt:
+		b.switchStmt(inner, s.Label.Name)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(inner, s.Label.Name)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, s.Label.Name)
+	default:
+		b.stmt(s.Stmt)
+	}
+}
+
+func (b *cfgBuilder) push(label string, brk, cont *block) {
+	b.targets = append(b.targets, branchTarget{label: label, brk: brk, cont: cont})
+}
+
+func (b *cfgBuilder) pop() {
+	b.targets = b.targets[:len(b.targets)-1]
+}
+
+// dominators computes the dominance relation iteratively: dom[i][j]
+// reports whether block j dominates block i. Unreachable blocks keep the
+// conventional all-blocks initialization.
+func (g *cfg) dominators() [][]bool {
+	n := len(g.blocks)
+	dom := make([][]bool, n)
+	for i := range dom {
+		dom[i] = make([]bool, n)
+		for j := range dom[i] {
+			dom[i][j] = true
+		}
+	}
+	e := g.entry.idx
+	for j := range dom[e] {
+		dom[e][j] = j == e
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range g.blocks {
+			if blk.idx == e {
+				continue
+			}
+			cur := dom[blk.idx]
+			for j := 0; j < n; j++ {
+				if j == blk.idx || !cur[j] {
+					continue
+				}
+				// j stays a dominator only if it dominates every pred.
+				keep := len(blk.preds) > 0
+				for _, p := range blk.preds {
+					if !dom[p.idx][j] {
+						keep = false
+						break
+					}
+				}
+				if len(blk.preds) == 0 {
+					keep = true // unreachable: leave initialization alone
+				}
+				if !keep {
+					cur[j] = false
+					changed = true
+				}
+			}
+		}
+	}
+	return dom
+}
+
+// flowState maps a tracked object (a mutex, a conn) to an
+// analysis-specific bitmask. The zero bitmask never appears: gen sets
+// bits, kill deletes the key.
+type flowState map[types.Object]uint8
+
+func (s flowState) clone() flowState {
+	c := make(flowState, len(s))
+	maps.Copy(c, s)
+	return c
+}
+
+func (s flowState) equal(o flowState) bool {
+	return maps.Equal(s, o)
+}
+
+// reportFn matches Pass.Reportf; a nil reportFn means the engine is still
+// iterating to a fixpoint and steps must stay silent.
+type reportFn = func(pos token.Pos, format string, args ...any)
+
+// flowFuncs configures one forward dataflow analysis.
+type flowFuncs struct {
+	// union selects the merge: true ORs bitmasks over the union of keys
+	// (may-analysis: "held on some path"), false ANDs them over the key
+	// intersection (must-analysis: "armed on every path" — equivalently,
+	// the op is dominated by the arming statements).
+	union bool
+	// enter applies branch assumptions from blk.cond before the block's
+	// elements run. Optional.
+	enter func(st flowState, blk *block)
+	// step applies one element's effect to st, reporting violations when
+	// report is non-nil.
+	step func(st flowState, el cfgElem, report reportFn)
+}
+
+// run iterates to a fixpoint with a worklist, then replays each reachable
+// block once from its stable in-state with reporting enabled. Gen/kill
+// transfer functions are monotone over the finite per-function object set,
+// so the iteration terminates.
+func (g *cfg) run(f flowFuncs, report reportFn) {
+	n := len(g.blocks)
+	in := make([]flowState, n)
+	out := make([]flowState, n)
+	visited := make([]bool, n)
+
+	apply := func(blk *block, rep reportFn) flowState {
+		st := in[blk.idx].clone()
+		if f.enter != nil {
+			f.enter(st, blk)
+		}
+		for _, el := range blk.elems {
+			f.step(st, el, rep)
+		}
+		return st
+	}
+
+	in[g.entry.idx] = flowState{}
+	visited[g.entry.idx] = true
+	work := []*block{g.entry}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		st := apply(blk, nil)
+		if out[blk.idx] != nil && st.equal(out[blk.idx]) {
+			continue
+		}
+		out[blk.idx] = st
+		for _, succ := range blk.succs {
+			newIn := mergePreds(f.union, succ, out)
+			if !visited[succ.idx] || !newIn.equal(in[succ.idx]) {
+				in[succ.idx] = newIn
+				visited[succ.idx] = true
+				work = append(work, succ)
+			}
+		}
+	}
+
+	if report == nil {
+		return
+	}
+	for _, blk := range g.blocks {
+		if visited[blk.idx] {
+			apply(blk, report)
+		}
+	}
+}
+
+// mergePreds recomputes a block's in-state from its predecessors'
+// out-states. Predecessors not yet processed contribute the merge
+// identity (empty set for union, TOP for intersection) by being skipped.
+func mergePreds(union bool, blk *block, out []flowState) flowState {
+	merged := flowState{}
+	first := true
+	for _, p := range blk.preds {
+		po := out[p.idx]
+		if po == nil {
+			continue
+		}
+		if union {
+			for obj, bits := range po {
+				merged[obj] |= bits
+			}
+			first = false
+			continue
+		}
+		if first {
+			maps.Copy(merged, po)
+			first = false
+			continue
+		}
+		for obj, bits := range merged {
+			if nb := bits & po[obj]; nb == 0 {
+				delete(merged, obj)
+			} else {
+				merged[obj] = nb
+			}
+		}
+	}
+	return merged
+}
+
+// funcBodies yields every function body in the package — declarations and
+// function literals — each to be analyzed as its own flat CFG.
+func funcBodies(pkg *Package, fn func(body *ast.BlockStmt)) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fn(n.Body)
+				}
+			case *ast.FuncLit:
+				fn(n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// inspectElem walks an element's node for a dataflow step, skipping nested
+// function literals (separate CFGs) and skipping deferred/go'd calls and
+// header-only elements entirely.
+func inspectElem(el cfgElem, f func(ast.Node) bool) {
+	switch el.kind {
+	case elemDefer, elemSelect, elemRange:
+		return
+	}
+	ast.Inspect(el.node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(n)
+	})
+}

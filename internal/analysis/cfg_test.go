@@ -1,0 +1,385 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sync"
+	"testing"
+)
+
+// parseBodies parses a single-file package and returns each function's
+// body by name. The CFG builder is purely syntactic, so no type checking
+// is needed here.
+func parseBodies(t *testing.T, src string) map[string]*ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	bodies := make(map[string]*ast.BlockStmt)
+	for _, d := range file.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+			bodies[fn.Name.Name] = fn.Body
+		}
+	}
+	return bodies
+}
+
+// checkEdges asserts pred/succ symmetry, the basic structural invariant
+// every later traversal relies on.
+func checkEdges(t *testing.T, g *cfg) {
+	t.Helper()
+	for _, blk := range g.blocks {
+		for _, s := range blk.succs {
+			found := false
+			for _, p := range s.preds {
+				if p == blk {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("block %d lists succ %d, which does not list it back", blk.idx, s.idx)
+			}
+		}
+	}
+}
+
+const cfgShapesSrc = `package p
+
+func branch(flip bool) {
+	if flip {
+		a()
+	} else {
+		b()
+	}
+	c()
+}
+
+func loop(n int) {
+	for i := 0; i < n; i++ {
+		a()
+	}
+	b()
+}
+
+func early(flip bool) {
+	if flip {
+		return
+	}
+	a()
+}
+
+func deferred() {
+	defer a()
+	go b()
+	c()
+}
+
+func sel(ch chan int) {
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+	select {
+	case ch <- 1:
+	}
+}
+
+func labeled(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 1 {
+				continue outer
+			}
+			if j == 2 {
+				break outer
+			}
+		}
+	}
+}
+
+func jump(n int) {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+}
+`
+
+func TestCFGBranchShape(t *testing.T) {
+	bodies := parseBodies(t, cfgShapesSrc)
+	g := buildCFG(bodies["branch"])
+	checkEdges(t, g)
+
+	var thenB, elseB *block
+	for _, blk := range g.blocks {
+		if blk.cond == nil {
+			continue
+		}
+		if blk.condTrue {
+			thenB = blk
+		} else {
+			elseB = blk
+		}
+	}
+	if thenB == nil || elseB == nil {
+		t.Fatal("if/else CFG is missing a branch block")
+	}
+	dom := g.dominators()
+	if !dom[g.exit.idx][g.entry.idx] {
+		t.Error("entry must dominate exit")
+	}
+	if dom[g.exit.idx][thenB.idx] || dom[g.exit.idx][elseB.idx] {
+		t.Error("neither branch of an if/else may dominate the exit")
+	}
+}
+
+func TestCFGLoopShape(t *testing.T) {
+	bodies := parseBodies(t, cfgShapesSrc)
+	g := buildCFG(bodies["loop"])
+	checkEdges(t, g)
+
+	var body *block
+	for _, blk := range g.blocks {
+		if blk.cond != nil && blk.condTrue {
+			body = blk
+		}
+	}
+	if body == nil {
+		t.Fatal("loop CFG has no body block")
+	}
+	if len(body.preds) != 1 {
+		t.Fatalf("loop body has %d preds, want 1 (the header)", len(body.preds))
+	}
+	header := body.preds[0]
+	dom := g.dominators()
+	if !dom[body.idx][header.idx] {
+		t.Error("loop header must dominate the loop body")
+	}
+	backEdge := false
+	for _, p := range header.preds {
+		if dom[p.idx][header.idx] {
+			backEdge = true // a pred dominated by the header closes the loop
+		}
+	}
+	if !backEdge {
+		t.Error("loop CFG has no back edge to the header")
+	}
+}
+
+func TestCFGEarlyReturnShape(t *testing.T) {
+	bodies := parseBodies(t, cfgShapesSrc)
+	g := buildCFG(bodies["early"])
+	checkEdges(t, g)
+
+	var thenB *block
+	for _, blk := range g.blocks {
+		if blk.cond != nil && blk.condTrue {
+			thenB = blk
+		}
+	}
+	if thenB == nil {
+		t.Fatal("no then-block")
+	}
+	if len(thenB.succs) != 1 || thenB.succs[0] != g.exit {
+		t.Errorf("return branch must jump straight to exit, got %d succs", len(thenB.succs))
+	}
+	if len(g.exit.preds) != 2 {
+		t.Errorf("exit has %d preds, want 2 (return + fallthrough)", len(g.exit.preds))
+	}
+}
+
+func TestCFGDeferAndGoElems(t *testing.T) {
+	bodies := parseBodies(t, cfgShapesSrc)
+	g := buildCFG(bodies["deferred"])
+	kinds := make(map[elemKind]int)
+	for _, blk := range g.blocks {
+		for _, el := range blk.elems {
+			kinds[el.kind]++
+		}
+	}
+	if kinds[elemDefer] != 2 {
+		t.Errorf("want 2 elemDefer elements (defer + go), got %d", kinds[elemDefer])
+	}
+	if kinds[elemStmt] != 1 {
+		t.Errorf("want 1 plain statement (c()), got %d", kinds[elemStmt])
+	}
+}
+
+func TestCFGSelectElems(t *testing.T) {
+	bodies := parseBodies(t, cfgShapesSrc)
+	g := buildCFG(bodies["sel"])
+	checkEdges(t, g)
+	var sels []cfgElem
+	comms := 0
+	for _, blk := range g.blocks {
+		for _, el := range blk.elems {
+			switch el.kind {
+			case elemSelect:
+				sels = append(sels, el)
+			case elemComm:
+				comms++
+			}
+		}
+	}
+	if len(sels) != 2 {
+		t.Fatalf("want 2 select headers, got %d", len(sels))
+	}
+	if !sels[0].hasDefault || sels[1].hasDefault {
+		t.Errorf("hasDefault flags wrong: got %v, %v", sels[0].hasDefault, sels[1].hasDefault)
+	}
+	if comms != 2 {
+		t.Errorf("want 2 comm elements, got %d", comms)
+	}
+}
+
+func TestCFGLabeledBranchesAndGoto(t *testing.T) {
+	bodies := parseBodies(t, cfgShapesSrc)
+	for _, name := range []string{"labeled", "jump"} {
+		g := buildCFG(bodies[name])
+		checkEdges(t, g)
+		if len(g.exit.preds) == 0 {
+			t.Errorf("%s: exit is unreachable", name)
+		}
+	}
+}
+
+// trackingStep builds a step function over three marker calls: arm() gens
+// the tracked bit, disarm() kills it, use() records the state it observes
+// during the reporting pass, keyed by the call's source line.
+func trackingStep(fset *token.FileSet, key types.Object, got map[int]bool) func(flowState, cfgElem, reportFn) {
+	return func(st flowState, el cfgElem, report reportFn) {
+		inspectElem(el, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch id.Name {
+			case "arm":
+				st[key] = 1
+			case "disarm":
+				delete(st, key)
+			case "use":
+				if report != nil {
+					got[fset.Position(call.Pos()).Line] = st[key] == 1
+				}
+			}
+			return true
+		})
+	}
+}
+
+const flowSrc = `package p
+
+func f(flip bool) {
+	arm()
+	if flip {
+		disarm()
+	}
+	use()
+	arm()
+	use()
+	for i := 0; i < 3; i++ {
+		use()
+		disarm()
+	}
+	use()
+}
+`
+
+// Expected per-line observations; the flow source above is line-sensitive.
+const (
+	lineUseAfterBranch = 8  // disarmed on one path only
+	lineUseRearmed     = 10 // armed on every path
+	lineUseInLoop      = 12 // armed on entry, disarmed on the back edge
+	lineUseAfterLoop   = 15 // disarmed inside the loop body, armed on the zero-trip path
+)
+
+func runFlow(t *testing.T, union bool) map[int]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "flow.go", flowSrc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := file.Decls[0].(*ast.FuncDecl).Body
+	key := types.NewVar(token.NoPos, nil, "k", types.Typ[types.Bool])
+	got := make(map[int]bool)
+	g := buildCFG(body)
+	g.run(flowFuncs{union: union, step: trackingStep(fset, key, got)},
+		func(pos token.Pos, format string, args ...any) {})
+	return got
+}
+
+func TestDataflowMust(t *testing.T) {
+	got := runFlow(t, false)
+	want := map[int]bool{
+		lineUseAfterBranch: false, // killed on the flip path → not armed on every path
+		lineUseRearmed:     true,
+		lineUseInLoop:      false, // back edge brings the disarmed state around
+		lineUseAfterLoop:   false,
+	}
+	for line, armed := range want {
+		if got[line] != armed {
+			t.Errorf("must-analysis at line %d: armed=%v, want %v", line, got[line], armed)
+		}
+	}
+}
+
+func TestDataflowMay(t *testing.T) {
+	got := runFlow(t, true)
+	want := map[int]bool{
+		lineUseAfterBranch: true, // armed on the non-flip path
+		lineUseRearmed:     true,
+		lineUseInLoop:      true,
+		lineUseAfterLoop:   true, // the zero-trip path carries the armed state
+	}
+	for line, armed := range want {
+		if got[line] != armed {
+			t.Errorf("may-analysis at line %d: armed=%v, want %v", line, got[line], armed)
+		}
+	}
+}
+
+// TestCFGConcurrentUse drives builds and dataflow runs from many
+// goroutines over one shared parsed file, pinning down that the framework
+// keeps all mutable state local (exercised by `go test -race`).
+func TestCFGConcurrentUse(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "flow.go", flowSrc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := file.Decls[0].(*ast.FuncDecl).Body
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := types.NewVar(token.NoPos, nil, "k", types.Typ[types.Bool])
+				got := make(map[int]bool)
+				g := buildCFG(body)
+				g.dominators()
+				g.run(flowFuncs{union: i%2 == 0, step: trackingStep(fset, key, got)},
+					func(pos token.Pos, format string, args ...any) {})
+				if len(got) == 0 {
+					t.Error("dataflow run observed no probes")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

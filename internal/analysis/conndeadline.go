@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// connDeadlinePackages is the serving tier, where every conn read/write
+// answers (or relays) live traffic and an unarmed socket can park a
+// handler goroutine forever on a dead peer.
+var connDeadlinePackages = map[string]bool{
+	"schedd":  true,
+	"gateway": true,
+	"session": true,
+}
+
+const (
+	deadlineRead uint8 = 1 << iota
+	deadlineWrite
+)
+
+// ConnDeadline enforces the serving tier's I/O contract: a Read or Write
+// on a net.Conn (or *net.TCPConn / *net.UnixConn) must be dominated by a
+// deadline set on the same conn value — SetDeadline arms both directions,
+// SetReadDeadline/SetWriteDeadline one each, and any call to a helper
+// whose name mentions "Deadline"/"deadline" taking the conn as an
+// argument arms both (covering schedd's cfg.setReadDeadline test hook).
+// The check is a must-dataflow to each I/O call: armed on every CFG path,
+// i.e. dominated by arming statements. *net.UDPConn is exempt — the
+// ingest sockets intentionally block until Close tears them down, and
+// datagram sends do not wait for a peer.
+var ConnDeadline = &Analyzer{
+	Name: "conndeadline",
+	Doc:  "net.Conn I/O in schedd/gateway/session must be dominated by a deadline on the same conn",
+	Run:  runConnDeadline,
+}
+
+func runConnDeadline(pass *Pass) {
+	if !connDeadlinePackages[pathBase(pass.Pkg.Path)] {
+		return
+	}
+	info := pass.Pkg.Info
+	funcBodies(pass.Pkg, func(body *ast.BlockStmt) {
+		g := buildCFG(body)
+		g.run(flowFuncs{
+			union: false, // the deadline must be armed on every path
+			step: func(st flowState, el cfgElem, report reportFn) {
+				connDeadlineStep(info, st, el, report)
+			},
+		}, pass.Reportf)
+	})
+}
+
+func connDeadlineStep(info *types.Info, st flowState, el cfgElem, report reportFn) {
+	inspectElem(el, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if obj := connObject(info, sel.X); obj != nil {
+				switch sel.Sel.Name {
+				case "SetDeadline":
+					st[obj] |= deadlineRead | deadlineWrite
+				case "SetReadDeadline":
+					st[obj] |= deadlineRead
+				case "SetWriteDeadline":
+					st[obj] |= deadlineWrite
+				case "Read":
+					if st[obj]&deadlineRead == 0 {
+						report2(report, call.Pos(), "Read on %s is not dominated by SetDeadline/SetReadDeadline on every path; an unarmed read can park this goroutine forever on a dead peer", objName(obj))
+					}
+				case "Write":
+					if st[obj]&deadlineWrite == 0 {
+						report2(report, call.Pos(), "Write on %s is not dominated by SetDeadline/SetWriteDeadline on every path; an unarmed write can park this goroutine forever on a dead peer", objName(obj))
+					}
+				}
+				return true
+			}
+		}
+		// A helper whose name mentions Deadline arms any conn it takes.
+		if helperName := calleeName(call); strings.Contains(helperName, "Deadline") || strings.Contains(helperName, "deadline") {
+			for _, a := range call.Args {
+				if obj := connObject(info, a); obj != nil {
+					st[obj] |= deadlineRead | deadlineWrite
+				}
+			}
+		}
+		return true
+	})
+}
+
+// calleeName is the syntactic name of a call target, for the deadline-
+// helper heuristic.
+func calleeName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// connObject resolves an expression to a tracked conn variable: static
+// type net.Conn, *net.TCPConn, or *net.UnixConn.
+func connObject(info *types.Info, e ast.Expr) types.Object {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil || !isTrackedConnType(tv.Type) {
+		return nil
+	}
+	return exprObject(info, e)
+}
+
+func isTrackedConnType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	if o.Pkg() == nil || o.Pkg().Path() != "net" {
+		return false
+	}
+	switch o.Name() {
+	case "Conn", "TCPConn", "UnixConn":
+		return true
+	}
+	return false
+}

@@ -205,6 +205,30 @@ func TestCounterSetCorpus(t *testing.T) {
 	runCorpus(t, []*Analyzer{CounterSet}, filepath.Join("counterset", "pkg"), "repro/internal/cscorpus")
 }
 
+func TestLockHoldCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{LockHold}, filepath.Join("lockhold", "pkg"), "repro/internal/lockcorpus")
+}
+
+func TestConnDeadlineCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{ConnDeadline}, filepath.Join("conndeadline", "pkg"), "repro/internal/gateway")
+}
+
+func TestConnDeadlineScopedToServingPackages(t *testing.T) {
+	// Identical unarmed I/O outside schedd/gateway/session is exempt.
+	runCorpus(t, []*Analyzer{ConnDeadline}, filepath.Join("conndeadline", "other"), "repro/internal/plot")
+}
+
+func TestMetricDisciplineCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{MetricDiscipline}, filepath.Join("metricdiscipline", "pkg"), "repro/internal/metcorpus")
+}
+
+func TestCtxFirstSessionPackage(t *testing.T) {
+	// internal/session joined the ctxfirst package set in PR 9: the same
+	// corpus that fires as repro/internal/sched must fire when the code
+	// pretends to live in repro/internal/session.
+	runCorpus(t, []*Analyzer{CtxFirst}, filepath.Join("ctxfirst", "sched"), "repro/internal/session")
+}
+
 func TestAllowDirectives(t *testing.T) {
 	// Valid directives suppress findings; malformed ones are findings of
 	// the pseudo-analyzer "lint".
@@ -230,6 +254,9 @@ func TestCorpusExpectationsExist(t *testing.T) {
 		filepath.Join("ctxfirst", "sched"),
 		filepath.Join("closecheck", "pkg"),
 		filepath.Join("counterset", "pkg"),
+		filepath.Join("lockhold", "pkg"),
+		filepath.Join("conndeadline", "pkg"),
+		filepath.Join("metricdiscipline", "pkg"),
 		filepath.Join("allow", "pkg"),
 	} {
 		if wants := parseWants(t, filepath.Join("testdata", sub)); len(wants) == 0 {
@@ -240,8 +267,8 @@ func TestCorpusExpectationsExist(t *testing.T) {
 
 func TestAnalyzerSuiteShape(t *testing.T) {
 	all := All()
-	if len(all) != 5 {
-		t.Fatalf("expected exactly 5 analyzers, got %d", len(all))
+	if len(all) != 8 {
+		t.Fatalf("expected exactly 8 analyzers, got %d", len(all))
 	}
 	seen := make(map[string]bool)
 	for _, az := range all {

@@ -17,6 +17,7 @@ var ctxPackages = map[string]bool{
 	"schedd":   true,
 	"runner":   true,
 	"gateway":  true,
+	"session":  true,
 }
 
 // CtxFirst enforces context discipline in the scheduling packages:

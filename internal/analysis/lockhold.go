@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockHold guards the serving tier's latency contract: a sync.Mutex /
+// RWMutex in this repo only ever protects short critical sections (table
+// lookups, counter bumps, deadline arming), so any operation that can
+// block indefinitely while one is held — conn I/O, a channel op, a
+// select without default, time.Sleep, WaitGroup.Wait, or acquiring a
+// second mutex — turns every other caller of that lock into a hostage of
+// the slow peer. The analyzer runs a may-dataflow over each function's
+// CFG: a lock is "held" past an acquisition on any path until a
+// non-deferred Unlock kills it, so a branch that unlocks early is honored
+// and a deferred Unlock correctly keeps the body marked held.
+// `if mu.TryLock()` marks the lock held only on the true edge.
+var LockHold = &Analyzer{
+	Name: "lockhold",
+	Doc:  "no blocking operation (conn I/O, channel op, Sleep, Wait, second lock) while a sync mutex is held",
+	Run:  runLockHold,
+}
+
+func runLockHold(pass *Pass) {
+	info := pass.Pkg.Info
+	funcBodies(pass.Pkg, func(body *ast.BlockStmt) {
+		g := buildCFG(body)
+		g.run(flowFuncs{
+			union: true, // held on any path into the op counts
+			enter: func(st flowState, blk *block) {
+				if obj := tryLockCond(info, blk); obj != nil {
+					st[obj] = 1
+				}
+			},
+			step: func(st flowState, el cfgElem, report reportFn) {
+				lockHoldStep(info, st, el, report)
+			},
+		}, pass.Reportf)
+	})
+}
+
+func lockHoldStep(info *types.Info, st flowState, el cfgElem, report reportFn) {
+	switch el.kind {
+	case elemSelect:
+		if !el.hasDefault {
+			heldReport(st, report, el.node.Pos(), "select")
+		}
+		return
+	case elemRange:
+		rs := el.node.(*ast.RangeStmt)
+		if tv, ok := info.Types[rs.X]; ok && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				heldReport(st, report, rs.Pos(), "range over channel")
+			}
+		}
+		return
+	case elemDefer:
+		return
+	}
+	comm := el.kind == elemComm
+	inspectElem(el, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !comm {
+				heldReport(st, report, n.Pos(), "channel send")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !comm {
+				heldReport(st, report, n.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			obj, name := mutexMethod(info, n)
+			if obj != nil {
+				switch name {
+				case "Lock", "RLock":
+					if len(st) > 0 {
+						report2(report, n.Pos(), "acquiring %s.%s while mutex %s is held risks deadlock under lock-order inversion; release the first lock or document a global order with //lint:allow lockhold",
+							objName(obj), name, heldNames(st))
+					}
+					st[obj] = 1
+				case "Unlock", "RUnlock":
+					delete(st, obj)
+				}
+				return true
+			}
+			if op := blockingCallOp(info, n); op != "" {
+				heldReport(st, report, n.Pos(), op)
+			}
+		}
+		return true
+	})
+}
+
+// heldReport reports a blocking op if any mutex is currently held.
+func heldReport(st flowState, report reportFn, pos token.Pos, op string) {
+	if len(st) == 0 {
+		return
+	}
+	report2(report, pos, "blocking %s while mutex %s is held stalls every other user of the lock; move the operation outside the critical section", op, heldNames(st))
+}
+
+// report2 guards against the fixpoint phase, where report is nil.
+func report2(report reportFn, pos token.Pos, format string, args ...any) {
+	if report != nil {
+		report(pos, format, args...)
+	}
+}
+
+func heldNames(st flowState) string {
+	names := make([]string, 0, len(st))
+	for o := range st {
+		names = append(names, objName(o))
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func objName(o types.Object) string {
+	return `"` + o.Name() + `"`
+}
+
+// mutexMethod resolves a call to a method on sync.Mutex or sync.RWMutex,
+// returning the receiver's object (a field object for s.mu, so all
+// instances of a struct share one tracked lock — precise enough for the
+// per-function critical sections this repo writes) and the method name.
+func mutexMethod(info *types.Info, call *ast.CallExpr) (types.Object, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	switch f.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return nil, ""
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, ""
+	}
+	switch recvTypeName(sig.Recv().Type()) {
+	case "Mutex", "RWMutex":
+	default:
+		return nil, ""
+	}
+	return exprObject(info, sel.X), f.Name()
+}
+
+// recvTypeName unwraps a pointer receiver to its named type's name.
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// tryLockCond recognizes branch blocks guarded by `mu.TryLock()` (or its
+// negation) and returns the mutex object held on this edge.
+func tryLockCond(info *types.Info, blk *block) types.Object {
+	if blk.cond == nil {
+		return nil
+	}
+	e, want := ast.Unparen(blk.cond), blk.condTrue
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		e, want = ast.Unparen(u.X), !want
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok || !want {
+		return nil
+	}
+	obj, name := mutexMethod(info, call)
+	if obj != nil && (name == "TryLock" || name == "TryRLock") {
+		return obj
+	}
+	return nil
+}
+
+// blockingCallOp classifies calls that can block the goroutine
+// indefinitely. sync.Cond.Wait is deliberately absent: it releases its
+// mutex while waiting, so flagging it would outlaw the one correct way to
+// use a condition variable.
+func blockingCallOp(info *types.Info, call *ast.CallExpr) string {
+	f := funcObj(info, call)
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	path, name := f.Pkg().Path(), f.Name()
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if sig.Recv() == nil {
+		if path == "time" && name == "Sleep" {
+			return "time.Sleep"
+		}
+		if path == "net" && strings.HasPrefix(name, "Dial") {
+			return "net." + name
+		}
+		return ""
+	}
+	recv := recvTypeName(sig.Recv().Type())
+	if path == "sync" && name == "Wait" && recv == "WaitGroup" {
+		return "WaitGroup.Wait"
+	}
+	if path == "net" {
+		switch name {
+		case "Read", "Write", "Accept", "AcceptTCP", "AcceptUnix",
+			"ReadFrom", "WriteTo", "ReadFromUDP", "WriteToUDP",
+			"ReadMsgUDP", "WriteMsgUDP", "Dial", "DialContext":
+			return "net conn " + name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricDiscipline keeps the obs registry scrapeable at fleet scale. Names
+// registered through Registry.Counter/Gauge/Histogram/Group must be
+// literal constants (so grep finds every series), subsystem-prefixed
+// snake_case (Prometheus convention), and globally unique across the repo
+// — one registration site per name, so a dashboard can link a series back
+// to the line that emits it. Label values in obs.Labels literals must not
+// be minted from request or station data: fmt/strconv stringification,
+// non-string conversions, and non-constant concatenation each produce an
+// unbounded value set, and every distinct value is a new live series in
+// the registry (cardinality explosion). Bounded sources — struct fields,
+// identifiers, enum String() methods, string-to-string conversions — pass.
+// Package obs itself is exempt: it is the registry implementation and
+// necessarily handles names as parameters.
+var MetricDiscipline = &Analyzer{
+	Name:     "metricdiscipline",
+	Doc:      "obs metric names must be literal, snake_case, subsystem-prefixed and globally unique; label values must be bounded",
+	Run:      runMetricDiscipline,
+	NewState: func() any { return &metricNames{sites: make(map[string]string)} },
+}
+
+// metricNames is the cross-package registration index, fresh per Run.
+type metricNames struct {
+	sites map[string]string // name → "file:line" of first registration
+}
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+	labelKeyRE   = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+)
+
+func runMetricDiscipline(pass *Pass) {
+	if pathBase(pass.Pkg.Path) == "obs" {
+		return
+	}
+	info := pass.Pkg.Info
+	pass.inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkMetricRegistration(pass, info, n)
+		case *ast.CompositeLit:
+			checkMetricLabels(pass, info, n)
+		}
+		return true
+	})
+}
+
+func checkMetricRegistration(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	f := funcObj(info, call)
+	if f == nil || f.Pkg() == nil || pathBase(f.Pkg().Path()) != "obs" {
+		return
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || recvTypeName(sig.Recv().Type()) != "Registry" {
+		return
+	}
+	switch f.Name() {
+	case "Counter", "Gauge", "Histogram", "Group":
+	default:
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	nameArg := call.Args[0]
+	tv := info.Types[nameArg]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(nameArg.Pos(), "obs metric name must be a constant string, not computed at runtime; literal names keep every series greppable")
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !metricNameRE.MatchString(name) {
+		pass.Reportf(nameArg.Pos(), "obs metric name %q is not subsystem-prefixed snake_case (want e.g. %q)", name, "sicgw_probe_total")
+	}
+	st, ok := pass.State.(*metricNames)
+	if !ok {
+		return
+	}
+	site := pass.Pkg.Fset.Position(nameArg.Pos())
+	key := fmt.Sprintf("%s:%d", site.Filename, site.Line)
+	if prev, dup := st.sites[name]; dup && prev != key {
+		pass.Reportf(nameArg.Pos(), "obs metric name %q is already registered at %s; names must be globally unique with a single registration site", name, prev)
+		return
+	}
+	st.sites[name] = key
+}
+
+func checkMetricLabels(pass *Pass, info *types.Info, lit *ast.CompositeLit) {
+	tv := info.Types[lit]
+	if tv.Type == nil {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return
+	}
+	o := named.Obj()
+	if o.Pkg() == nil || pathBase(o.Pkg().Path()) != "obs" || o.Name() != "Labels" {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if ktv := info.Types[kv.Key]; ktv.Value == nil || ktv.Value.Kind() != constant.String {
+			pass.Reportf(kv.Key.Pos(), "obs label key must be a constant string")
+		} else if k := constant.StringVal(ktv.Value); !labelKeyRE.MatchString(k) {
+			pass.Reportf(kv.Key.Pos(), "obs label key %q is not snake_case", k)
+		}
+		if why := dynamicLabelValue(info, kv.Value); why != "" {
+			pass.Reportf(kv.Value.Pos(), "obs label value %s: every distinct value is a live series, so unbounded values explode metric cardinality; use a small enum or aggregate instead", why)
+		}
+	}
+}
+
+// dynamicLabelValue reports why a label value expression can take
+// unboundedly many values, or "" if it looks bounded.
+func dynamicLabelValue(info *types.Info, e ast.Expr) string {
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return "" // constant
+	}
+	var why string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if f := funcObj(info, n); f != nil && f.Pkg() != nil {
+				switch f.Pkg().Path() {
+				case "fmt":
+					if strings.HasPrefix(f.Name(), "Sprint") {
+						why = fmt.Sprintf("formats data via fmt.%s", f.Name())
+						return false
+					}
+				case "strconv":
+					why = fmt.Sprintf("stringifies data via strconv.%s", f.Name())
+					return false
+				}
+				return true
+			}
+			// A conversion: flag unless it is string-to-string (named
+			// string types like runner's FigStatus stay bounded).
+			if ft, ok := info.Types[n.Fun]; ok && ft.IsType() && len(n.Args) == 1 {
+				if atv, ok := info.Types[n.Args[0]]; ok && atv.Type != nil {
+					if b, isBasic := atv.Type.Underlying().(*types.Basic); !isBasic || b.Info()&types.IsString == 0 {
+						why = "converts a non-string value to string"
+						return false
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; !ok || tv.Value == nil {
+					why = "concatenates non-constant strings"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return why
+}

@@ -1,0 +1,16 @@
+// Package plotcorpus holds unarmed conn I/O identical to the positive
+// corpus: outside the serving packages (schedd/gateway/session) the
+// conndeadline analyzer must stay silent.
+package plotcorpus
+
+import "net"
+
+func nakedWrite(conn net.Conn, b []byte) error {
+	_, err := conn.Write(b) // no finding: not a serving-tier package
+	return err
+}
+
+func nakedRead(conn net.Conn, b []byte) error {
+	_, err := conn.Read(b) // no finding: not a serving-tier package
+	return err
+}

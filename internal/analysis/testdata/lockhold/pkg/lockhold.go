@@ -1,0 +1,144 @@
+// Package lockcorpus exercises the lockhold analyzer: blocking operations
+// while a sync mutex is held, unlock-dominance across branches, deferred
+// unlocks (which do not release mid-body), and TryLock branch guards.
+package lockcorpus
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu    sync.Mutex
+	idxMu sync.RWMutex
+	ch    chan int
+	conn  net.Conn
+}
+
+func (s *server) sleepHeld() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "blocking time.Sleep while mutex \"mu\" is held"
+	s.mu.Unlock()
+}
+
+func (s *server) deferHeld(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock() // runs at return, so the send below still holds mu
+	s.ch <- v           // want "blocking channel send while mutex \"mu\" is held"
+}
+
+func (s *server) unlockFirst() int {
+	s.mu.Lock()
+	n := len(s.ch)
+	s.mu.Unlock()
+	return n + <-s.ch // ok: released before the receive
+}
+
+func (s *server) branchLeak(flip bool) {
+	s.mu.Lock()
+	if flip {
+		s.mu.Unlock()
+	}
+	<-s.ch // want "blocking channel receive while mutex \"mu\" is held"
+	if !flip {
+		s.mu.Unlock()
+	}
+}
+
+func (s *server) earlyReturn(flip bool) {
+	s.mu.Lock()
+	if flip {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	<-s.ch // ok: the lock is released on every path reaching here
+}
+
+func (s *server) secondLock() {
+	s.mu.Lock()
+	s.idxMu.RLock() // want "acquiring \"idxMu\".RLock while mutex \"mu\" is held"
+	s.idxMu.RUnlock()
+	s.mu.Unlock()
+}
+
+func (s *server) connHeld(b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.conn.Write(b) // want "blocking net conn Write while mutex \"mu\" is held"
+	return err
+}
+
+func (s *server) waitHeld(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want "blocking WaitGroup.Wait while mutex \"mu\" is held"
+}
+
+func (s *server) selectHeld(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "blocking select while mutex \"mu\" is held"
+	case <-done:
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+func (s *server) pollHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // ok: a select with a default clause never blocks
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+}
+
+func (s *server) rangeHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for range s.ch { // want "blocking range over channel while mutex \"mu\" is held"
+	}
+}
+
+func (s *server) tryGuard() {
+	if s.mu.TryLock() {
+		time.Sleep(time.Millisecond) // want "blocking time.Sleep while mutex \"mu\" is held"
+		s.mu.Unlock()
+	}
+	time.Sleep(time.Millisecond) // ok: not held when TryLock fails or after Unlock
+}
+
+func (s *server) perIteration(n int) {
+	for i := 0; i < n; i++ {
+		s.mu.Lock()
+		n += len(s.ch)
+		s.mu.Unlock()
+		time.Sleep(time.Millisecond) // ok: released before sleeping each iteration
+	}
+}
+
+func (s *server) goroutineExempt() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1 // ok: blocks the spawned goroutine, not the lock holder
+	}()
+}
+
+func (s *server) allowHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:allow lockhold startup-only handshake; no other goroutine exists yet
+	time.Sleep(time.Microsecond)
+}
+
+func (s *server) allowNeedsReason() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// want-below "//lint:allow lockhold needs a reason"
+	//lint:allow lockhold
+	time.Sleep(time.Microsecond) // want "blocking time.Sleep while mutex \"mu\" is held"
+}

@@ -1,0 +1,65 @@
+// Package metcorpus exercises the metricdiscipline analyzer: obs metric
+// names must be literal, subsystem-prefixed snake_case and registered from
+// a single site; label keys must be constant snake_case strings; label
+// values must not be minted from request data.
+package metcorpus
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+type shard struct{ name string }
+
+type status int
+
+func (s status) String() string { return "ok" }
+
+func register(r *obs.Registry, sh shard, n int) {
+	r.Counter("met_requests_total", "requests served", nil)             // ok
+	r.Counter("met_requests_total", "requests served again", nil)       // want "already registered"
+	r.Gauge("BadName", "camel-case name", nil)                          // want "not subsystem-prefixed snake_case"
+	r.Gauge("requests", "single segment lacks a subsystem prefix", nil) // want "not subsystem-prefixed snake_case"
+
+	name := "met_" + sh.name
+	r.Counter(name, "computed name", nil) // want "must be a constant string"
+
+	r.Histogram("met_latency_seconds", "latency", []float64{0.1, 1}, obs.Labels{"shard": sh.name}) // ok: bounded field
+	r.Group("met_events_total", "event counters", "event", "hit", "miss")                          // ok
+
+	r.Counter("met_by_station_total", "per-station counter", obs.Labels{
+		"station": fmt.Sprintf("sta%d", n), // want "fmt.Sprintf"
+	})
+	r.Counter("met_by_id_total", "per-id counter", obs.Labels{
+		"id": strconv.Itoa(n), // want "strconv.Itoa"
+	})
+	r.Counter("met_by_code_total", "per-code counter", obs.Labels{
+		"code": string(rune(n)), // want "non-string value"
+	})
+	r.Counter("met_by_key_total", "concatenated label", obs.Labels{
+		"key": "sta" + sh.name, // want "concatenates non-constant strings"
+	})
+	r.Counter("met_bad_keys_total", "bad keys", obs.Labels{
+		"Station-ID": "x", // want "not snake_case"
+	})
+
+	key := "k"
+	_ = obs.Labels{key: "x"} // want "must be a constant string"
+}
+
+func registerStatus(r *obs.Registry, st status) {
+	r.Counter("met_status_total", "status", obs.Labels{"status": st.String()}) // ok: stringer enums are bounded
+}
+
+func allowDynamic(id string) {
+	//lint:allow metricdiscipline fixed three-node deployment, node ids are bounded
+	_ = obs.Labels{"node": fmt.Sprintf("node-%s", id)}
+}
+
+func allowNeedsReason(id string) {
+	// want-below "//lint:allow metricdiscipline needs a reason"
+	//lint:allow metricdiscipline
+	_ = obs.Labels{"node": fmt.Sprintf("node-%s", id)} // want "fmt.Sprintf"
+}

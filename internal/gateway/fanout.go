@@ -138,7 +138,11 @@ func (s *Server) armRead(conn net.Conn) bool {
 	if s.closing.Load() {
 		return false
 	}
-	conn.SetReadDeadline(s.cfg.now().Add(s.cfg.IdleTimeout))
+	if err := conn.SetReadDeadline(s.cfg.now().Add(s.cfg.IdleTimeout)); err != nil {
+		// A conn that cannot arm its idle deadline must not be read from
+		// unarmed; telling the handler to hang up is the safe failure.
+		return false
+	}
 	return true
 }
 

@@ -527,7 +527,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	s.connMu.Lock()
 	for conn := range s.conns {
-		conn.SetReadDeadline(s.cfg.now())
+		if err := conn.SetReadDeadline(s.cfg.now()); err != nil {
+			// The nudge did not land, so the idle read it was meant to wake
+			// may never return; close outright rather than hang the drain.
+			conn.Close()
+		}
 	}
 	s.connMu.Unlock()
 

@@ -58,10 +58,14 @@ func (s *Server) probeHealth(ctx context.Context, addr string) (shardHealth, err
 		return shardHealth{}, err
 	}
 	defer conn.Close()
-	if dl, ok := pctx.Deadline(); ok {
-		if err := conn.SetDeadline(dl); err != nil {
-			return shardHealth{}, err
-		}
+	// Arm unconditionally: if the context somehow carries no deadline the
+	// probe must still never park on a wedged shard.
+	dl, ok := pctx.Deadline()
+	if !ok {
+		dl = s.cfg.now().Add(s.cfg.ProbeTimeout)
+	}
+	if err := conn.SetDeadline(dl); err != nil {
+		return shardHealth{}, err
 	}
 	if _, err := conn.Write([]byte("HEALTH\n")); err != nil {
 		return shardHealth{}, err
@@ -220,10 +224,12 @@ func (s *Server) roundTrip(ctx context.Context, addr, line string, timeout time.
 		return err
 	}
 	defer conn.Close()
-	if dl, ok := rctx.Deadline(); ok {
-		if err := conn.SetDeadline(dl); err != nil {
-			return err
-		}
+	dl, ok := rctx.Deadline()
+	if !ok {
+		dl = s.cfg.now().Add(timeout)
+	}
+	if err := conn.SetDeadline(dl); err != nil {
+		return err
 	}
 	if _, err := conn.Write([]byte(line)); err != nil {
 		return err

@@ -74,10 +74,12 @@ func (s *Server) handoffAttempt(ctx context.Context, addr, line string, transfer
 	}
 	//lint:allow closecheck read side already saw the reply or the error; close is best-effort
 	defer conn.Close()
-	if dl, ok := actx.Deadline(); ok {
-		if err := conn.SetDeadline(dl); err != nil {
-			return fmt.Errorf("deadline %s: %w", addr, err)
-		}
+	dl, ok := actx.Deadline()
+	if !ok {
+		dl = s.cfg.now().Add(s.cfg.HandoffTimeout)
+	}
+	if err := conn.SetDeadline(dl); err != nil {
+		return fmt.Errorf("deadline %s: %w", addr, err)
 	}
 	if _, err := conn.Write([]byte(line)); err != nil {
 		return fmt.Errorf("send %s: %w", addr, err)

@@ -599,7 +599,11 @@ func (s *Server) armRead(conn net.Conn) bool {
 	if s.closing.Load() {
 		return false
 	}
-	s.cfg.setReadDeadline(conn, s.cfg.now().Add(s.cfg.IdleTimeout))
+	if err := s.cfg.setReadDeadline(conn, s.cfg.now().Add(s.cfg.IdleTimeout)); err != nil {
+		// A conn that cannot arm its idle deadline must not be read from
+		// unarmed; telling the handler to hang up is the safe failure.
+		return false
+	}
 	return true
 }
 
@@ -912,7 +916,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// mid-query are not reading and will finish their response first.
 	s.mu.Lock()
 	for conn := range s.conns {
-		s.cfg.setReadDeadline(conn, s.cfg.now())
+		if err := s.cfg.setReadDeadline(conn, s.cfg.now()); err != nil {
+			// The nudge did not land, so the idle read it was meant to wake
+			// may never return; close outright rather than hang the drain.
+			conn.Close()
+		}
 	}
 	s.mu.Unlock()
 
