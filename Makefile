@@ -46,18 +46,21 @@ bench:
 # Catches benchmarks that no longer compile or crash without paying for a
 # statistically meaningful run. BENCH_OUT defaults to the committed baseline;
 # CI writes elsewhere (BENCH_OUT=BENCH_ci.json) and compares with bench-check.
-BENCH_OUT ?= BENCH_6.json
+BENCH_OUT ?= BENCH_10.json
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
 # Compare a fresh bench-smoke artifact against the committed baseline:
-# order-of-magnitude regression bound on the hot-path benches, plus the
-# structural warm-vs-cold matching speedup the scheduler relies on.
+# order-of-magnitude regression bound on the hot-path benches (including
+# the batched Monte-Carlo figure drivers), plus the structural speedups
+# the scheduler relies on: warm-vs-cold matching, and the warm 256-client
+# re-solve crossover DESIGN.md documents (measured ~50×; 10× floor).
 BENCH_AGAINST ?= BENCH_ci.json
 bench-check:
-	$(GO) run ./cmd/benchjson -against $(BENCH_AGAINST) -baseline BENCH_6.json \
-		-benches BenchmarkMinCostPerfect64,BenchmarkScheduler64Clients -max-ratio 5 \
-		-faster BenchmarkSolverWarm64:BenchmarkMinCostPerfect64:3
+	$(GO) run ./cmd/benchjson -against $(BENCH_AGAINST) -baseline BENCH_10.json \
+		-benches BenchmarkMinCostPerfect64,BenchmarkScheduler64Clients,BenchmarkFig11TechniquesCDF,BenchmarkExtTriples -max-ratio 5 \
+		-faster BenchmarkSolverWarm64:BenchmarkMinCostPerfect64:3 \
+		-faster BenchmarkScheduler256ClientsWarm:BenchmarkScheduler256Clients:10
 
 # Paper-scale regeneration of every figure + ablations into ./results.
 figures:
@@ -77,7 +80,8 @@ soak-smoke:
 	$(GO) run -race ./cmd/sicsoak -shards 2 -stations 24 -aps 3 \
 		-duration 15s -kill 5s -revive 8s -seed 42
 
-# BENCH_6.json is the committed baseline bench-check compares against; clean
-# removes only derived artifacts.
+# BENCH_10.json is the committed baseline bench-check compares against
+# (BENCH_6.json is the pre-batched-engine baseline, kept for history);
+# clean removes only derived artifacts.
 clean:
 	rm -rf results BENCH_5.json BENCH_ci.json

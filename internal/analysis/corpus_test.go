@@ -178,6 +178,14 @@ func TestRngDeterminismCorpus(t *testing.T) {
 	runCorpus(t, []*Analyzer{RngDeterminism}, filepath.Join("rngdeterminism", "sim"), "repro/internal/mc")
 }
 
+func TestRngDeterminismBatchKernelPackages(t *testing.T) {
+	// topo and core joined the sim set with the batched Monte-Carlo
+	// engine: the same corpus that fires as repro/internal/mc must fire
+	// when the code pretends to live in the kernel feeder packages.
+	runCorpus(t, []*Analyzer{RngDeterminism}, filepath.Join("rngdeterminism", "sim"), "repro/internal/topo")
+	runCorpus(t, []*Analyzer{RngDeterminism}, filepath.Join("rngdeterminism", "sim"), "repro/internal/core")
+}
+
 func TestRngDeterminismDaemonAllowlist(t *testing.T) {
 	// The same wall-clock calls are legitimate in the runner/daemon
 	// packages; only rand.Seed stays forbidden everywhere.

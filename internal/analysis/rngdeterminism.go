@@ -19,6 +19,13 @@ var simPackages = map[string]bool{
 	"emu":         true,
 	"experiments": true,
 	"stats":       true,
+	// topo and core joined when the batched Monte-Carlo engine landed:
+	// its draw/reduce kernels live one call below mc (topologies drawn in
+	// topo, gains reduced in core), so a wall-clock read or global-rand
+	// draw there would break the engines' bit-identical contract while
+	// sitting just outside the analyzer's old footprint.
+	"topo": true,
+	"core": true,
 	// obs is checked even though it is instrumentation, not simulation:
 	// sim packages call into it (mc feeds sweep metrics), so an
 	// unannounced wall-clock read here would be a determinism leak one

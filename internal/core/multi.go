@@ -31,14 +31,24 @@ func ChainRates(ch phy.Channel, snrs []float64) ([]float64, error) {
 	}
 	for _, s := range snrs {
 		if !(s > 0) || math.IsInf(s, 1) || math.IsNaN(s) {
-			return nil, errors.New("core: invalid SNR in chain")
+			return nil, errInvalidChainSNR
 		}
 	}
 	idx := make([]int, len(snrs))
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return snrs[idx[a]] > snrs[idx[b]] })
+	// Decode order is pinned: descending SNR with ascending input index on
+	// exact ties. A bare ">" comparator left tied signals in sort.Slice's
+	// unspecified order, so two runs (or Go versions) could assign the tied
+	// transmitters' rates to different indices.
+	sort.Slice(idx, func(a, b int) bool {
+		sa, sb := snrs[idx[a]], snrs[idx[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return idx[a] < idx[b]
+	})
 
 	rates := make([]float64, len(snrs))
 	var weaker float64
@@ -52,16 +62,66 @@ func ChainRates(ch phy.Channel, snrs []float64) ([]float64, error) {
 	return rates, nil
 }
 
+// maxChainInline bounds the chain size ChainTime handles entirely on the
+// stack. The triple scheduler evaluates K ≤ 3 chains O(n³) times per
+// snapshot, so this path must not allocate.
+const maxChainInline = 8
+
+var errInvalidChainSNR = errors.New("core: invalid SNR in chain")
+
 // ChainTime is the completion time of one packet from each of K concurrent
 // transmitters through a K-stage SIC chain: all start together, completion
 // is bounded by the slowest feasible rate.
+//
+// For chains up to maxChainInline signals this runs allocation-free with
+// the exact arithmetic of ChainRates — same summation and subtraction
+// order, so the result is bit-identical to reducing ChainRates (the
+// property test in multi_test.go pins this).
 func ChainTime(ch phy.Channel, bits float64, snrs []float64) (float64, error) {
-	rates, err := ChainRates(ch, snrs)
-	if err != nil {
-		return 0, err
+	n := len(snrs)
+	if n == 0 {
+		return 0, ErrNoSignals
+	}
+	if n > maxChainInline {
+		rates, err := ChainRates(ch, snrs)
+		if err != nil {
+			return 0, err
+		}
+		worst := 0.0
+		for _, r := range rates {
+			if t := phy.TxTime(bits, r); t > worst {
+				worst = t
+			}
+		}
+		return worst, nil
+	}
+	var total float64
+	for _, s := range snrs {
+		if !(s > 0) || math.IsInf(s, 1) || math.IsNaN(s) {
+			return 0, errInvalidChainSNR
+		}
+		total += s
+	}
+	// Insertion sort into decode order: descending SNR, stable so exact
+	// ties keep ascending input index — the same pinned order ChainRates
+	// uses.
+	var ord [maxChainInline]int
+	for i := 0; i < n; i++ {
+		j := i
+		for ; j > 0; j-- {
+			if snrs[ord[j-1]] >= snrs[i] {
+				break
+			}
+			ord[j] = ord[j-1]
+		}
+		ord[j] = i
 	}
 	worst := 0.0
-	for _, r := range rates {
+	weaker := total
+	for k := 0; k < n; k++ {
+		s := snrs[ord[k]]
+		weaker -= s
+		r := ch.Capacity(phy.SINR(s, weaker))
 		if t := phy.TxTime(bits, r); t > worst {
 			worst = t
 		}

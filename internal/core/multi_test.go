@@ -171,3 +171,83 @@ func TestGenericBeatsPairwiseSometimes(t *testing.T) {
 		t.Errorf("3-way packing (%v) should beat best pairwise (%v) here", g3, best2)
 	}
 }
+
+// TestChainTimeMatchesChainRatesBitwise pins the inline fast path: for
+// chains within the stack bound, ChainTime must equal the max transmit
+// time over ChainRates bit for bit (identical summation and decode-order
+// subtraction), and it must not allocate.
+func TestChainTimeMatchesChainRatesBitwise(t *testing.T) {
+	ch := phy.Wifi20MHz
+	rng := rand.New(rand.NewSource(11))
+	for k := 1; k <= maxChainInline; k++ {
+		for trial := 0; trial < 200; trial++ {
+			snrs := make([]float64, k)
+			for i := range snrs {
+				snrs[i] = math.Exp(rng.Float64()*12 - 2)
+			}
+			rates, err := ChainRates(ch, snrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 0.0
+			for _, r := range rates {
+				if tt := phy.TxTime(12000, r); tt > want {
+					want = tt
+				}
+			}
+			got, err := ChainTime(ch, 12000, snrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("K=%d trial %d: ChainTime %v != max-over-ChainRates %v", k, trial, got, want)
+			}
+		}
+	}
+	snrs := []float64{40, 7, 19}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := ChainTime(ch, 12000, snrs); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("ChainTime(K=3) allocated %.0f times, want 0", allocs)
+	}
+}
+
+// TestChainTiedSNRsDeterministic pins the tie-break: exactly equal SNRs
+// decode in ascending input index order, so tied transmitters' rates are
+// assigned deterministically run to run.
+func TestChainTiedSNRsDeterministic(t *testing.T) {
+	ch := phy.Wifi20MHz
+	snrs := []float64{25, 25, 25, 4}
+	first, err := ChainRates(ch, snrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		again, err := ChainRates(ch, snrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range first {
+			if math.Float64bits(first[i]) != math.Float64bits(again[i]) {
+				t.Fatalf("trial %d: tied rates reassigned: %v vs %v", trial, first, again)
+			}
+		}
+	}
+	// Ascending index = earlier decode = more residual interference below
+	// it only for distinct values; for exact ties the earlier index must
+	// get the earlier (lower-rate) chain stage.
+	if !(first[0] <= first[1] && first[1] <= first[2]) {
+		t.Errorf("tied signals not decoded in ascending index order: %v", first)
+	}
+	// The slow path (chains past the stack bound) shares the same pinned
+	// order and still runs.
+	longer := append([]float64{}, snrs...)
+	for i := 0; i < 6; i++ {
+		longer = append(longer, snrs...)
+	}
+	if _, err := ChainTime(ch, 12000, longer); err != nil {
+		t.Fatal(err)
+	}
+}

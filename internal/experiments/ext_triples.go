@@ -30,17 +30,24 @@ func ExtTriples(ctx context.Context, p Params) (Result, error) {
 		return Result{}, err
 	}
 	opts := sched.Options{Channel: p.Channel, PacketBits: p.PacketBits}
+	// One planner and one grouper serve every snapshot: both are documented
+	// to produce exactly the results of their one-shot counterparts
+	// (sched.New / sched.GroupsOfUpTo3) while reusing their solver and
+	// candidate scratch between calls.
+	planner := sched.NewPlanner(opts)
+	var grouper sched.Grouper
 
 	var (
 		ratios     []float64 // pairTotal / groupTotal per snapshot (≥ 1 means triples help)
 		tripleUsed int
 		usable     int
+		clients    []sched.Client
 	)
 	for _, snap := range snaps {
 		if len(snap.Clients) < 3 {
 			continue
 		}
-		clients := make([]sched.Client, 0, len(snap.Clients))
+		clients = clients[:0]
 		for _, c := range snap.Clients {
 			if snr := phy.FromDB(c.SNRdB); snr > 0 {
 				clients = append(clients, sched.Client{ID: c.ID, SNR: snr})
@@ -50,11 +57,11 @@ func ExtTriples(ctx context.Context, p Params) (Result, error) {
 			continue
 		}
 		usable++
-		paired, err := sched.New(clients, opts)
+		paired, err := planner.Plan(ctx, clients)
 		if err != nil {
 			return Result{}, err
 		}
-		grouped, err := sched.GroupsOfUpTo3(clients, opts)
+		grouped, err := grouper.Plan(clients, opts)
 		if err != nil {
 			return Result{}, err
 		}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestScalarAndBatchedEnginesGoldenIdentical is the PR's acceptance gate:
+// Fig. 6 and Fig. 11 run through the batched columnar engine and the
+// scalar fallback must agree byte for byte — not just the headline
+// metrics serialised exactly as cmd/sicfig writes metrics.json, but every
+// rendered CSV/SVG file and the ASCII figure text. Trials is chosen to
+// span a full trial block plus a partial one so block boundaries are
+// inside the comparison.
+func TestScalarAndBatchedEnginesGoldenIdentical(t *testing.T) {
+	p := QuickParams()
+	p.Trials = 400
+	scalarP := p
+	scalarP.ScalarMC = true
+
+	// metricsJSON serialises exactly like cmd/sicfig: MarshalIndent of the
+	// id→metrics map plus a trailing newline.
+	metricsJSON := func(r Result) []byte {
+		blob, err := json.MarshalIndent(map[string]map[string]float64{r.ID: r.Metrics}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(blob, '\n')
+	}
+
+	for _, fig := range []Runner{mustByID(t, "fig6"), mustByID(t, "fig11")} {
+		batched, err := fig.Run(context.Background(), p)
+		if err != nil {
+			t.Fatalf("%s batched: %v", fig.ID, err)
+		}
+		scalar, err := fig.Run(context.Background(), scalarP)
+		if err != nil {
+			t.Fatalf("%s scalar: %v", fig.ID, err)
+		}
+		if b, s := metricsJSON(batched), metricsJSON(scalar); !bytes.Equal(b, s) {
+			t.Errorf("%s: metrics.json bytes differ between engines:\nbatched:\n%s\nscalar:\n%s", fig.ID, b, s)
+		}
+		if batched.Text != scalar.Text {
+			t.Errorf("%s: rendered figure text differs between engines", fig.ID)
+		}
+		if len(batched.Files) != len(scalar.Files) {
+			t.Fatalf("%s: file sets differ: %d vs %d", fig.ID, len(batched.Files), len(scalar.Files))
+		}
+		for name, b := range batched.Files {
+			if s, ok := scalar.Files[name]; !ok {
+				t.Errorf("%s: file %s missing from scalar run", fig.ID, name)
+			} else if b != s {
+				t.Errorf("%s: file %s differs between engines", fig.ID, name)
+			}
+		}
+	}
+}
+
+func mustByID(t *testing.T, id string) Runner {
+	t.Helper()
+	r, ok := ByID(id)
+	if !ok {
+		t.Fatalf("no runner %q", id)
+	}
+	return r
+}

@@ -1,0 +1,241 @@
+package mc
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestReseedMatchesFreshSource pins the mechanism the batched engine's
+// determinism rests on: re-seeding one *rand.Rand produces the exact
+// variate stream of a freshly constructed rand.New(rand.NewSource(seed)).
+func TestReseedMatchesFreshSource(t *testing.T) {
+	shared := rand.New(rand.NewSource(0))
+	for _, seed := range []int64{1, 7, 1 + 3*trialSeedStride, -42} {
+		fresh := rand.New(rand.NewSource(seed))
+		shared.Seed(seed)
+		for k := 0; k < 32; k++ {
+			a, b := fresh.Float64(), shared.Float64()
+			if a != b {
+				t.Fatalf("seed %d draw %d: fresh %v vs reseeded %v", seed, k, a, b)
+			}
+		}
+	}
+}
+
+// TestBatchedMatchesScalarBitwise is the engine-level oracle: every sweep
+// family and technique must produce bit-identical samples through the
+// batched and scalar paths. Trials spans several full blocks plus a
+// partial one, so block edges are exercised.
+func TestBatchedMatchesScalarBitwise(t *testing.T) {
+	const trials = 3*batchBlock + 37
+	run := func(name string, sweep func(Config) ([]float64, error)) {
+		t.Helper()
+		batchedCfg := testConfig(trials)
+		batched, err := sweep(batchedCfg)
+		if err != nil {
+			t.Fatalf("%s batched: %v", name, err)
+		}
+		scalarCfg := testConfig(trials)
+		scalarCfg.Scalar = true
+		scalar, err := sweep(scalarCfg)
+		if err != nil {
+			t.Fatalf("%s scalar: %v", name, err)
+		}
+		for i := range scalar {
+			if math.Float64bits(scalar[i]) != math.Float64bits(batched[i]) {
+				t.Fatalf("%s trial %d: scalar %v (%#x) != batched %v (%#x)",
+					name, i, scalar[i], math.Float64bits(scalar[i]), batched[i], math.Float64bits(batched[i]))
+			}
+		}
+	}
+	run("TwoReceiverGains", func(cfg Config) ([]float64, error) {
+		return TwoReceiverGains(context.Background(), cfg)
+	})
+	for _, tech := range []Technique{TechSIC, TechPowerControl, TechMultirate, TechPacking} {
+		tech := tech
+		run("SameReceiverGains/"+tech.String(), func(cfg Config) ([]float64, error) {
+			return SameReceiverGains(context.Background(), cfg, tech)
+		})
+	}
+	for _, tech := range []Technique{TechSIC, TechPacking} {
+		tech := tech
+		run("TwoReceiverTechniqueGains/"+tech.String(), func(cfg Config) ([]float64, error) {
+			return TwoReceiverTechniqueGains(context.Background(), cfg, tech)
+		})
+	}
+}
+
+// cancellingEval wraps the two-receiver eval so that the parent context is
+// cancelled once a fixed number of trials have been reduced — a
+// deterministic stand-in for "the user hit ctrl-C mid-sweep".
+func cancellingEval(cancel context.CancelFunc, after int64, reduced *atomic.Int64) batchEval {
+	ev := twoReceiverEval(TechSIC)
+	inner := ev.gain
+	ev.gain = func(cfg *Config, col *[maxCols][]float64, j int) float64 {
+		if reduced.Add(1) == after {
+			cancel()
+		}
+		return inner(cfg, col, j)
+	}
+	return ev
+}
+
+// TestInterruptedSweepCountersAgree is the satellite regression test for
+// the trial-accounting audit: cancel a sweep mid-batch and cross-check
+// that the runner-visible PartialError.Completed and Metrics.Trials agree
+// exactly — the partial block is neither dropped nor double-counted —
+// under both engines.
+func TestInterruptedSweepCountersAgree(t *testing.T) {
+	const trials = 64 * batchBlock
+
+	t.Run("batched", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		cfg := testConfig(trials)
+		cfg.Metrics = NewMetrics(obs.NewRegistry())
+		var reduced atomic.Int64
+		_, err := runBatched(ctx, cfg, cancellingEval(cancel, batchBlock+3, &reduced))
+		var pe *PartialError
+		if !errors.As(err, &pe) {
+			t.Fatalf("err = %v, want *PartialError", err)
+		}
+		if got := cfg.Metrics.Trials.Get(); got != int64(pe.Completed) {
+			t.Errorf("mc_trials_total = %d, PartialError.Completed = %d; counters disagree", got, pe.Completed)
+		}
+		if pe.Completed < batchBlock+3 || pe.Completed >= trials {
+			t.Errorf("Completed = %d, want a mid-sweep value in [%d, %d)", pe.Completed, batchBlock+3, trials)
+		}
+		if got := cfg.Metrics.Sweeps.Get(); got != 0 {
+			t.Errorf("mc_sweeps_total = %d after interruption, want 0", got)
+		}
+	})
+
+	t.Run("scalar", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		cfg := testConfig(trials)
+		cfg.Metrics = NewMetrics(obs.NewRegistry())
+		var evaluated atomic.Int64
+		_, err := runParallel(ctx, cfg, func(rng *rand.Rand) float64 {
+			if evaluated.Add(1) == 100 {
+				cancel()
+			}
+			return twoReceiverGain(cfg, TechSIC, crossSample(cfg, rng))
+		})
+		var pe *PartialError
+		if !errors.As(err, &pe) {
+			t.Fatalf("err = %v, want *PartialError", err)
+		}
+		if got := cfg.Metrics.Trials.Get(); got != int64(pe.Completed) {
+			t.Errorf("mc_trials_total = %d, PartialError.Completed = %d; counters disagree", got, pe.Completed)
+		}
+		if got := cfg.Metrics.Sweeps.Get(); got != 0 {
+			t.Errorf("mc_sweeps_total = %d after interruption, want 0", got)
+		}
+	})
+}
+
+// TestCancelAfterFinalTrialIsNotPartial pins the accounting fix: a context
+// cancelled only after every trial has finished yields a complete result —
+// the samples are byte-identical to an uncancelled run's, so reporting
+// "interrupted after N/N trials" (with Metrics.Trials already at N) was a
+// contradiction.
+func TestCancelAfterFinalTrialIsNotPartial(t *testing.T) {
+	t.Run("batched", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		cfg := testConfig(batchBlock) // exactly one block
+		cfg.Metrics = NewMetrics(obs.NewRegistry())
+		var reduced atomic.Int64
+		out, err := runBatched(ctx, cfg, cancellingEval(cancel, batchBlock, &reduced))
+		if err != nil {
+			t.Fatalf("fully-completed sweep reported error: %v", err)
+		}
+		if len(out) != batchBlock {
+			t.Fatalf("len(out) = %d, want %d", len(out), batchBlock)
+		}
+		if got := cfg.Metrics.Trials.Get(); got != batchBlock {
+			t.Errorf("mc_trials_total = %d, want %d", got, batchBlock)
+		}
+		if got := cfg.Metrics.Sweeps.Get(); got != 1 {
+			t.Errorf("mc_sweeps_total = %d, want 1", got)
+		}
+	})
+
+	t.Run("scalar", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		const trials = 8
+		cfg := testConfig(trials)
+		cfg.Scalar = true
+		cfg.Metrics = NewMetrics(obs.NewRegistry())
+		var evaluated atomic.Int64
+		out, err := runParallel(ctx, cfg, func(rng *rand.Rand) float64 {
+			if evaluated.Add(1) == trials {
+				cancel()
+			}
+			return twoReceiverGain(cfg, TechSIC, crossSample(cfg, rng))
+		})
+		if err != nil {
+			t.Fatalf("fully-completed sweep reported error: %v", err)
+		}
+		if len(out) != trials {
+			t.Fatalf("len(out) = %d, want %d", len(out), trials)
+		}
+		if got := cfg.Metrics.Sweeps.Get(); got != 1 {
+			t.Errorf("mc_sweeps_total = %d, want 1", got)
+		}
+	})
+}
+
+// TestBatchedTrialPanicSurfacesAsError mirrors the scalar engine's panic
+// contract: the error names the panicking trial and carries a stack.
+func TestBatchedTrialPanicSurfacesAsError(t *testing.T) {
+	cfg := testConfig(2*batchBlock + 10)
+	ev := twoReceiverEval(TechSIC)
+	inner := ev.gain
+	ev.gain = func(c *Config, col *[maxCols][]float64, j int) float64 {
+		if j == 7 {
+			panic("boom")
+		}
+		return inner(c, col, j)
+	}
+	_, err := runBatched(context.Background(), cfg, ev)
+	if err == nil {
+		t.Fatal("panicking trial returned nil error")
+	}
+	if !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("panic error %q missing value or marker", err)
+	}
+	if !strings.Contains(err.Error(), "goroutine") {
+		t.Errorf("panic error should carry a stack trace, got %q", err)
+	}
+}
+
+// TestBatchedSteadyStateAllocs guards the tentpole's headline: the batched
+// engine amortises all per-trial scratch into per-worker arenas, so a
+// sweep's allocation count is tiny and independent of Trials.
+func TestBatchedSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting sweep")
+	}
+	const trials = 16 * batchBlock
+	cfg := testConfig(trials)
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := TwoReceiverGains(context.Background(), cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Budget: result slice, per-worker arenas, channels/goroutines — all
+	// O(workers), none O(trials). 0.05 allocs/trial ≈ 200 for this sweep.
+	if perTrial := allocs / trials; perTrial > 0.05 {
+		t.Errorf("batched sweep allocated %.0f times (%.3f/trial), want ~0/trial", allocs, perTrial)
+	}
+}

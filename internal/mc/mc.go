@@ -45,6 +45,12 @@ type Config struct {
 	// through obs and feeds metrics only — it never influences trial
 	// seeding or results, so same-seed reproducibility is untouched.
 	Metrics *Metrics
+	// Scalar forces the legacy one-trial-at-a-time engine instead of the
+	// batched columnar one. Both derive every trial's RNG from Seed and
+	// the trial index identically and produce bit-identical samples (the
+	// golden tests in internal/experiments pin this); Scalar exists as an
+	// escape hatch and as the oracle the batched engine is tested against.
+	Scalar bool
 }
 
 // Metrics is the package's observability bundle. Construct with NewMetrics
@@ -113,6 +119,44 @@ func (c Config) validate() error {
 	return nil
 }
 
+// trialSeedStride spreads trial indices across the seed space. It is part
+// of the determinism contract: every engine derives trial i's RNG as
+// rand.NewSource(Seed + i*trialSeedStride) (or a reseed to the same
+// value), so scheduling, batching and cancellation can never change which
+// random stream a trial consumes.
+const trialSeedStride = 0x9e3779b9
+
+// finishSweep folds the shared end-of-sweep accounting for both engines:
+// completed trials always count (that is the whole point of the progress
+// accounting), sweep-level metrics only on full completion, and the
+// returned error is the worker failure, a *PartialError for a sweep the
+// context actually cut short, or nil. A sweep whose last trial finished
+// before anyone observed the cancellation is complete, not partial: its
+// samples are the same bytes an uncancelled run would produce, so it is
+// reported as a success instead of being dropped (the counters would
+// otherwise disagree — Metrics.Trials says Trials, the error says
+// "interrupted").
+func finishSweep(cfg Config, tm obs.Timer, completed int64, parent context.Context, workerErr error) error {
+	if m := cfg.Metrics; m != nil {
+		m.Trials.Add(completed)
+	}
+	if workerErr != nil {
+		return workerErr
+	}
+	if err := parent.Err(); err != nil && int(completed) != cfg.Trials {
+		return &PartialError{Completed: int(completed), Trials: cfg.Trials, Err: err}
+	}
+	if m := cfg.Metrics; m != nil {
+		m.Sweeps.Inc()
+		secs := tm.Elapsed().Seconds()
+		m.SweepSeconds.Observe(secs)
+		if secs > 0 {
+			m.TrialsPerSec.Set(float64(cfg.Trials) / secs)
+		}
+	}
+	return nil
+}
+
 // runParallel evaluates f once per trial index across a worker pool,
 // collecting one sample per trial in order. Each trial gets its own RNG
 // seeded from Config.Seed and the trial index, making the result
@@ -160,7 +204,7 @@ func runParallel(parent context.Context, cfg Config, f func(rng *rand.Rand) floa
 				err = fmt.Errorf("mc: trial %d panicked: %v\n%s", i, r, debug.Stack())
 			}
 		}()
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*0x9e3779b9))
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*trialSeedStride))
 		out[i] = f(rng)
 		return nil
 	}
@@ -184,24 +228,8 @@ func runParallel(parent context.Context, cfg Config, f func(rng *rand.Rand) floa
 	}
 	wg.Wait()
 
-	if m := cfg.Metrics; m != nil {
-		// Completed trials count even when the sweep is cut short — the
-		// whole point of the progress accounting below.
-		m.Trials.Add(done.Load())
-	}
-	if panicErr != nil {
-		return nil, panicErr
-	}
-	if err := parent.Err(); err != nil {
-		return nil, &PartialError{Completed: int(done.Load()), Trials: cfg.Trials, Err: err}
-	}
-	if m := cfg.Metrics; m != nil {
-		m.Sweeps.Inc()
-		secs := tm.Elapsed().Seconds()
-		m.SweepSeconds.Observe(secs)
-		if secs > 0 {
-			m.TrialsPerSec.Set(float64(cfg.Trials) / secs)
-		}
+	if err := finishSweep(cfg, tm, done.Load(), parent, panicErr); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -216,10 +244,12 @@ func TwoReceiverGains(ctx context.Context, cfg Config) ([]float64, error) {
 	if cfg.Separation <= 0 {
 		return nil, errors.New("mc: Separation must be positive for two-receiver experiments")
 	}
-	return runParallel(ctx, cfg, func(rng *rand.Rand) float64 {
-		x := crossSample(cfg, rng)
-		return x.Gain(cfg.Channel, cfg.PacketBits)
-	})
+	if cfg.Scalar {
+		return runParallel(ctx, cfg, func(rng *rand.Rand) float64 {
+			return twoReceiverGain(cfg, TechSIC, crossSample(cfg, rng))
+		})
+	}
+	return runBatched(ctx, cfg, twoReceiverEval(TechSIC))
 }
 
 // crossSample draws one §3.2 topology and evaluates its RSS matrix.
@@ -271,35 +301,62 @@ func SameReceiverGains(ctx context.Context, cfg Config, tech Technique) ([]float
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return runParallel(ctx, cfg, func(rng *rand.Rand) float64 {
-		rx := topo.Point{}
-		t1 := topo.UniformInDisc(rng, rx, cfg.Range)
-		t2 := topo.UniformInDisc(rng, rx, cfg.Range)
-		p := core.Pair{
-			S1: cfg.PathLoss.SNRAt(rx.Dist(t1)),
-			S2: cfg.PathLoss.SNRAt(rx.Dist(t2)),
-		}
-		serial := p.SerialTime(cfg.Channel, cfg.PacketBits)
-		var t float64
-		switch tech {
-		case TechPowerControl:
-			t = p.SICTimeWithPowerControl(cfg.Channel, cfg.PacketBits)
-		case TechMultirate:
-			t = p.MultirateTime(cfg.Channel, cfg.PacketBits)
-		case TechPacking:
-			g := p.PackingGain(cfg.Channel, cfg.PacketBits)
-			if g < 1 {
-				g = 1
+	if cfg.Scalar {
+		return runParallel(ctx, cfg, func(rng *rand.Rand) float64 {
+			rx := topo.Point{}
+			t1 := topo.UniformInDisc(rng, rx, cfg.Range)
+			t2 := topo.UniformInDisc(rng, rx, cfg.Range)
+			p := core.Pair{
+				S1: cfg.PathLoss.SNRAt(rx.Dist(t1)),
+				S2: cfg.PathLoss.SNRAt(rx.Dist(t2)),
 			}
+			return sameReceiverGain(cfg, tech, p)
+		})
+	}
+	return runBatched(ctx, cfg, sameReceiverEval(tech))
+}
+
+// sameReceiverGain evaluates the chosen technique's gain over the serial
+// baseline for one drawn common-receiver pair. Both engines funnel through
+// this one function, so the per-trial arithmetic cannot drift between the
+// scalar and batched paths.
+func sameReceiverGain(cfg Config, tech Technique, p core.Pair) float64 {
+	serial := p.SerialTime(cfg.Channel, cfg.PacketBits)
+	var t float64
+	switch tech {
+	case TechPowerControl:
+		t = p.SICTimeWithPowerControl(cfg.Channel, cfg.PacketBits)
+	case TechMultirate:
+		t = p.MultirateTime(cfg.Channel, cfg.PacketBits)
+	case TechPacking:
+		g := p.PackingGain(cfg.Channel, cfg.PacketBits)
+		if g < 1 {
+			g = 1
+		}
+		return g
+	default:
+		t = p.SICTime(cfg.Channel, cfg.PacketBits)
+	}
+	if t >= serial {
+		return 1
+	}
+	return serial / t
+}
+
+// twoReceiverGain evaluates the per-topology gain of the technique in the
+// two-receiver scenario; like sameReceiverGain it is the single evaluation
+// path shared by the scalar and batched engines.
+func twoReceiverGain(cfg Config, tech Technique, x core.Cross) float64 {
+	switch tech {
+	case TechPacking:
+		base := x.Gain(cfg.Channel, cfg.PacketBits)
+		if g, ok := x.CrossPack(cfg.Channel, cfg.PacketBits); ok && g > base {
 			return g
-		default:
-			t = p.SICTime(cfg.Channel, cfg.PacketBits)
 		}
-		if t >= serial {
-			return 1
-		}
-		return serial / t
-	})
+		return base
+	default:
+		return x.Gain(cfg.Channel, cfg.PacketBits)
+	}
 }
 
 // TwoReceiverTechniqueGains reproduces the two-receiver half of Fig. 11:
@@ -314,17 +371,10 @@ func TwoReceiverTechniqueGains(ctx context.Context, cfg Config, tech Technique) 
 	if cfg.Separation <= 0 {
 		return nil, errors.New("mc: Separation must be positive for two-receiver experiments")
 	}
-	return runParallel(ctx, cfg, func(rng *rand.Rand) float64 {
-		x := crossSample(cfg, rng)
-		switch tech {
-		case TechPacking:
-			base := x.Gain(cfg.Channel, cfg.PacketBits)
-			if g, ok := x.CrossPack(cfg.Channel, cfg.PacketBits); ok && g > base {
-				return g
-			}
-			return base
-		default:
-			return x.Gain(cfg.Channel, cfg.PacketBits)
-		}
-	})
+	if cfg.Scalar {
+		return runParallel(ctx, cfg, func(rng *rand.Rand) float64 {
+			return twoReceiverGain(cfg, tech, crossSample(cfg, rng))
+		})
+	}
+	return runBatched(ctx, cfg, twoReceiverEval(tech))
 }

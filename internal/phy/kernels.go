@@ -1,0 +1,88 @@
+package phy
+
+// This file holds the columnar (structure-of-arrays) kernels behind the
+// batched Monte-Carlo engine: every function applies the corresponding
+// scalar operation element-wise over contiguous float64 columns.
+//
+// Contract (pinned by DESIGN.md and the oracle tests in kernels_test.go):
+// each slice kernel evaluates the *same* floating-point expression as its
+// scalar counterpart, in the same order per element, so scalar and batched
+// paths agree to the last ULP — bit-identical, not merely close. Anything
+// that would break that (fused multiply-adds, reassociation, approximate
+// log/exp) is out of bounds here.
+//
+// All kernels require len(dst) == len(src) (and panic via the bounds check
+// otherwise, since a length mismatch is a programming error), and permit
+// dst to alias a source slice, which the batch arena exploits to convert
+// distance columns to SNR columns in place.
+
+// DBSlice fills dst[i] = DB(linear[i]). The scalar edge conventions apply
+// element-wise: zero maps to -Inf, negative input to NaN.
+func DBSlice(dst, linear []float64) {
+	if len(dst) != len(linear) {
+		panic("phy: DBSlice length mismatch")
+	}
+	for i, v := range linear {
+		dst[i] = DB(v)
+	}
+}
+
+// FromDBSlice fills dst[i] = FromDB(db[i]).
+func FromDBSlice(dst, db []float64) {
+	if len(dst) != len(db) {
+		panic("phy: FromDBSlice length mismatch")
+	}
+	for i, v := range db {
+		dst[i] = FromDB(v)
+	}
+}
+
+// SINRSlice fills dst[i] = SINR(s[i], in[i]): the desired-signal column
+// combined with the interference column under the normalised noise floor,
+// with the scalar function's negative-interference clamp applied
+// element-wise.
+func SINRSlice(dst, s, in []float64) {
+	if len(dst) != len(s) || len(s) != len(in) {
+		panic("phy: SINRSlice length mismatch")
+	}
+	for i := range dst {
+		dst[i] = SINR(s[i], in[i])
+	}
+}
+
+// CapacitySlice fills dst[i] = Capacity(bw, sinr[i]).
+func CapacitySlice(dst []float64, bw float64, sinr []float64) {
+	if len(dst) != len(sinr) {
+		panic("phy: CapacitySlice length mismatch")
+	}
+	for i, v := range sinr {
+		dst[i] = Capacity(bw, v)
+	}
+}
+
+// CapacitySlice fills dst[i] with the channel's Shannon capacity at
+// sinr[i].
+func (c Channel) CapacitySlice(dst, sinr []float64) {
+	CapacitySlice(dst, c.BandwidthHz, sinr)
+}
+
+// SNRAtSlice fills dst[i] = p.SNRAt(d[i]): the path-loss model evaluated
+// over a distance column. dst may alias d.
+func (p PathLoss) SNRAtSlice(dst, d []float64) {
+	if len(dst) != len(d) {
+		panic("phy: SNRAtSlice length mismatch")
+	}
+	for i, v := range d {
+		dst[i] = p.SNRAt(v)
+	}
+}
+
+// TxTimeSlice fills dst[i] = TxTime(bits, rate[i]).
+func TxTimeSlice(dst []float64, bits float64, rate []float64) {
+	if len(dst) != len(rate) {
+		panic("phy: TxTimeSlice length mismatch")
+	}
+	for i, v := range rate {
+		dst[i] = TxTime(bits, v)
+	}
+}

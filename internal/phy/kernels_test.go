@@ -1,0 +1,196 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// edgeCases is the shared table for the dB/linear/SINR edge paths: every
+// case is asserted against the scalar function AND the slice kernel, so
+// the two can never drift apart on the inputs that used to leak silent
+// -Inf/NaN into ECDFs.
+var edgeCases = []struct {
+	name   string
+	linear float64
+	wantDB float64 // what DB must return (NaN compared via IsNaN)
+}{
+	{"unit", 1, 0},
+	{"hundred", 100, 20},
+	{"zero is -Inf", 0, math.Inf(-1)},
+	{"negative is NaN", -3, math.NaN()},
+	{"negative zero is -Inf", math.Copysign(0, -1), math.Inf(-1)},
+	{"+Inf is +Inf", math.Inf(1), math.Inf(1)},
+	{"NaN is NaN", math.NaN(), math.NaN()},
+}
+
+func sameFloat(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func TestDBEdgeCasesScalarAndSlice(t *testing.T) {
+	in := make([]float64, len(edgeCases))
+	for i, c := range edgeCases {
+		in[i] = c.linear
+		if got := DB(c.linear); !sameFloat(got, c.wantDB) {
+			t.Errorf("%s: DB(%v) = %v, want %v", c.name, c.linear, got, c.wantDB)
+		}
+	}
+	out := make([]float64, len(in))
+	DBSlice(out, in)
+	for i, c := range edgeCases {
+		if !sameFloat(out[i], c.wantDB) {
+			t.Errorf("%s: DBSlice[%d] = %v, want %v", c.name, i, out[i], c.wantDB)
+		}
+	}
+}
+
+func TestSINREdgeCasesScalarAndSlice(t *testing.T) {
+	cases := []struct {
+		name string
+		s, i float64
+		want float64
+	}{
+		{"no interference", 100, 0, 100},
+		{"equal power", 9, 2, 3},
+		// Cancellation residue a few ULPs below zero keeps the literal
+		// arithmetic (bit-compatibility with the pre-kernel code).
+		{"tiny negative residue", 50, -1e-16, 50 / (1 + -1e-16)},
+		{"zero interference plus noise", 50, -1, 50}, // denominator would be 0 unclamped
+		{"very negative interference", 50, -1e9, 50},
+		{"zero signal", 0, 4, 0},
+	}
+	s := make([]float64, len(cases))
+	in := make([]float64, len(cases))
+	for k, c := range cases {
+		s[k], in[k] = c.s, c.i
+		got := SINR(c.s, c.i)
+		if !sameFloat(got, c.want) {
+			t.Errorf("%s: SINR(%v, %v) = %v, want %v", c.name, c.s, c.i, got, c.want)
+		}
+		if math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Errorf("%s: SINR(%v, %v) = %v leaked a non-finite value", c.name, c.s, c.i, got)
+		}
+	}
+	out := make([]float64, len(cases))
+	SINRSlice(out, s, in)
+	for k, c := range cases {
+		if !sameFloat(out[k], c.want) {
+			t.Errorf("%s: SINRSlice[%d] = %v, want %v", c.name, k, out[k], c.want)
+		}
+	}
+}
+
+func TestCapacityEdgeCasesScalarAndSlice(t *testing.T) {
+	sinrs := []float64{-1, 0, math.Inf(-1), 1, 1e6, math.NaN()}
+	out := make([]float64, len(sinrs))
+	CapacitySlice(out, 20e6, sinrs)
+	for i, v := range sinrs {
+		want := Capacity(20e6, v)
+		if !sameFloat(out[i], want) {
+			t.Errorf("CapacitySlice(20e6)[%d]=%v != Capacity(20e6, %v)=%v", i, out[i], v, want)
+		}
+	}
+	// Non-positive SINR (and NaN, which fails the > 0 comparison) is a
+	// documented zero-capacity channel, never a NaN.
+	for _, v := range []float64{-1, 0, math.Inf(-1), math.NaN()} {
+		if got := Capacity(20e6, v); got != 0 {
+			t.Errorf("Capacity(20e6, %v) = %v, want 0", v, got)
+		}
+	}
+}
+
+// TestKernelsMatchScalarULP is the oracle: over a wide random sweep every
+// slice kernel must agree with its scalar counterpart bit-for-bit. This is
+// the contract that lets the batched Monte-Carlo engine replace the scalar
+// one without perturbing a single metrics.json byte.
+func TestKernelsMatchScalarULP(t *testing.T) {
+	const n = 4096
+	rng := rand.New(rand.NewSource(7))
+	pl, err := NewPathLoss(4, 1, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin := make([]float64, n)
+	db := make([]float64, n)
+	s := make([]float64, n)
+	in := make([]float64, n)
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lin[i] = math.Exp(rng.Float64()*40 - 20) // spans ~±9 decades
+		db[i] = rng.Float64()*140 - 70
+		s[i] = math.Exp(rng.Float64() * 20)
+		in[i] = math.Exp(rng.Float64() * 20)
+		d[i] = rng.Float64() * 100
+	}
+	out := make([]float64, n)
+
+	DBSlice(out, lin)
+	for i := range out {
+		if want := DB(lin[i]); !sameFloat(out[i], want) {
+			t.Fatalf("DBSlice[%d] = %b, scalar %b", i, out[i], want)
+		}
+	}
+	FromDBSlice(out, db)
+	for i := range out {
+		if want := FromDB(db[i]); !sameFloat(out[i], want) {
+			t.Fatalf("FromDBSlice[%d] = %b, scalar %b", i, out[i], want)
+		}
+	}
+	SINRSlice(out, s, in)
+	for i := range out {
+		if want := SINR(s[i], in[i]); !sameFloat(out[i], want) {
+			t.Fatalf("SINRSlice[%d] = %b, scalar %b", i, out[i], want)
+		}
+	}
+	Wifi20MHz.CapacitySlice(out, s)
+	for i := range out {
+		if want := Wifi20MHz.Capacity(s[i]); !sameFloat(out[i], want) {
+			t.Fatalf("CapacitySlice[%d] = %b, scalar %b", i, out[i], want)
+		}
+	}
+	pl.SNRAtSlice(out, d)
+	for i := range out {
+		if want := pl.SNRAt(d[i]); !sameFloat(out[i], want) {
+			t.Fatalf("SNRAtSlice[%d] = %b, scalar %b", i, out[i], want)
+		}
+	}
+	TxTimeSlice(out, 12000, s)
+	for i := range out {
+		if want := TxTime(12000, s[i]); !sameFloat(out[i], want) {
+			t.Fatalf("TxTimeSlice[%d] = %b, scalar %b", i, out[i], want)
+		}
+	}
+}
+
+// TestSNRAtSliceAliasing pins the in-place conversion the batch arena
+// relies on: dst may alias the distance column.
+func TestSNRAtSliceAliasing(t *testing.T) {
+	pl, err := NewPathLoss(4, 1, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := []float64{0.5, 1, 2, 10, 40}
+	want := make([]float64, len(d))
+	for i, v := range d {
+		want[i] = pl.SNRAt(v)
+	}
+	pl.SNRAtSlice(d, d)
+	for i := range d {
+		if !sameFloat(d[i], want[i]) {
+			t.Fatalf("aliased SNRAtSlice[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+}
+
+func TestKernelLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DBSlice with mismatched lengths did not panic")
+		}
+	}()
+	DBSlice(make([]float64, 2), make([]float64, 3))
+}

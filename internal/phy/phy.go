@@ -19,7 +19,12 @@ import (
 const ln2 = math.Ln2
 
 // DB converts a linear power ratio to decibels.
-// DB(0) returns -Inf, matching the physical meaning of zero power.
+//
+// Edge conventions (shared element-wise by DBSlice and pinned by the table
+// tests in kernels_test.go): DB(0) returns -Inf, matching the physical
+// meaning of zero power; a negative ratio — which no physical measurement
+// can produce, so it always marks an upstream arithmetic error — returns
+// NaN, which stats.NewECDF rejects loudly instead of folding into a CDF.
 func DB(linear float64) float64 {
 	return 10 * math.Log10(linear)
 }
@@ -40,10 +45,12 @@ func Log2(x float64) float64 {
 //
 //	C = B · log2(1 + SINR)
 //
-// A non-positive SINR yields zero capacity (an unusable channel) rather than
-// a NaN, because that is what every caller in this repository wants.
+// A non-positive — or NaN — SINR yields zero capacity (an unusable channel)
+// rather than a NaN, because that is what every caller in this repository
+// wants; the negated comparison below catches NaN, which a plain `<= 0`
+// guard would silently wave through into B·log2(1+NaN).
 func Capacity(bw, sinr float64) float64 {
-	if sinr <= 0 || bw <= 0 {
+	if !(sinr > 0) || bw <= 0 {
 		return 0
 	}
 	return bw * Log2(1+sinr)
@@ -67,7 +74,21 @@ func SINRFor(bw, rate float64) float64 {
 // linear ratios to the noise floor. The +1 term is the (normalised) noise.
 //
 //	SINR = S / (I + N₀)  with N₀ ≡ 1
+//
+// Negative interference is physically impossible, but it does reach here
+// legitimately as floating-point cancellation residue: SIC chains compute
+// residual interference by subtraction, which can land a few ULPs below
+// zero instead of at it. Residue in (-1, 0) perturbs the ratio by at most
+// a rounding term and is left untouched (preserving bit-identical results
+// with the pre-kernel code). Interference at or below -1, however, makes
+// the denominator non-positive — no arithmetic slip that small can
+// produce it — and is clamped to the interference-free ratio s instead of
+// returning ±Inf or a negative ratio that would poison capacities and
+// ECDFs downstream.
 func SINR(s, i float64) float64 {
+	if i <= -1 {
+		return s
+	}
 	return s / (i + 1)
 }
 

@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/stats"
@@ -137,19 +138,31 @@ func WriteGridCSV(w io.Writer, g *stats.Grid, xName, yName, vName string) error 
 // WriteSeriesCSV exports aligned series as CSV: the x column followed by one
 // column per series. Series are re-sampled onto the union of x values via
 // step interpolation (correct for CDFs).
+//
+// Rows are rendered into one reused buffer with strconv.AppendFloat, whose
+// 'g'/-1 form produces exactly the bytes of fmt's %g — this renderer used
+// to dominate Fig. 11's allocation profile, and the rewrite is pinned
+// byte-identical by the figure golden tests.
 func WriteSeriesCSV(w io.Writer, xName string, series ...Series) error {
-	// Union of x values.
-	seen := map[float64]bool{}
-	var xs []float64
+	// Union of x values: concatenate, sort, dedupe in place.
+	total := 0
 	for _, s := range series {
-		for _, x := range s.X {
-			if !seen[x] {
-				seen[x] = true
-				xs = append(xs, x)
-			}
-		}
+		total += len(s.X)
+	}
+	xs := make([]float64, 0, total)
+	for _, s := range series {
+		xs = append(xs, s.X...)
 	}
 	sort.Float64s(xs)
+	if len(xs) > 1 {
+		uniq := xs[:1]
+		for _, x := range xs[1:] {
+			if x != uniq[len(uniq)-1] {
+				uniq = append(uniq, x)
+			}
+		}
+		xs = uniq
+	}
 
 	header := xName
 	for _, s := range series {
@@ -158,12 +171,15 @@ func WriteSeriesCSV(w io.Writer, xName string, series ...Series) error {
 	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
+	buf := make([]byte, 0, 64)
 	for _, x := range xs {
-		row := fmt.Sprintf("%g", x)
+		buf = strconv.AppendFloat(buf[:0], x, 'g', -1, 64)
 		for _, s := range series {
-			row += fmt.Sprintf(",%g", stepAt(s, x))
+			buf = append(buf, ',')
+			buf = strconv.AppendFloat(buf, stepAt(s, x), 'g', -1, 64)
 		}
-		if _, err := fmt.Fprintln(w, row); err != nil {
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/stats"
@@ -155,27 +156,36 @@ func CDFPlotSVG(title string, series ...Series) string {
 	fmt.Fprintf(&b, `<text x="%d" y="%d">%.3g</text>`+"\n", margin, titleH+plotH+16, xmin)
 	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%.3g</text>`+"\n", margin+plotW, titleH+plotH+16, xmax)
 
+	var path []byte
 	for si, s := range series {
 		if len(s.X) == 0 {
 			continue
 		}
 		color := seriesColors[si%len(seriesColors)]
-		idx := make([]int, len(s.X))
-		for i := range idx {
-			idx[i] = i
+		xsv, ysv := s.X, s.Y
+		if !sort.Float64sAreSorted(xsv) {
+			// ECDF-sourced series arrive sorted; sort a copy otherwise.
+			xsv = append([]float64(nil), s.X...)
+			ysv = append([]float64(nil), s.Y...)
+			sort.Sort(xyPoints{xsv, ysv})
 		}
-		sort.Slice(idx, func(a, c int) bool { return s.X[idx[a]] < s.X[idx[c]] })
-		var path strings.Builder
+		// The path is built into a reused byte buffer; AppendFloat with
+		// 'f'/1 renders exactly fmt's %.1f, keeping the bytes identical to
+		// the former Fprintf-per-point version.
+		path = append(path[:0], "M "...)
 		prevY := 0.0
-		fmt.Fprintf(&path, "M %.1f %.1f", px(s.X[idx[0]]), py(prevY))
-		for _, i := range idx {
+		path = appendPathPoint(path, px(xsv[0]), py(prevY))
+		for i := range xsv {
 			// Step: horizontal to the new x at the old y, then vertical.
-			fmt.Fprintf(&path, " L %.1f %.1f", px(s.X[i]), py(prevY))
-			fmt.Fprintf(&path, " L %.1f %.1f", px(s.X[i]), py(s.Y[i]))
-			prevY = s.Y[i]
+			path = append(path, " L "...)
+			path = appendPathPoint(path, px(xsv[i]), py(prevY))
+			path = append(path, " L "...)
+			path = appendPathPoint(path, px(xsv[i]), py(ysv[i]))
+			prevY = ysv[i]
 		}
-		fmt.Fprintf(&path, " L %.1f %.1f", px(xmax), py(prevY))
-		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n", path.String(), color)
+		path = append(path, " L "...)
+		path = appendPathPoint(path, px(xmax), py(prevY))
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n", path, color)
 
 		ly := titleH + plotH + 34 + si*18
 		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`+"\n",
@@ -184,4 +194,22 @@ func CDFPlotSVG(title string, series ...Series) string {
 	}
 	b.WriteString("</svg>\n")
 	return b.String()
+}
+
+// appendPathPoint appends "X Y" with one decimal place each, byte-equal to
+// fmt.Sprintf("%.1f %.1f", x, y).
+func appendPathPoint(buf []byte, x, y float64) []byte {
+	buf = strconv.AppendFloat(buf, x, 'f', 1, 64)
+	buf = append(buf, ' ')
+	return strconv.AppendFloat(buf, y, 'f', 1, 64)
+}
+
+// xyPoints sorts parallel x/y slices by x.
+type xyPoints struct{ x, y []float64 }
+
+func (p xyPoints) Len() int           { return len(p.x) }
+func (p xyPoints) Less(i, j int) bool { return p.x[i] < p.x[j] }
+func (p xyPoints) Swap(i, j int) {
+	p.x[i], p.x[j] = p.x[j], p.x[i]
+	p.y[i], p.y[j] = p.y[j], p.y[i]
 }

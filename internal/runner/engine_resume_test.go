@@ -1,0 +1,71 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestScalarCheckpointResumesUnderBatchedEngine proves the engine switch
+// is invisible to checkpointing: Params.ScalarMC is excluded from the
+// params hash (the engines are bit-identical by contract), so a
+// checkpoint written by the scalar engine is served as-is when the suite
+// resumes under the batched one — and a from-scratch batched run yields
+// the same metrics bytes anyway.
+func TestScalarCheckpointResumesUnderBatchedEngine(t *testing.T) {
+	fig6, ok := experiments.ByID("fig6")
+	if !ok {
+		t.Fatal("fig6 runner missing")
+	}
+	suite := []experiments.Runner{fig6}
+
+	metricsBlob := func(rep *Report) []byte {
+		blob, err := json.MarshalIndent(rep.Metrics, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+
+	opts := baseOpts(t)
+	opts.Params.ScalarMC = true
+	scalarRun, err := Run(context.Background(), suite, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scalarRun.Failed() != 0 {
+		t.Fatalf("scalar run failed:\n%s", scalarRun.Render())
+	}
+
+	// Flip the engine and resume against the scalar run's checkpoints.
+	opts.Params.ScalarMC = false
+	opts.Resume = true
+	resumed, err := Run(context.Background(), suite, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Figures[0].Status != StatusCached {
+		t.Fatalf("status = %s, want skipped-cached: the engine flag must not change the params hash",
+			resumed.Figures[0].Status)
+	}
+	if !bytes.Equal(metricsBlob(scalarRun), metricsBlob(resumed)) {
+		t.Error("resumed metrics differ from the scalar run they were checkpointed by")
+	}
+
+	// A cold batched run reproduces the scalar bytes, so serving the stale
+	// checkpoint was not just allowed but correct.
+	freshOpts := baseOpts(t)
+	fresh, err := Run(context.Background(), suite, freshOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Figures[0].Status != StatusOK {
+		t.Fatalf("fresh batched run status = %s, want ok", fresh.Figures[0].Status)
+	}
+	if !bytes.Equal(metricsBlob(scalarRun), metricsBlob(fresh)) {
+		t.Error("cold batched run metrics differ from the scalar engine's")
+	}
+}
